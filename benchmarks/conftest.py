@@ -1,0 +1,40 @@
+"""Shared fixtures for the per-figure benchmark harness.
+
+Every benchmark regenerates one of the paper's tables/figures, asserts
+its qualitative shape, and writes the rendered text artifact to
+``benchmarks/results/`` so EXPERIMENTS.md can reference the numbers.
+"""
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def record_artifact(results_dir):
+    """Write one experiment's rendered table to benchmarks/results/."""
+
+    def _record(name: str, text: str) -> Path:
+        path = results_dir / f"{name}.txt"
+        path.write_text(text + "\n")
+        return path
+
+    return _record
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark.
+
+    The experiments are deterministic simulations — repeated rounds
+    would only re-measure identical work — so each bench runs a single
+    round and reports its wall time.
+    """
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

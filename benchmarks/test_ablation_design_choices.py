@@ -1,0 +1,167 @@
+"""Design-choice ablations called out in DESIGN.md §5.
+
+These go beyond the paper's Figure 16: each bench isolates one design
+decision inside a technique and quantifies what the chosen design buys
+over the obvious alternative.
+
+1. CV trigger vs. always-cluster — the dispersion trigger avoids
+   wasted clustering work (and mis-pruning) in the converging region.
+2. Dynamic chunk-size policy vs. fixed small chunks — the compute
+   window floor keeps streaming I/O hidden.
+3. Three-way routing vs. drop-only (exact-rank mode) — early-accepting
+   winners buys extra latency when exact scores are not needed.
+4. LRU embedding cache vs. full table — the memory/latency trade of
+   §4.4 stated as numbers.
+"""
+
+from dataclasses import replace
+
+from conftest import run_once
+
+from repro.core.config import PrismConfig
+from repro.data.datasets import get_dataset
+from repro.harness.reporting import format_table, ms
+from repro.harness.runner import run_system
+from repro.model.zoo import QWEN3_0_6B
+
+
+def _run(config=None, threshold=None, num_queries=4, **kwargs):
+    queries = get_dataset("wikipedia").queries(num_queries, 20)
+    return run_system(
+        "prism",
+        QWEN3_0_6B,
+        "nvidia_5070",
+        queries,
+        10,
+        threshold=threshold,
+        prism_config=config,
+        **kwargs,
+    )
+
+
+def test_trigger_vs_always_cluster(benchmark, record_artifact):
+    """The CV trigger skips clustering while rankings still converge;
+    forcing clustering every layer (threshold 0) must not prune more
+    work than the statistical-distinctness guard allows, and costs
+    extra clustering latency per layer."""
+
+    def experiment():
+        triggered = _run(threshold=PrismConfig().dispersion_threshold, keep_results=True)
+        always = _run(threshold=0.0, keep_results=True)
+        return triggered, always
+
+    triggered, always = run_once(benchmark, experiment)
+    trig_checks = sum(len(r.prune_events) for r in triggered.results)
+    always_checks = sum(len(r.prune_events) for r in always.results)
+    record_artifact(
+        "ablation_trigger",
+        format_table(
+            ("policy", "latency", "precision", "prune events"),
+            [
+                ("cv-trigger", ms(triggered.mean_latency), f"{triggered.mean_precision:.3f}", trig_checks),
+                ("always-cluster", ms(always.mean_latency), f"{always.mean_precision:.3f}", always_checks),
+            ],
+            title="Ablation — CV trigger vs always-cluster",
+        ),
+    )
+    # Always-clustering fires more often without a precision win.
+    assert always_checks >= trig_checks
+    assert abs(always.mean_precision - triggered.mean_precision) < 0.1
+
+
+def test_dynamic_vs_fixed_chunks(benchmark, record_artifact):
+    """The chunk-size policy's value: chunking caps intermediate-tensor
+    memory at essentially zero latency cost.  At paper-scale sequence
+    lengths even 1-candidate chunks keep the device saturated, so the
+    monolithic (unchunked) batch buys nothing except a bigger peak —
+    while tiny fixed chunks pay extra kernel launches."""
+
+    def experiment():
+        queries = get_dataset("wikipedia").queries(2, 60)
+        def run(config):
+            return run_system(
+                "prism", QWEN3_0_6B, "nvidia_5070", queries, 10, prism_config=config
+            )
+
+        from repro.device.memory import MiB
+
+        dynamic = run(PrismConfig())
+        monolithic = run(replace(PrismConfig(), chunked_execution=False))
+        tiny = run(
+            replace(PrismConfig(), chunk_memory_budget=5 * MiB, min_chunk_compute_window=0.0)
+        )
+        return dynamic, monolithic, tiny
+
+    dynamic, monolithic, tiny = run_once(benchmark, experiment)
+    record_artifact(
+        "ablation_chunk_policy",
+        format_table(
+            ("policy", "latency", "peak MiB", "io stall"),
+            [
+                ("dynamic window floor", ms(dynamic.mean_latency), f"{dynamic.peak_mib:.0f}", ms(dynamic.io_stall_seconds)),
+                ("monolithic (no chunks)", ms(monolithic.mean_latency), f"{monolithic.peak_mib:.0f}", ms(monolithic.io_stall_seconds)),
+                ("fixed 1-cand chunks", ms(tiny.mean_latency), f"{tiny.peak_mib:.0f}", ms(tiny.io_stall_seconds)),
+            ],
+            title="Ablation — chunk-size policy (60 candidates)",
+        ),
+    )
+    # Chunking caps the peak far below the monolithic batch...
+    assert dynamic.peak_mib < 0.8 * monolithic.peak_mib
+    # ...at negligible latency cost.
+    assert dynamic.mean_latency < 1.02 * monolithic.mean_latency
+    # Tiny chunks pay extra kernel launches over the dynamic policy.
+    assert tiny.mean_latency >= dynamic.mean_latency
+
+
+def test_three_way_vs_drop_only(benchmark, record_artifact):
+    """Exact-rank (drop-only) mode keeps winners computing to the final
+    layer: exact scores, but a measurable latency premium over the
+    three-way routing that early-accepts winners (§7)."""
+
+    def experiment():
+        three_way = _run()
+        drop_only = _run(config=replace(PrismConfig(), exact_rank_mode=True))
+        return three_way, drop_only
+
+    three_way, drop_only = run_once(benchmark, experiment)
+    record_artifact(
+        "ablation_routing",
+        format_table(
+            ("mode", "latency", "precision", "pruned fraction"),
+            [
+                ("three-way", ms(three_way.mean_latency), f"{three_way.mean_precision:.3f}", f"{three_way.pruned_fraction:.2f}"),
+                ("drop-only (exact)", ms(drop_only.mean_latency), f"{drop_only.mean_precision:.3f}", f"{drop_only.pruned_fraction:.2f}"),
+            ],
+            title="Ablation — three-way routing vs drop-only",
+        ),
+    )
+    # Drop-only still beats no pruning but pays for exact scores.
+    assert drop_only.mean_latency >= three_way.mean_latency
+    assert drop_only.pruned_fraction <= three_way.pruned_fraction
+    assert abs(drop_only.mean_precision - three_way.mean_precision) < 0.1
+
+
+def test_lru_cache_vs_full_table(benchmark, record_artifact):
+    """§4.4 as numbers: the 10 % LRU cache removes most of the
+    embedding table's footprint for a few ms of miss I/O."""
+
+    def experiment():
+        cached = _run()
+        full = _run(config=replace(PrismConfig(), embedding_cache=False))
+        return cached, full
+
+    cached, full = run_once(benchmark, experiment)
+    record_artifact(
+        "ablation_embedding_cache",
+        format_table(
+            ("embedding policy", "latency", "peak MiB"),
+            [
+                ("10% LRU cache", ms(cached.mean_latency), f"{cached.peak_mib:.0f}"),
+                ("full table resident", ms(full.mean_latency), f"{full.peak_mib:.0f}"),
+            ],
+            title="Ablation — LRU embedding cache vs full table",
+        ),
+    )
+    assert cached.peak_mib < full.peak_mib - 150  # ~296 MB table vs ~30 MB cache
+    # Cache misses cost only milliseconds per request.
+    assert cached.mean_latency - full.mean_latency < 0.05

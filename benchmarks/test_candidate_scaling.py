@@ -1,0 +1,68 @@
+"""Extension study — scaling with the candidate count.
+
+§2.2: baseline latency scales linearly with N because every candidate
+pays a full forward pass.  PRISM bends that curve (pruning removes most
+candidates mid-pass) and §4.3's hidden-state offloading keeps the
+memory envelope nearly flat as N grows into the hundreds.
+"""
+
+from conftest import run_once
+
+from repro.data.datasets import get_dataset
+from repro.harness.reporting import format_table, ms
+from repro.harness.runner import run_system
+from repro.model.zoo import QWEN3_0_6B
+
+CANDIDATE_COUNTS = (10, 20, 40, 80, 160)
+
+
+def test_candidate_scaling(benchmark, record_artifact):
+    def sweep():
+        rows = {}
+        for n in CANDIDATE_COUNTS:
+            queries = get_dataset("wikipedia").queries(2, n)
+            hf = run_system("hf", QWEN3_0_6B, "nvidia_5070", queries, 10)
+            prism = run_system("prism", QWEN3_0_6B, "nvidia_5070", queries, 10)
+            rows[n] = (hf, prism)
+        return rows
+
+    rows = run_once(benchmark, sweep)
+    record_artifact(
+        "candidate_scaling",
+        format_table(
+            ("candidates", "HF latency", "PRISM latency", "HF peak MiB", "PRISM peak MiB"),
+            [
+                (
+                    n,
+                    ms(hf.mean_latency),
+                    ms(prism.mean_latency),
+                    f"{hf.peak_mib:.0f}",
+                    f"{prism.peak_mib:.0f}",
+                )
+                for n, (hf, prism) in rows.items()
+            ],
+            title="Scaling with candidate count (top-10, len ~500)",
+        ),
+    )
+
+    # HF latency is linear in N (§2.2): 8× candidates ≈ 8× latency.
+    hf_ratio = rows[160][0].mean_latency / rows[20][0].mean_latency
+    assert 6 < hf_ratio < 10
+
+    # PRISM's curve is sublinear — pruning removes most of the added
+    # candidates after a few layers.
+    prism_ratio = rows[160][1].mean_latency / rows[20][1].mean_latency
+    assert prism_ratio < hf_ratio
+
+    # K ≥ N degenerates to immediate acceptance: the monolithic view
+    # makes the trivial case nearly free.
+    assert rows[10][1].mean_latency < 0.25 * rows[10][0].mean_latency
+
+    # PRISM's memory envelope is nearly flat in N (hidden-state plans
+    # and chunking absorb the growth).
+    assert rows[160][1].peak_mib < 2.5 * rows[20][1].peak_mib
+
+    # PRISM wins at every pool size.
+    for n, (hf, prism) in rows.items():
+        assert prism.mean_latency < hf.mean_latency, n
+        assert prism.peak_mib < hf.peak_mib, n

@@ -1,0 +1,43 @@
+"""Figure 11 — the RAG personal assistant on both platforms.
+
+Paper numbers: PRISM cuts end-to-end latency by 51 % (NVIDIA, with
+Bge-MiniCPM) and 31 % (Apple, with Qwen3-0.6B), peak memory by up to
+77.8 % and average memory by up to 92.3 %, at unchanged accuracy.
+"""
+
+from conftest import run_once
+
+from repro.harness.experiments import fig11_rag
+from repro.harness.reporting import format_series
+
+
+def test_fig11(benchmark, record_artifact):
+    result = run_once(benchmark, fig11_rag, num_docs=200, num_queries=12)
+
+    lines = [result.render(), ""]
+    for platform, by_system in result.runs.items():
+        for system, run in by_system.items():
+            if run.timeline:
+                xs = [round(p.time, 3) for p in run.timeline[:40]]
+                ys = [round(p.in_use / (1024 * 1024), 1) for p in run.timeline[:40]]
+                lines.append(format_series(f"{platform}/{system} (MiB)", xs, ys))
+    record_artifact("fig11_rag", "\n".join(lines))
+
+    for platform in ("apple_m2", "nvidia_5070"):
+        hf = result.runs[platform]["hf"]
+        prism = result.runs[platform]["prism"]
+
+        # Latency: PRISM wins, in the paper's 0.49–0.69× band ± slack.
+        ratio = prism.mean_latency / hf.mean_latency
+        assert 0.3 < ratio < 0.95, platform
+
+        # Memory: large peak and average reductions.
+        assert prism.peak_mib < 0.6 * hf.peak_mib
+        assert prism.avg_mib < 0.4 * hf.avg_mib
+
+        # Accuracy unchanged (both systems select the same documents
+        # in almost every query).
+        assert abs(prism.accuracy - hf.accuracy) <= 0.15
+
+        # Reranking dominates the vanilla pipeline (Figure 1's share).
+        assert hf.rerank_share > 0.5

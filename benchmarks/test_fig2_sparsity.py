@@ -1,0 +1,75 @@
+"""Figure 2 — sequence-level sparsity.
+
+(a) candidate scores fan out into distinct clusters with depth;
+(b) Goodman–Kruskal γ rises toward 1.0 while cluster-γ stays ≈1.0
+    across layers, on both decoder- and encoder-style models.
+"""
+
+import numpy as np
+from conftest import run_once
+
+from repro.harness.experiments import fig2_sparsity
+from repro.harness.reporting import format_series
+
+
+def test_fig2a_score_evolution(benchmark, record_artifact):
+    result = run_once(
+        benchmark, fig2_sparsity, model_name="bge-reranker-v2-minicpm", num_queries=6
+    )
+    spreads = result.trajectories.std(axis=0)
+    record_artifact(
+        "fig2a_score_evolution",
+        result.render()
+        + "\n"
+        + format_series("score_spread", result.layers, spreads.tolist()),
+    )
+    # Scores fan out: late-layer spread dwarfs early-layer spread.
+    assert spreads[-1] > 3 * spreads[1]
+
+
+def test_fig2b_gamma_generality(benchmark, record_artifact):
+    lines = []
+    for model in ("bge-reranker-v2-minicpm", "bge-reranker-v2-m3"):
+        result = fig2_sparsity(model_name=model, num_queries=6)
+        lines.append(result.render())
+        # γ converges to 1.0 at the final layer and rises with depth.
+        assert result.gamma[-1] == 1.0
+        assert np.mean(result.gamma[-4:]) > np.mean(result.gamma[:4]) + 0.3
+        # Inter-cluster rankings are stable from the point clusters
+        # emerge (the pruning-safety premise).
+        assert np.mean(result.cluster_gamma_values[3:]) > 0.9
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    record_artifact("fig2b_gamma", "\n\n".join(lines))
+
+
+def test_fig2b_holds_on_all_18_datasets(benchmark, record_artifact):
+    """§3.1 validates sequence-level sparsity on 18 datasets and both
+    mainstream architectures; sweep every dataset with one decoder and
+    one encoder model."""
+    from repro.data.datasets import ALL_DATASETS
+
+    def sweep():
+        rows = []
+        for dataset in ALL_DATASETS:
+            for model in ("bge-reranker-v2-minicpm", "bge-reranker-v2-m3"):
+                result = fig2_sparsity(model_name=model, dataset=dataset, num_queries=2)
+                rows.append(
+                    (
+                        dataset,
+                        model,
+                        round(float(np.mean(result.gamma[-4:])), 3),
+                        round(float(np.mean(result.cluster_gamma_values[4:])), 3),
+                    )
+                )
+        return rows
+
+    rows = run_once(benchmark, sweep)
+    from repro.harness.reporting import format_table
+
+    record_artifact(
+        "fig2b_all_datasets",
+        format_table(("dataset", "model", "late gamma", "cluster gamma"), rows),
+    )
+    for dataset, model, late_gamma, cgamma in rows:
+        assert late_gamma > 0.75, (dataset, model)
+        assert cgamma > 0.8, (dataset, model)

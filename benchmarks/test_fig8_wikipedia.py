@@ -1,0 +1,69 @@
+"""Figure 8 — Wikipedia-dataset detail: seven systems × five models ×
+two platforms × K ∈ {1, 5, 10}.
+
+Shapes asserted: PRISM-Low is the fastest configuration everywhere the
+baselines run; HF-Offload is the slowest; raising the threshold costs
+latency; quantization shrinks memory but does not speed up prefill;
+precision stays in the unpruned band for all configurations.
+"""
+
+from conftest import run_once
+
+from repro.harness.experiments import fig8_wikipedia
+from repro.model.zoo import PAPER_MODELS
+
+
+def test_fig8(benchmark, record_artifact):
+    models = tuple(m.name for m in PAPER_MODELS)
+    result = run_once(
+        benchmark,
+        fig8_wikipedia,
+        models=models,
+        platforms=("nvidia_5070", "apple_m2"),
+        ks=(1, 5, 10),
+        num_queries=3,
+    )
+    record_artifact("fig8_wikipedia", result.render())
+
+    for platform in ("nvidia_5070", "apple_m2"):
+        for model in models:
+            for k in (1, 5, 10):
+                cell = lambda s: result.find(s, model, platform, k)  # noqa: E731
+                prism_low = cell("prism_low")
+                prism_high = cell("prism_high")
+                offload = cell("hf_offload")
+                hf = cell("hf")
+
+                # PRISM never OOMs; offload never OOMs.
+                assert not prism_low.oom and not offload.oom
+
+                # Threshold trades latency for conservatism.
+                assert prism_low.latency <= prism_high.latency * 1.001
+
+                # PRISM beats the offload baseline everywhere.
+                assert prism_low.latency < offload.latency
+
+                if not hf.oom:
+                    # PRISM beats in-memory HF; offload is slowest.
+                    assert prism_low.latency < hf.latency < offload.latency
+                    # Quant pays a dequantization penalty over HF.
+                    assert cell("hf_quant").latency > hf.latency
+
+                # Precision band: every configuration stays close to
+                # the unpruned baseline.
+                reference = offload.precision
+                for system in (
+                    "prism_low",
+                    "prism_high",
+                    "prism_quant_low",
+                    "prism_quant_high",
+                ):
+                    assert abs(cell(system).precision - reference) < 0.15
+
+    # The headline: up to ~88 % reduction vs HF Offload on this dataset.
+    best = max(
+        1.0 - result.find("prism_low", m, p, 1).latency / result.find("hf_offload", m, p, 1).latency
+        for m in models
+        for p in ("nvidia_5070", "apple_m2")
+    )
+    assert best > 0.5

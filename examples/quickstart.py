@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Quickstart: rerank one candidate pool with PRISM vs the HF baseline.
+
+Builds a Wikipedia-style reranking workload (top-10 of 20 candidates),
+runs it through the vanilla HF engine and through PRISM on a simulated
+Mac Mini M2, and prints the latency / memory / precision comparison —
+a one-request version of the paper's headline result.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import get_model_config
+from repro.data import get_dataset
+from repro.harness import run_system
+from repro.harness.reporting import format_table, ms, pct
+
+
+def main() -> None:
+    model = get_model_config("qwen3-reranker-0.6b")
+    queries = get_dataset("wikipedia").queries(4, num_candidates=20)
+
+    print(f"Model     : {model.name} ({model.params_label}, {model.architecture}-only)")
+    print(f"Workload  : {len(queries)} queries x 20 candidates, top-10, apple_m2\n")
+
+    rows = []
+    stats = {}
+    for system in ("hf", "hf_offload", "hf_quant", "prism"):
+        stats[system] = run_system(system, model, "apple_m2", queries, k=10)
+        s = stats[system]
+        rows.append(
+            (
+                system,
+                ms(s.mean_latency),
+                f"{s.peak_mib:.0f}",
+                f"{s.avg_mib:.0f}",
+                f"{s.mean_precision:.3f}",
+                pct(s.pruned_fraction),
+            )
+        )
+    print(
+        format_table(
+            ("system", "latency", "peak MiB", "avg MiB", "P@10", "work pruned"),
+            rows,
+        )
+    )
+
+    hf, prism = stats["hf"], stats["prism"]
+    print(
+        f"\nPRISM: {pct(1 - prism.mean_latency / hf.mean_latency)} lower latency, "
+        f"{pct(1 - prism.peak_mib / hf.peak_mib)} lower peak memory, "
+        f"precision delta {prism.mean_precision - hf.mean_precision:+.3f}."
+    )
+
+
+if __name__ == "__main__":
+    main()

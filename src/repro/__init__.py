@@ -1,0 +1,56 @@
+"""PRISM reproduction: on-device semantic selection with monolithic forwarding.
+
+This package reproduces *"On-device Semantic Selection Made Low Latency
+and Memory Efficient with Monolithic Forwarding"* (EuroSys 2026) as a
+self-contained Python library (see DESIGN.md for the substitution map):
+
+* :mod:`repro.core` — PRISM itself: monolithic forwarding with
+  progressive cluster pruning, overlapped layer streaming, chunked
+  execution and embedding table caching.
+* :mod:`repro.baselines` — HF, HF-Offload, HF-Quant comparison engines.
+* :mod:`repro.device` — the simulated edge platforms (clock, memory
+  tracker, SSD, roofline compute model).
+* :mod:`repro.model` — cross-encoder transformer substrate with
+  paper-scale cost accounting and reduced-width numerics.
+* :mod:`repro.data` / :mod:`repro.retrieval` — the 18 evaluation
+  dataset generators and the hybrid-retrieval stack.
+* :mod:`repro.apps` — the three real-world applications (RAG, agent
+  memory, long-context selection).
+* :mod:`repro.harness` — experiment runner and per-figure entry points.
+
+Quickstart::
+
+    from repro import get_model_config
+    from repro.data import get_dataset
+    from repro.harness import run_system
+
+    stats = run_system(
+        "prism",
+        get_model_config("qwen3-reranker-0.6b"),
+        "apple_m2",
+        get_dataset("wikipedia").queries(4, num_candidates=20),
+        k=10,
+    )
+    print(stats.mean_latency, stats.mean_precision, stats.peak_mib)
+"""
+
+from .core.config import PrismConfig
+from .core.engine import PrismEngine, RerankResult
+from .core.metrics import precision_at_k
+from .device.platforms import get_profile, list_profiles
+from .model.zoo import ModelConfig, get_model_config, list_models
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ModelConfig",
+    "PrismConfig",
+    "PrismEngine",
+    "RerankResult",
+    "__version__",
+    "get_model_config",
+    "get_profile",
+    "list_models",
+    "list_profiles",
+    "precision_at_k",
+]

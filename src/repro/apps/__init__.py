@@ -1,0 +1,55 @@
+"""The three real-world applications of §6.3 plus their LLM substrate."""
+
+from .agent_memory import (
+    AGENT_WORKLOADS,
+    AgentMemoryApp,
+    AgentRunResult,
+    AgentTask,
+    AgentWorkloadSpec,
+    TaskOutcome,
+    generate_tasks,
+)
+from .llm import (
+    MOBIMIND_VLM_7B,
+    QWEN3_4B_INSTRUCT_W4,
+    QWEN3_32B,
+    GenerationResult,
+    LLMSpec,
+    OnDeviceLLM,
+    RemoteLLM,
+    ServerProfile,
+)
+from .long_context import (
+    LongContextApp,
+    LongContextRunResult,
+    LongContextTask,
+    TaskResult,
+)
+from .long_context import generate_tasks as generate_lcs_tasks
+from .rag import RagPipeline, RagQueryResult, RagRunResult
+
+__all__ = [
+    "AGENT_WORKLOADS",
+    "AgentMemoryApp",
+    "AgentRunResult",
+    "AgentTask",
+    "AgentWorkloadSpec",
+    "GenerationResult",
+    "LLMSpec",
+    "LongContextApp",
+    "LongContextRunResult",
+    "LongContextTask",
+    "MOBIMIND_VLM_7B",
+    "OnDeviceLLM",
+    "QWEN3_32B",
+    "QWEN3_4B_INSTRUCT_W4",
+    "RagPipeline",
+    "RagQueryResult",
+    "RagRunResult",
+    "RemoteLLM",
+    "ServerProfile",
+    "TaskOutcome",
+    "TaskResult",
+    "generate_lcs_tasks",
+    "generate_tasks",
+]

@@ -1,0 +1,259 @@
+"""Cost-modelled LLM generation stages for the application pipelines.
+
+The three real-world evaluations (§6.3) surround the reranker with
+generator models that are not the system under test:
+
+* **RAG** sends the selected documents to a Qwen3-32B served on a
+  two-A800 server — remote generation, so only time (network + server
+  prefill/decode) matters to the device;
+* **Agent Memory** calls a 7 B vision-language model on an A800 server
+  for steps the trajectory cache cannot serve;
+* **Long-Context Selection** generates locally with a *quantized
+  Qwen3-4B-Instruct* — on-device prefill/decode whose memory share is
+  visible in Figure 15.
+
+Both variants charge costs from the same transformer arithmetic as
+:mod:`repro.model.costs`: prefill is compute-bound (2·P·T FLOPs),
+decode is memory-bandwidth-bound (weights re-read per token).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..device.executor import DeviceExecutor
+from ..device.memory import CATEGORY_KV, CATEGORY_WEIGHTS
+
+
+@dataclass(frozen=True)
+class LLMSpec:
+    """Paper-scale description of one generator model."""
+
+    name: str
+    num_layers: int
+    hidden_dim: int
+    ffn_dim: int
+    vocab_size: int = 151_669
+    dtype_bytes: int = 2
+    quantized: bool = False
+    num_kv_heads: int = 8
+    head_dim: int = 128
+
+    def __post_init__(self) -> None:
+        if self.num_layers <= 0 or self.hidden_dim <= 0 or self.ffn_dim <= 0:
+            raise ValueError("model dimensions must be positive")
+
+    # ------------------------------------------------------------------
+    def layer_params(self) -> int:
+        return 4 * self.hidden_dim**2 + 3 * self.hidden_dim * self.ffn_dim
+
+    def params(self) -> int:
+        return (
+            self.num_layers * self.layer_params()
+            + self.vocab_size * self.hidden_dim  # embedding
+        )
+
+    def weight_bytes(self) -> int:
+        """Resident bytes: 4-bit linear layers when quantized, fp16 else.
+
+        Embedding rows stay fp16 under W4A16 (GPTQ practice)."""
+        layers = self.num_layers * self.layer_params()
+        embedding = self.vocab_size * self.hidden_dim * self.dtype_bytes
+        if self.quantized:
+            return layers // 2 + int(layers * self.dtype_bytes * 0.03) + embedding
+        return layers * self.dtype_bytes + embedding
+
+    def prefill_flops(self, num_tokens: int) -> float:
+        """Dense prefill FLOPs over ``num_tokens`` (2 FLOPs per MAC)."""
+        if num_tokens < 0:
+            raise ValueError("num_tokens must be non-negative")
+        matmul = 2.0 * self.num_layers * self.layer_params() * num_tokens
+        attention = 4.0 * self.num_layers * num_tokens * num_tokens * self.hidden_dim
+        return matmul + attention
+
+    def decode_flops_per_token(self, context_tokens: int) -> float:
+        """FLOPs to emit one token against ``context_tokens`` of KV."""
+        matmul = 2.0 * self.num_layers * self.layer_params()
+        attention = 4.0 * self.num_layers * context_tokens * self.hidden_dim
+        return matmul + attention
+
+    def kv_bytes_per_token(self) -> int:
+        """KV-cache bytes appended per generated/prefilled token."""
+        per_layer = 2 * self.num_kv_heads * self.head_dim * self.dtype_bytes
+        return self.num_layers * per_layer
+
+
+#: Qwen3-32B — the RAG answer generator (two-A800 server, §6.3).
+QWEN3_32B = LLMSpec(
+    name="qwen3-32b", num_layers=64, hidden_dim=5120, ffn_dim=25_600
+)
+
+#: Quantized Qwen3-4B-Instruct — the on-device LCS generator (§6.3).
+QWEN3_4B_INSTRUCT_W4 = LLMSpec(
+    name="qwen3-4b-instruct-w4",
+    num_layers=36,
+    hidden_dim=2560,
+    ffn_dim=9728,
+    quantized=True,
+)
+
+#: MobiMind-Decider-7B — the agent's VLM (A800 server, §6.3).
+MOBIMIND_VLM_7B = LLMSpec(
+    name="mobimind-decider-7b", num_layers=28, hidden_dim=3584, ffn_dim=18_944
+)
+
+
+@dataclass
+class GenerationResult:
+    """Timing breakdown of one generation call."""
+
+    prefill_seconds: float
+    decode_seconds: float
+    prompt_tokens: int
+    output_tokens: int
+
+    @property
+    def total_seconds(self) -> float:
+        return self.prefill_seconds + self.decode_seconds
+
+    @property
+    def first_token_seconds(self) -> float:
+        """Latency to the first output token (prefill + one decode step)."""
+        if self.output_tokens == 0:
+            return self.prefill_seconds
+        return self.prefill_seconds + self.decode_seconds / self.output_tokens
+
+
+class OnDeviceLLM:
+    """A generator executing on the simulated edge device.
+
+    ``prepare()`` loads the weights (resident for the app's lifetime);
+    ``generate()`` charges prefill compute, grows a KV-cache allocation,
+    charges bandwidth-bound decode steps, then frees the KV cache.
+    """
+
+    def __init__(self, spec: LLMSpec, executor: DeviceExecutor) -> None:
+        self.spec = spec
+        self.executor = executor
+        self._prepared = False
+        self._kv_seq = 0
+
+    def prepare(self) -> None:
+        if self._prepared:
+            return
+        nbytes = self.spec.weight_bytes()
+        self.executor.read_blocking(f"load/{self.spec.name}", nbytes)
+        self.executor.device.memory.alloc(f"llm/{self.spec.name}", nbytes, CATEGORY_WEIGHTS)
+        self._prepared = True
+
+    def release(self) -> None:
+        if self._prepared:
+            self.executor.device.memory.free(f"llm/{self.spec.name}")
+            self._prepared = False
+
+    # ------------------------------------------------------------------
+    def generate(self, prompt_tokens: int, output_tokens: int) -> GenerationResult:
+        """Prefill the prompt then decode ``output_tokens``."""
+        if not self._prepared:
+            raise RuntimeError("OnDeviceLLM.generate before prepare()")
+        if prompt_tokens <= 0:
+            raise ValueError("prompt_tokens must be positive")
+        if output_tokens < 0:
+            raise ValueError("output_tokens must be non-negative")
+        executor = self.executor
+        memory = executor.device.memory
+        kv_tag = f"llm/{self.spec.name}/kv"
+
+        start = executor.now
+        kv_bytes = prompt_tokens * self.spec.kv_bytes_per_token()
+        memory.alloc(kv_tag, kv_bytes, CATEGORY_KV)
+        executor.compute(
+            self.spec.prefill_flops(prompt_tokens),
+            bytes_moved=self.spec.weight_bytes(),
+            quantized=self.spec.quantized,
+        )
+        prefill_end = executor.now
+
+        # Decode: each step re-reads the weights (memory-bound) and
+        # attends over the growing context.
+        context = prompt_tokens
+        for _ in range(output_tokens):
+            executor.compute(
+                self.spec.decode_flops_per_token(context),
+                bytes_moved=self.spec.weight_bytes() + context * self.spec.kv_bytes_per_token(),
+                quantized=self.spec.quantized,
+            )
+            context += 1
+        decode_end = executor.now
+        # Grow the KV allocation to its final size for peak accounting.
+        memory.free(kv_tag)
+        if output_tokens:
+            memory.alloc(kv_tag, context * self.spec.kv_bytes_per_token(), CATEGORY_KV)
+            memory.free(kv_tag)
+
+        return GenerationResult(
+            prefill_seconds=prefill_end - start,
+            decode_seconds=decode_end - prefill_end,
+            prompt_tokens=prompt_tokens,
+            output_tokens=output_tokens,
+        )
+
+
+@dataclass(frozen=True)
+class ServerProfile:
+    """Throughput of a remote inference server (e.g. 2×A800)."""
+
+    flops_per_second: float = 300e12
+    mem_bandwidth: float = 4000e9
+    network_rtt: float = 25e-3
+
+    def __post_init__(self) -> None:
+        if self.flops_per_second <= 0 or self.mem_bandwidth <= 0:
+            raise ValueError("server throughputs must be positive")
+        if self.network_rtt < 0:
+            raise ValueError("network_rtt must be non-negative")
+
+
+class RemoteLLM:
+    """A generator served off-device: costs time, not device memory.
+
+    The caller's simulated clock advances by network RTT + server
+    compute; nothing is charged to the device memory tracker, matching
+    how the paper's RAG/Agent experiments deploy their generators.
+    """
+
+    def __init__(
+        self, spec: LLMSpec, executor: DeviceExecutor, server: ServerProfile | None = None
+    ) -> None:
+        self.spec = spec
+        self.executor = executor
+        self.server = server or ServerProfile()
+
+    def generate(self, prompt_tokens: int, output_tokens: int) -> GenerationResult:
+        if prompt_tokens <= 0:
+            raise ValueError("prompt_tokens must be positive")
+        if output_tokens < 0:
+            raise ValueError("output_tokens must be non-negative")
+        server = self.server
+        prefill = self.spec.prefill_flops(prompt_tokens) / server.flops_per_second
+        prefill += server.network_rtt
+        decode = 0.0
+        context = prompt_tokens
+        for _ in range(output_tokens):
+            step_bytes = self.spec.weight_bytes() + context * self.spec.kv_bytes_per_token()
+            decode += max(
+                self.spec.decode_flops_per_token(context) / server.flops_per_second,
+                step_bytes / server.mem_bandwidth,
+            )
+            context += 1
+        self.executor.device.clock.advance(prefill + decode)
+        return GenerationResult(
+            prefill_seconds=prefill,
+            decode_seconds=decode,
+            prompt_tokens=prompt_tokens,
+            output_tokens=output_tokens,
+        )
+
+    def first_token(self, prompt_tokens: int) -> GenerationResult:
+        """Time-to-first-token call (the RAG latency metric, Figure 11a)."""
+        return self.generate(prompt_tokens, output_tokens=1)

@@ -1,0 +1,288 @@
+"""LLM Long-Context Selection (§6.3, Figures 14 & 15).
+
+For on-device LLMs handling extended contexts, a top-K selection stage
+picks the most relevant context segments so the prompt fits the model's
+window and the prefill stays affordable.  The paper evaluates three
+systems on LongBench2-style workloads with a Qwen3-Reranker-0.6B
+selector and a quantized Qwen3-4B-Instruct generator, both on device:
+
+* ``baseline``  — no reranker: the full (truncated) context is prefilled,
+  paying a huge prefill and suffering distraction from irrelevant text;
+* ``hf``        — HF reranker selects top-K segments, then generate;
+* ``prism``     — PRISM reranker selects top-K segments, then generate.
+
+Reported: end-to-end latency split into rerank and inference
+(Figure 14) and the device memory footprint over one generation
+(Figure 15).  Answer accuracy is modelled as base model skill scaled by
+the coverage of *needed* segments, minus a distraction penalty that
+grows with irrelevant prompt tokens — reproducing the paper's ordering
+(with-reranker ≳ no-reranker, all close to LongBench2's ~0.32 band).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..device.memory import MiB, TimelinePoint
+from ..device.platforms import get_profile
+from ..harness.runner import create_engine, shared_model, shared_tokenizer
+from ..model.transformer import CandidateBatch
+from ..model.zoo import ModelConfig
+from .llm import QWEN3_4B_INSTRUCT_W4, LLMSpec, OnDeviceLLM
+
+#: Accuracy of the generator given a perfectly selected context
+#: (LongBench2 is hard; the paper's best system scores 0.328).
+BASE_MODEL_ACCURACY = 0.36
+#: Accuracy lost per thousand irrelevant prompt tokens (distraction).
+DISTRACTION_PER_KTOKEN = 0.0016
+#: Segment relevance tiers.  Long documents contain sections that are
+#: topically adjacent to the question (mid tier) alongside entirely
+#: unrelated ones — the unrelated tier is what progressive cluster
+#: pruning can drop early.
+NEEDED_RELEVANCE = (0.84, 0.05)
+RELATED_SEGMENT_RELEVANCE = (0.46, 0.06)
+RELATED_SEGMENT_RATE = 0.30
+DISTRACTOR_RELEVANCE = (0.15, 0.05)
+#: The generator's context window (tokens).
+CONTEXT_WINDOW = 32_768
+
+
+@dataclass(frozen=True)
+class LongContextTask:
+    """One long-context QA instance."""
+
+    task_id: int
+    num_segments: int
+    segment_tokens: int
+    needed: tuple[int, ...]  # positions of segments required for the answer
+    relevance: np.ndarray  # per-segment true relevance
+    question_tokens: int
+    answer_tokens: int
+
+    @property
+    def total_context_tokens(self) -> int:
+        return self.num_segments * self.segment_tokens
+
+
+def generate_tasks(
+    num_tasks: int,
+    num_segments: int = 40,
+    segment_tokens: int = 500,
+    seed: int = 0x1C5,
+) -> list[LongContextTask]:
+    """Mint a deterministic LongBench-style workload."""
+    if num_tasks <= 0:
+        raise ValueError("num_tasks must be positive")
+    if num_segments <= 0 or segment_tokens <= 0:
+        raise ValueError("segment geometry must be positive")
+    rng = np.random.default_rng(np.random.SeedSequence([0x7A58, seed]))
+    tasks = []
+    for task_id in range(num_tasks):
+        num_needed = int(rng.integers(2, 5))
+        needed = tuple(sorted(rng.choice(num_segments, size=num_needed, replace=False).tolist()))
+        relevance = np.empty(num_segments)
+        for seg in range(num_segments):
+            if seg in needed:
+                center, spread = NEEDED_RELEVANCE
+            elif rng.random() < RELATED_SEGMENT_RATE:
+                center, spread = RELATED_SEGMENT_RELEVANCE
+            else:
+                center, spread = DISTRACTOR_RELEVANCE
+            relevance[seg] = np.clip(rng.normal(center, spread), 0.01, 0.99)
+        tasks.append(
+            LongContextTask(
+                task_id=task_id,
+                num_segments=num_segments,
+                segment_tokens=segment_tokens,
+                needed=needed,
+                relevance=relevance,
+                question_tokens=int(rng.integers(32, 96)),
+                answer_tokens=int(rng.integers(24, 72)),
+            )
+        )
+    return tasks
+
+
+@dataclass
+class TaskResult:
+    """Per-task outcome."""
+
+    task_id: int
+    rerank_seconds: float
+    inference_seconds: float
+    coverage: float
+    prompt_tokens: int
+    correct: bool
+
+    @property
+    def total_seconds(self) -> float:
+        return self.rerank_seconds + self.inference_seconds
+
+
+@dataclass
+class LongContextRunResult:
+    """Aggregated outcome of one system over the workload."""
+
+    system: str
+    platform: str
+    k_segments: int
+    tasks: list[TaskResult] = field(default_factory=list)
+    peak_mib: float = 0.0
+    avg_mib: float = 0.0
+    timeline: list[TimelinePoint] = field(default_factory=list)
+
+    @property
+    def mean_latency(self) -> float:
+        return float(np.mean([t.total_seconds for t in self.tasks])) if self.tasks else 0.0
+
+    @property
+    def mean_rerank_seconds(self) -> float:
+        return float(np.mean([t.rerank_seconds for t in self.tasks])) if self.tasks else 0.0
+
+    @property
+    def mean_inference_seconds(self) -> float:
+        return float(np.mean([t.inference_seconds for t in self.tasks])) if self.tasks else 0.0
+
+    @property
+    def accuracy(self) -> float:
+        return float(np.mean([t.correct for t in self.tasks])) if self.tasks else 0.0
+
+    @property
+    def mean_coverage(self) -> float:
+        return float(np.mean([t.coverage for t in self.tasks])) if self.tasks else 0.0
+
+
+class LongContextApp:
+    """Long-context selection bound to one system and platform."""
+
+    def __init__(
+        self,
+        model_config: ModelConfig,
+        platform: str,
+        system: str = "prism",
+        k_segments: int = 12,
+        threshold: float | None = None,
+        generator: LLMSpec = QWEN3_4B_INSTRUCT_W4,
+    ) -> None:
+        if k_segments <= 0:
+            raise ValueError("k_segments must be positive")
+        if system not in ("baseline", "hf", "hf_offload", "hf_quant", "prism", "prism_quant"):
+            raise ValueError(f"unknown LCS system {system!r}")
+        self.system = system
+        self.platform = platform
+        self.k_segments = k_segments
+        self.model_config = model_config
+        self.device = get_profile(platform).create()
+
+        self.engine = None
+        if system != "baseline":
+            model = shared_model(model_config)
+            self.engine = create_engine(
+                system, model, self.device, threshold=threshold, numerics=False
+            )
+            self.engine.prepare()
+            self.tokenizer = shared_tokenizer(model_config)
+            executor = self.engine.executor
+        else:
+            from ..device.executor import DeviceExecutor
+
+            executor = DeviceExecutor(self.device)
+        self.llm = OnDeviceLLM(generator, executor)
+        self.llm.prepare()
+
+    # ------------------------------------------------------------------
+    def _segment_batch(self, task: LongContextTask) -> CandidateBatch:
+        """Pack the task's segments for the reranker."""
+        assert self.engine is not None
+        rng_seed = 0x5E6 + task.task_id
+        question = self.tokenizer.encode_synthetic(rng_seed, task.question_tokens)
+        docs = [
+            self.tokenizer.encode_synthetic(rng_seed * 131 + seg, task.segment_tokens)
+            for seg in range(task.num_segments)
+        ]
+        max_len = self.model_config.max_seq_len
+        tokens = self.tokenizer.batch_pairs(question, docs, max_len)
+        uids = np.arange(task.num_segments, dtype=np.int64) + task.task_id * 10_000
+        return CandidateBatch(
+            tokens=tokens,
+            lengths=self.tokenizer.attention_lengths(tokens),
+            relevance=task.relevance,
+            uids=uids,
+        )
+
+    @staticmethod
+    def _coverage(selected: set[int], needed: tuple[int, ...]) -> float:
+        if not needed:
+            return 1.0
+        return len(selected & set(needed)) / len(needed)
+
+    @staticmethod
+    def _accuracy_draw(task: LongContextTask, coverage: float, irrelevant_tokens: int) -> bool:
+        """Deterministic per-task correctness draw."""
+        p = BASE_MODEL_ACCURACY * coverage
+        p -= DISTRACTION_PER_KTOKEN * (irrelevant_tokens / 1000.0)
+        p = float(np.clip(p, 0.0, 1.0))
+        rng = np.random.default_rng(np.random.SeedSequence([0xACC, task.task_id]))
+        return bool(rng.random() < p)
+
+    # ------------------------------------------------------------------
+    def run_task(self, task: LongContextTask) -> TaskResult:
+        clock = self.device.clock
+        rerank_seconds = 0.0
+
+        if self.engine is None:
+            # Full-context baseline: truncate to the window if needed.
+            context = min(task.total_context_tokens, CONTEXT_WINDOW - task.question_tokens)
+            segments_kept = context // task.segment_tokens
+            selected = set(range(segments_kept))
+            coverage = self._coverage(selected, task.needed)
+            prompt_tokens = context + task.question_tokens
+            needed_tokens = len(task.needed) * task.segment_tokens
+            irrelevant = max(0, prompt_tokens - needed_tokens - task.question_tokens)
+        else:
+            batch = self._segment_batch(task)
+            k = min(self.k_segments, task.num_segments)
+            t0 = clock.now
+            result = self.engine.rerank(batch, k)
+            rerank_seconds = clock.now - t0
+            selected = {int(i) for i in result.top_indices}
+            coverage = self._coverage(selected, task.needed)
+            prompt_tokens = k * task.segment_tokens + task.question_tokens
+            covered = int(round(coverage * len(task.needed)))
+            irrelevant = (k - covered) * task.segment_tokens
+
+        t0 = clock.now
+        self.llm.generate(prompt_tokens, task.answer_tokens)
+        inference_seconds = clock.now - t0
+
+        return TaskResult(
+            task_id=task.task_id,
+            rerank_seconds=rerank_seconds,
+            inference_seconds=inference_seconds,
+            coverage=coverage,
+            prompt_tokens=prompt_tokens,
+            correct=self._accuracy_draw(task, coverage, irrelevant),
+        )
+
+    # ------------------------------------------------------------------
+    def run(self, tasks: list[LongContextTask], keep_timeline: bool = False) -> LongContextRunResult:
+        if not tasks:
+            raise ValueError("tasks must be non-empty")
+        start = self.device.clock.now
+        out = LongContextRunResult(
+            system=self.system, platform=self.platform, k_segments=self.k_segments
+        )
+        for task in tasks:
+            out.tasks.append(self.run_task(task))
+        stats = self.device.memory.stats()
+        out.peak_mib = stats.peak_bytes / MiB
+        out.avg_mib = stats.avg_bytes / MiB
+        if keep_timeline:
+            out.timeline = [
+                TimelinePoint(p.time - start, p.in_use)
+                for p in self.device.memory.timeline()
+                if p.time >= start
+            ]
+        return out

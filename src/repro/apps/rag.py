@@ -1,0 +1,244 @@
+"""RAG personal-assistant pipeline (§6.3, Figure 11).
+
+The paper's first real-world evaluation is an on-device smart assistant:
+personal data is indexed offline (embeddings into a vector database,
+terms into a keyword index); a query runs hybrid search (dense top-10 +
+sparse top-10), the reranker consolidates the pool and selects the
+top-10 documents, and a Qwen3-32B on a remote two-A800 server generates
+the answer.  The reported latency metric is time-to-first-token; the
+memory metric is the device's footprint over the request timeline.
+
+This module reproduces that pipeline over the simulated device:
+
+* retrieval arms charge their index-scan costs to the device clock
+  (the query embedding's prefill runs on device; its weights are
+  memory-mapped rather than resident, so retrieval-phase memory is the
+  indexes plus activations — matching the ~50 MiB retrieval stage of
+  Figure 1);
+* reranking runs one of the evaluated engines (``hf`` … ``prism``);
+* generation advances the clock by server prefill + network RTT without
+  touching device memory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.metrics import precision_at_k
+from ..device.memory import CATEGORY_OTHER, MiB, TimelinePoint
+from ..device.platforms import get_profile
+from ..harness.runner import create_engine, shared_model, shared_tokenizer
+from ..model.zoo import ModelConfig
+from ..retrieval.corpus import CorpusQuery, SyntheticCorpus
+from ..retrieval.hybrid import HybridRetriever
+from .llm import QWEN3_32B, LLMSpec, RemoteLLM, ServerProfile
+
+#: Tokens-per-word expansion of the synthetic corpus text.
+TOKENS_PER_WORD = 1.3
+#: Answer prompt template overhead (instructions, separators).
+PROMPT_OVERHEAD_TOKENS = 96
+#: Transient activation buffer used by the retrieval stage.
+RETRIEVAL_ACTIVATIONS_BYTES = 24 * MiB
+#: Generator answer accuracy when every needed document is in context
+#: (Figure 11a reports ≈0.82–0.83 end-task accuracy).
+BASE_ANSWER_ACCURACY = 0.86
+
+
+@dataclass
+class RagQueryResult:
+    """Per-stage outcome of one assistant query."""
+
+    query_id: int
+    sparse_seconds: float
+    dense_seconds: float
+    rerank_seconds: float
+    first_token_seconds: float
+    precision: float
+    pool_recall: float
+    pool_size: int
+    selected_doc_ids: list[int]
+    needed_coverage: float = 1.0
+    answer_correct: bool = True
+
+    @property
+    def total_seconds(self) -> float:
+        return (
+            self.sparse_seconds
+            + self.dense_seconds
+            + self.rerank_seconds
+            + self.first_token_seconds
+        )
+
+
+@dataclass
+class RagRunResult:
+    """Aggregated outcome of a pipeline run (one system, many queries)."""
+
+    system: str
+    platform: str
+    model: str
+    k: int
+    queries: list[RagQueryResult] = field(default_factory=list)
+    peak_mib: float = 0.0
+    avg_mib: float = 0.0
+    timeline: list[TimelinePoint] = field(default_factory=list)
+
+    def stage_means(self) -> dict[str, float]:
+        if not self.queries:
+            return {"sparse": 0.0, "dense": 0.0, "rerank": 0.0, "first_token": 0.0}
+        return {
+            "sparse": float(np.mean([q.sparse_seconds for q in self.queries])),
+            "dense": float(np.mean([q.dense_seconds for q in self.queries])),
+            "rerank": float(np.mean([q.rerank_seconds for q in self.queries])),
+            "first_token": float(np.mean([q.first_token_seconds for q in self.queries])),
+        }
+
+    @property
+    def mean_latency(self) -> float:
+        return float(np.mean([q.total_seconds for q in self.queries])) if self.queries else 0.0
+
+    @property
+    def mean_precision(self) -> float:
+        return float(np.mean([q.precision for q in self.queries])) if self.queries else 0.0
+
+    @property
+    def accuracy(self) -> float:
+        """End-task answer accuracy (the metric of Figure 11a)."""
+        return float(np.mean([q.answer_correct for q in self.queries])) if self.queries else 0.0
+
+    @property
+    def rerank_share(self) -> float:
+        """Fraction of end-to-end latency spent reranking (Figure 1)."""
+        total = self.mean_latency
+        if total == 0.0:
+            return 0.0
+        return self.stage_means()["rerank"] / total
+
+
+class RagPipeline:
+    """The assistant pipeline bound to one engine and one platform."""
+
+    def __init__(
+        self,
+        corpus: SyntheticCorpus,
+        model_config: ModelConfig,
+        platform: str,
+        system: str = "prism",
+        k: int = 10,
+        per_arm: int = 10,
+        threshold: float | None = None,
+        index_kind: str = "flat",
+        generator: LLMSpec = QWEN3_32B,
+        server: ServerProfile | None = None,
+        answer_tokens: int = 1,
+    ) -> None:
+        if k <= 0:
+            raise ValueError("k must be positive")
+        self.corpus = corpus
+        self.system = system
+        self.platform = platform
+        self.k = k
+        self.model_config = model_config
+        self.answer_tokens = answer_tokens
+
+        self.device = get_profile(platform).create()
+        self.retriever = HybridRetriever(corpus, index_kind=index_kind, per_arm=per_arm)
+        self.model = shared_model(model_config)
+        self.tokenizer = shared_tokenizer(model_config)
+        self.engine = create_engine(
+            system, self.model, self.device, threshold=threshold, numerics=False
+        )
+        self.engine.prepare()
+        self.generator = RemoteLLM(generator, self.engine.executor, server=server)
+
+        # Index residency (built offline; resident at query time).
+        memory = self.device.memory
+        memory.alloc("rag/bm25-index", self.retriever.bm25.index_bytes(), CATEGORY_OTHER)
+        memory.alloc("rag/vector-index", self.retriever.vector_index.memory_bytes(), CATEGORY_OTHER)
+        self._request_start = self.device.clock.now
+
+    # ------------------------------------------------------------------
+    def answer(self, query: CorpusQuery) -> RagQueryResult:
+        """Run one query end to end; returns the stage breakdown."""
+        executor = self.engine.executor
+        clock = self.device.clock
+        memory = self.device.memory
+
+        # --- hybrid retrieval ------------------------------------------
+        pool = self.retriever.retrieve(query)
+        memory.alloc("rag/retrieval-activations", RETRIEVAL_ACTIVATIONS_BYTES, CATEGORY_OTHER)
+        t0 = clock.now
+        clock.advance(pool.sparse_seconds)
+        t_sparse = clock.now
+        # Query embedding prefill runs on device (weights mmap'd).
+        query_tokens = max(1, int(len(query.words) * TOKENS_PER_WORD))
+        executor.compute(self.retriever.encoder.embed_cost_flops(query_tokens))
+        clock.advance(pool.dense_seconds)
+        t_dense = clock.now
+        memory.free("rag/retrieval-activations")
+
+        # --- reranking ---------------------------------------------------
+        batch = self.retriever.build_batch(pool, self.tokenizer, self.model_config.max_seq_len)
+        k = min(self.k, pool.size)
+        result = self.engine.rerank(batch, k)
+        t_rerank = clock.now
+
+        # --- generation (remote first token) ----------------------------
+        selected = [pool.doc_ids[int(i)] for i in result.top_indices]
+        doc_tokens = sum(
+            int(len(self.corpus.document(d).words) * TOKENS_PER_WORD) for d in selected
+        )
+        prompt_tokens = PROMPT_OVERHEAD_TOKENS + query_tokens + doc_tokens
+        self.generator.generate(prompt_tokens, self.answer_tokens)
+        t_first = clock.now
+
+        precision = precision_at_k(result.top_indices, pool.labels(), k)
+        # Answer accuracy: the generator succeeds with probability
+        # proportional to how many of the needed documents made it into
+        # the prompt (deterministic per-query draw, shared by systems).
+        if query.needed:
+            coverage = len(set(selected) & set(query.needed)) / len(query.needed)
+        else:
+            coverage = 1.0
+        p_correct = BASE_ANSWER_ACCURACY * coverage
+        draw_rng = np.random.default_rng(np.random.SeedSequence([0xA115, query.query_id, 14]))
+        answer_correct = bool(draw_rng.random() < p_correct)
+        return RagQueryResult(
+            query_id=query.query_id,
+            sparse_seconds=t_sparse - t0,
+            dense_seconds=t_dense - t_sparse,
+            rerank_seconds=t_rerank - t_dense,
+            first_token_seconds=t_first - t_rerank,
+            precision=precision,
+            pool_recall=pool.recall(),
+            pool_size=pool.size,
+            selected_doc_ids=selected,
+            needed_coverage=coverage,
+            answer_correct=answer_correct,
+        )
+
+    # ------------------------------------------------------------------
+    def run(self, queries: list[CorpusQuery], keep_timeline: bool = False) -> RagRunResult:
+        """Run a query workload and collect the aggregate result."""
+        if not queries:
+            raise ValueError("queries must be non-empty")
+        out = RagRunResult(
+            system=self.system,
+            platform=self.platform,
+            model=self.model_config.name,
+            k=self.k,
+        )
+        for query in queries:
+            out.queries.append(self.answer(query))
+        stats = self.device.memory.stats()
+        out.peak_mib = stats.peak_bytes / MiB
+        out.avg_mib = stats.avg_bytes / MiB
+        if keep_timeline:
+            out.timeline = [
+                TimelinePoint(p.time - self._request_start, p.in_use)
+                for p in self.device.memory.timeline()
+                if p.time >= self._request_start
+            ]
+        return out

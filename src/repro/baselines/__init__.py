@@ -1,0 +1,22 @@
+"""Comparison systems: HF, HF Offload, HF Quant, PRISM Quant (§6.1)."""
+
+from .hf import DEFAULT_BATCH_SIZE, HFEngine
+from .hf_offload import HFOffloadEngine
+from .quant import (
+    HFOffloadQuantEngine,
+    HFQuantEngine,
+    QuantizedTensor,
+    QuantizedWeights,
+    prism_quant_engine,
+)
+
+__all__ = [
+    "DEFAULT_BATCH_SIZE",
+    "HFEngine",
+    "HFOffloadEngine",
+    "HFOffloadQuantEngine",
+    "HFQuantEngine",
+    "QuantizedTensor",
+    "QuantizedWeights",
+    "prism_quant_engine",
+]

@@ -1,0 +1,115 @@
+"""W4A16 quantization (GPTQ-style) and the quantized engine variants.
+
+The paper evaluates post-training quantization both as a baseline
+("HF Quant": vanilla HF over W4A16 weights) and composed with PRISM
+("PRISM Quant"), showing the techniques are orthogonal (§6.2, §7).
+
+Modelled effects (see :mod:`repro.device.compute` and
+:mod:`repro.model.costs`):
+
+* linear-layer weights shrink to 4-bit payloads plus per-group scale
+  overhead (≈4× smaller resident/transferred bytes);
+* embedding rows stay fp16 (standard GPTQ practice);
+* prefill compute picks up a dequantization overhead on edge devices
+  that lack INT4 matmul paths — so HF Quant is slightly *slower* than
+  in-memory HF while far smaller, matching Figure 8/9.
+
+:class:`QuantizedWeights` also provides real numpy per-channel 4-bit
+quantize/dequantize used by tests to confirm the numerics error stays
+small (the precision deltas in Table 3's quant rows are tiny).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..device.platforms import Device
+from ..model.transformer import CrossEncoderModel
+from ..core.config import PrismConfig
+from ..core.engine import PrismEngine
+from .hf import DEFAULT_BATCH_SIZE, HFEngine
+from .hf_offload import HFOffloadEngine
+
+
+@dataclass
+class QuantizedTensor:
+    """A per-channel 4-bit quantized matrix with fp scales."""
+
+    qweight: np.ndarray  # int8 storage of 4-bit codes, same shape as original
+    scales: np.ndarray  # per-output-channel scale
+    zeros: np.ndarray  # per-output-channel zero point (in code space)
+
+    def dequantize(self) -> np.ndarray:
+        return (self.qweight.astype(np.float64) - self.zeros) * self.scales
+
+
+class QuantizedWeights:
+    """Per-channel symmetric-range 4-bit quantizer (GPTQ-like RTN)."""
+
+    LEVELS = 16
+
+    @classmethod
+    def quantize(cls, weight: np.ndarray) -> QuantizedTensor:
+        """Quantize a 2-D matrix per output channel (last axis)."""
+        if weight.ndim != 2:
+            raise ValueError("expected a 2-D weight matrix")
+        w_min = weight.min(axis=0, keepdims=True)
+        w_max = weight.max(axis=0, keepdims=True)
+        span = np.maximum(w_max - w_min, 1e-12)
+        scales = span / (cls.LEVELS - 1)
+        zeros = np.round(-w_min / scales)
+        codes = np.clip(np.round(weight / scales + zeros), 0, cls.LEVELS - 1)
+        return QuantizedTensor(
+            qweight=codes.astype(np.int8), scales=scales, zeros=zeros
+        )
+
+    @classmethod
+    def roundtrip_error(cls, weight: np.ndarray) -> float:
+        """Max absolute quantize→dequantize error (tests bound this)."""
+        deq = cls.quantize(weight).dequantize()
+        return float(np.abs(deq - weight).max())
+
+
+class HFQuantEngine(HFEngine):
+    """HF baseline over W4A16 weights (the paper's "HF Quant")."""
+
+    name = "hf_quant"
+
+    def __init__(
+        self,
+        model: CrossEncoderModel,
+        device: Device,
+        batch_size: int = DEFAULT_BATCH_SIZE,
+        numerics: bool = True,
+    ) -> None:
+        super().__init__(model, device, batch_size=batch_size, quantized=True, numerics=numerics)
+
+
+class HFOffloadQuantEngine(HFOffloadEngine):
+    """HF Offload over W4A16 weights (used in sensitivity studies)."""
+
+    name = "hf_offload_quant"
+
+    def __init__(
+        self,
+        model: CrossEncoderModel,
+        device: Device,
+        batch_size: int = DEFAULT_BATCH_SIZE,
+        numerics: bool = True,
+    ) -> None:
+        super().__init__(model, device, batch_size=batch_size, quantized=True, numerics=numerics)
+
+
+def prism_quant_engine(
+    model: CrossEncoderModel, device: Device, config: PrismConfig | None = None
+) -> PrismEngine:
+    """Build the paper's "PRISM Quant": all PRISM techniques over W4A16."""
+    if config is None:
+        config = PrismConfig.quant()
+    elif not config.quantized:
+        raise ValueError("PRISM Quant requires a quantized PrismConfig")
+    engine = PrismEngine(model, device, config)
+    engine.name = "prism_quant"
+    return engine

@@ -1,0 +1,60 @@
+"""PRISM core: monolithic forwarding and the four §4 techniques."""
+
+from .calibration import CalibrationResult, CalibrationStep, ThresholdCalibrator
+from .chunking import (
+    HiddenPlan,
+    HiddenStateRing,
+    choose_chunk_size,
+    iter_chunks,
+    plan_hidden_states,
+)
+from .clustering import Clustering, cluster_scores, kmeans_1d
+from .config import PrismConfig
+from .embedding_cache import CacheLookup, EmbeddingCache
+from .engine import EngineBase, PrismEngine, PruneEvent, RerankResult
+from .metrics import cluster_gamma, goodman_kruskal_gamma, precision_at_k, top_k_overlap
+from .pruning import ProgressiveClusterPruner, PruneDecision, coefficient_of_variation
+from .streaming import LayerStreamer
+
+__all__ = [
+    "CacheLookup",
+    "CalibrationResult",
+    "CalibrationStep",
+    "Clustering",
+    "EmbeddingCache",
+    "EngineBase",
+    "HiddenPlan",
+    "HiddenStateRing",
+    "LayerStreamer",
+    "PrismConfig",
+    "PrismEngine",
+    "ProgressiveClusterPruner",
+    "PruneDecision",
+    "PruneEvent",
+    "RerankResult",
+    "ThresholdCalibrator",
+    "choose_chunk_size",
+    "cluster_gamma",
+    "cluster_scores",
+    "coefficient_of_variation",
+    "goodman_kruskal_gamma",
+    "iter_chunks",
+    "kmeans_1d",
+    "plan_hidden_states",
+    "precision_at_k",
+    "top_k_overlap",
+]
+
+from .service import (  # noqa: E402  (appended export)
+    MaintenanceReport,
+    SampledRequest,
+    SemanticSelectionService,
+    ServiceStats,
+)
+
+__all__ += [
+    "MaintenanceReport",
+    "SampledRequest",
+    "SemanticSelectionService",
+    "ServiceStats",
+]

@@ -1,0 +1,147 @@
+"""Embedding table caching (§4.4).
+
+The full embedding table dominates memory once layers are streamed
+(296 MB vs. 60 MB of active layers for Qwen3-Reranker-0.6B), but its
+activation is extremely sparse — a 20-document request touches ≤6.75 %
+of the vocabulary, and natural-language token usage is Zipf-skewed.
+PRISM therefore keeps a small in-memory LRU cache of embedding *rows*
+(10 % of the vocabulary by default); misses trigger a synchronous read
+of just the missing rows from disk.
+
+``EmbeddingCache`` tracks residency by token id with an ordered dict
+(LRU order), charges the fixed cache slab to the memory tracker once,
+and reports per-request hit statistics for the ablation study.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..device.executor import DeviceExecutor
+from ..device.memory import CATEGORY_EMBEDDING
+
+
+@dataclass
+class CacheLookup:
+    """Result of resolving one request's unique tokens."""
+
+    unique_tokens: int
+    hits: int
+    misses: int
+    miss_bytes: int
+    io_seconds: float
+
+    @property
+    def hit_rate(self) -> float:
+        if self.unique_tokens == 0:
+            return 1.0
+        return self.hits / self.unique_tokens
+
+
+class EmbeddingCache:
+    """Fixed-capacity LRU cache over embedding-table rows."""
+
+    def __init__(
+        self,
+        capacity_rows: int,
+        row_nbytes: int,
+        executor: DeviceExecutor,
+        tag: str = "embedding-cache",
+    ) -> None:
+        if capacity_rows <= 0:
+            raise ValueError("capacity_rows must be positive")
+        if row_nbytes <= 0:
+            raise ValueError("row_nbytes must be positive")
+        self.capacity_rows = capacity_rows
+        self.row_nbytes = row_nbytes
+        self.executor = executor
+        self.tag = tag
+        self._resident: OrderedDict[int, None] = OrderedDict()
+        self._allocated = False
+        self.total_hits = 0
+        self.total_misses = 0
+        self.total_evictions = 0
+
+    # ------------------------------------------------------------------
+    def allocate(self) -> None:
+        """Charge the cache slab to the memory tracker (once, at prepare)."""
+        if self._allocated:
+            return
+        self.executor.device.memory.alloc(
+            self.tag, self.capacity_rows * self.row_nbytes, CATEGORY_EMBEDDING
+        )
+        self._allocated = True
+
+    def release(self) -> None:
+        if self._allocated:
+            self.executor.device.memory.free(self.tag)
+            self._allocated = False
+            self._resident.clear()
+
+    # ------------------------------------------------------------------
+    def lookup(self, token_ids: np.ndarray) -> CacheLookup:
+        """Resolve a request's tokens; read missing rows synchronously.
+
+        Misses are batched into a single disk request (the rows are
+        gathered in one pass), which together with the small activated
+        volume keeps the latency negligible — the ablation in §6.4
+        reports ~4 ms.
+        """
+        if not self._allocated:
+            raise RuntimeError("EmbeddingCache.lookup before allocate()")
+        unique = np.unique(np.asarray(token_ids).ravel())
+        hits = misses = 0
+        missing: list[int] = []
+        for token in unique.tolist():
+            if token in self._resident:
+                self._resident.move_to_end(token)
+                hits += 1
+            else:
+                misses += 1
+                missing.append(token)
+
+        io_seconds = 0.0
+        miss_bytes = len(missing) * self.row_nbytes
+        if missing:
+            before = self.executor.now
+            self.executor.read_blocking(f"{self.tag}/miss", miss_bytes)
+            io_seconds = self.executor.now - before
+            for token in missing:
+                self._admit(token)
+
+        self.total_hits += hits
+        self.total_misses += misses
+        return CacheLookup(
+            unique_tokens=int(unique.size),
+            hits=hits,
+            misses=misses,
+            miss_bytes=miss_bytes,
+            io_seconds=io_seconds,
+        )
+
+    def _admit(self, token: int) -> None:
+        if token in self._resident:
+            self._resident.move_to_end(token)
+            return
+        while len(self._resident) >= self.capacity_rows:
+            self._resident.popitem(last=False)
+            self.total_evictions += 1
+        self._resident[token] = None
+
+    # ------------------------------------------------------------------
+    @property
+    def resident_rows(self) -> int:
+        return len(self._resident)
+
+    def is_resident(self, token: int) -> bool:
+        return token in self._resident
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.total_hits + self.total_misses
+        if total == 0:
+            return 1.0
+        return self.total_hits / total

@@ -1,0 +1,398 @@
+"""Engines: the execution policies under evaluation.
+
+:class:`EngineBase` carries everything shared between PRISM and the
+HF-style baselines — cost charging for embedding/layers/classifier and
+the result schema.  :class:`PrismEngine` implements monolithic
+forwarding (§3.3) with the four techniques of §4 behind the flags of
+:class:`~repro.core.config.PrismConfig`.
+
+An engine runs against one simulated :class:`~repro.device.platforms.Device`.
+``prepare()`` performs one-time setup (loading resident weights) and is
+timed separately from per-request ``rerank()`` latency, matching how
+the paper measures steady-state inference.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..device.executor import DeviceExecutor
+from ..device.memory import (
+    CATEGORY_EMBEDDING,
+    CATEGORY_HIDDEN,
+    CATEGORY_INTERMEDIATE,
+    CATEGORY_OTHER,
+    CATEGORY_WEIGHTS,
+    MiB,
+)
+from ..device.platforms import Device
+from ..model import costs
+from ..model.transformer import CandidateBatch, CrossEncoderModel, ForwardState
+from ..model.weights import WeightStore
+from .chunking import HiddenStateRing, choose_chunk_size, iter_chunks, plan_hidden_states
+from .config import PrismConfig
+from .embedding_cache import EmbeddingCache
+from .pruning import ProgressiveClusterPruner, PruneDecision
+from .streaming import LayerStreamer
+
+
+@dataclass
+class PruneEvent:
+    """One pruning action recorded by the engine."""
+
+    layer: int
+    cv: float
+    num_selected: int
+    num_dropped: int
+    num_deferred: int
+    terminal: bool
+
+
+@dataclass
+class RerankResult:
+    """Outcome of one reranking request."""
+
+    top_indices: np.ndarray  # pool indices, best-first
+    top_scores: np.ndarray  # scores at selection time
+    latency_seconds: float
+    layers_executed: int
+    candidate_layers: int  # Σ over layers of active-candidate count
+    io_stall_seconds: float
+    prune_events: list[PruneEvent] = field(default_factory=list)
+    chunk_size: int | None = None
+    terminated_early: bool = False
+
+    @property
+    def k(self) -> int:
+        return int(self.top_indices.size)
+
+
+class EngineBase:
+    """Shared plumbing for all engines."""
+
+    name = "base"
+
+    #: Fixed runtime overhead every engine pays on a real device (CUDA /
+    #: Metal context, framework allocator pools, tokenizer tables).
+    RUNTIME_BASE_BYTES = 96 * MiB
+
+    def __init__(self, model: CrossEncoderModel, device: Device, quantized: bool = False) -> None:
+        self.model = model
+        self.device = device
+        self.quantized = quantized
+        self.executor = DeviceExecutor(device)
+        self.store = (
+            model.store
+            if model.store.quantized == quantized
+            else WeightStore(model.config, quantized=quantized)
+        )
+        self._prepared = False
+        self.prepare_seconds = 0.0
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def prepare(self) -> None:
+        """One-time setup (resident weights etc.); idempotent."""
+        if self._prepared:
+            return
+        start = self.executor.now
+        self.device.memory.alloc(
+            f"runtime-base/{self.name}", self.RUNTIME_BASE_BYTES, CATEGORY_OTHER
+        )
+        self._prepare_impl()
+        self.prepare_seconds = self.executor.now - start
+        self._prepared = True
+
+    def rerank(self, batch: CandidateBatch, k: int) -> RerankResult:
+        if not self._prepared:
+            raise RuntimeError(f"{self.name}: rerank() before prepare()")
+        if k <= 0:
+            raise ValueError("k must be positive")
+        return self._rerank_impl(batch, min(k, batch.size))
+
+    def _prepare_impl(self) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def _rerank_impl(self, batch: CandidateBatch, k: int) -> RerankResult:  # pragma: no cover
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # cost charging (identical across engines; policies differ upstream)
+    # ------------------------------------------------------------------
+    def _effective_seq_len(self, batch: CandidateBatch) -> int:
+        return int(max(1, round(float(batch.lengths.mean()))))
+
+    def _charge_embedding(self, num_candidates: int, seq_len: int) -> None:
+        cfg = self.model.config
+        flops = num_candidates * costs.embedding_flops_per_candidate(cfg, seq_len)
+        bytes_moved = num_candidates * seq_len * costs.embedding_row_bytes(cfg)
+        self.executor.compute(flops, bytes_moved)
+
+    def _charge_layer_chunk(self, num_candidates: int, seq_len: int) -> None:
+        cfg = self.model.config
+        flops = num_candidates * costs.layer_flops_per_candidate(cfg, seq_len)
+        bytes_moved = costs.layer_weight_bytes(cfg, self.quantized)
+        bytes_moved += num_candidates * costs.intermediate_bytes_per_candidate(cfg, seq_len)
+        self.executor.compute(flops, bytes_moved, quantized=self.quantized)
+
+    def _charge_classifier(self, num_candidates: int) -> None:
+        flops = num_candidates * costs.classifier_flops_per_candidate(self.model.config)
+        self.executor.compute(flops)
+
+    # ------------------------------------------------------------------
+    # numerics helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _subset_state(state: ForwardState, positions: np.ndarray) -> ForwardState:
+        sub = ForwardState(batch=state.batch.select(positions), layer_done=state.layer_done)
+        if state.hidden is not None:
+            assert state.sim_lengths is not None
+            sub.hidden = state.hidden[positions]
+            sub.sim_lengths = state.sim_lengths[positions]
+        return sub
+
+
+class PrismEngine(EngineBase):
+    """Monolithic forwarding with progressive cluster pruning, overlapped
+    layer streaming, chunked execution and embedding table caching."""
+
+    name = "prism"
+
+    def __init__(
+        self,
+        model: CrossEncoderModel,
+        device: Device,
+        config: PrismConfig | None = None,
+    ) -> None:
+        self.config = config or PrismConfig()
+        super().__init__(model, device, quantized=self.config.quantized)
+        self.pruner = ProgressiveClusterPruner(
+            dispersion_threshold=self.config.dispersion_threshold,
+            max_clusters=self.config.max_clusters,
+            exact_rank_mode=self.config.exact_rank_mode,
+        )
+        self.streamer: LayerStreamer | None = None
+        self.embedding_cache: EmbeddingCache | None = None
+
+    # ------------------------------------------------------------------
+    def _prepare_impl(self) -> None:
+        cfg = self.model.config
+        memory = self.device.memory
+        memory.alloc("classifier", self.store.classifier_nbytes(), CATEGORY_WEIGHTS)
+
+        if self.config.embedding_cache:
+            capacity = max(1, int(cfg.vocab_size * self.config.embedding_cache_fraction))
+            self.embedding_cache = EmbeddingCache(
+                capacity_rows=capacity,
+                row_nbytes=self.store.embedding_row_nbytes(),
+                executor=self.executor,
+            )
+            self.embedding_cache.allocate()
+        else:
+            nbytes = self.store.embedding_nbytes()
+            self.executor.read_blocking("load/embedding", nbytes)
+            memory.alloc("embedding-table", nbytes, CATEGORY_EMBEDDING)
+
+        if self.config.layer_streaming:
+            self.streamer = LayerStreamer(self.store, self.executor)
+        else:
+            for layer in range(cfg.num_layers):
+                nbytes = self.store.layer_nbytes(layer)
+                self.executor.read_blocking(f"load/{self.store.layer_tag(layer)}", nbytes)
+                memory.alloc(self.store.layer_tag(layer), nbytes, CATEGORY_WEIGHTS)
+
+    # ------------------------------------------------------------------
+    def _rerank_impl(self, batch: CandidateBatch, k: int) -> RerankResult:
+        cfg = self.model.config
+        prism_cfg = self.config
+        executor = self.executor
+        memory = self.device.memory
+        seq_len = self._effective_seq_len(batch)
+        t0, stall0 = executor.now, executor.io_stall_seconds
+
+        if self.streamer is not None:
+            self.streamer.begin_pass()
+
+        # ---------------- embedding stage ------------------------------
+        if self.embedding_cache is not None:
+            self.embedding_cache.lookup(batch.tokens)
+        self._charge_embedding(batch.size, seq_len)
+        state = self.model.embed(batch, numerics=prism_cfg.numerics)
+
+        # ---------------- residency plan -------------------------------
+        if prism_cfg.chunked_execution:
+            chunk_size = choose_chunk_size(
+                cfg,
+                self.device.profile,
+                seq_len,
+                batch.size,
+                prism_cfg.chunk_memory_budget,
+                prism_cfg.min_chunk_compute_window,
+            )
+        else:
+            chunk_size = batch.size
+        hidden_plan = plan_hidden_states(
+            cfg,
+            seq_len,
+            batch.size,
+            chunk_size,
+            prism_cfg.hidden_offload if prism_cfg.chunked_execution else "off",
+            prism_cfg.hidden_memory_budget,
+        )
+        ring: HiddenStateRing | None = None
+        if hidden_plan.offload:
+            ring = HiddenStateRing(executor, hidden_plan, batch.size)
+            ring.allocate()
+        else:
+            memory.alloc(
+                "hidden", batch.size * hidden_plan.per_candidate_bytes, CATEGORY_HIDDEN
+            )
+
+        # ---------------- monolithic layer loop ------------------------
+        active = np.arange(batch.size)
+        selected_idx: list[int] = []
+        selected_scores: list[float] = []
+        prune_events: list[PruneEvent] = []
+        layers_executed = 0
+        candidate_layers = 0
+        terminated_early = False
+
+        for layer in range(cfg.num_layers):
+            slots = k - len(selected_idx)
+            if (
+                prism_cfg.pruning_enabled
+                and layer >= max(1, prism_cfg.min_layers_before_pruning)
+                and slots > 0
+                and active.size > 0
+            ):
+                decision = self._pruning_check(state, active, slots)
+                if decision.triggered:
+                    active, state = self._apply_decision(
+                        decision,
+                        state,
+                        active,
+                        batch,
+                        selected_idx,
+                        selected_scores,
+                        hidden_plan,
+                        ring,
+                    )
+                    prune_events.append(
+                        PruneEvent(
+                            layer=layer,
+                            cv=decision.cv,
+                            num_selected=int(decision.selected.size),
+                            num_dropped=int(decision.dropped.size),
+                            num_deferred=int(active.size),
+                            terminal=decision.terminal,
+                        )
+                    )
+                    if decision.terminal or len(selected_idx) >= k:
+                        terminated_early = True
+                        break
+
+            if active.size == 0:
+                terminated_early = True
+                break
+
+            if self.streamer is not None:
+                self.streamer.acquire(layer)
+
+            if ring is not None:
+                ring.begin_layer(layer)
+            for chunk_no, chunk in enumerate(iter_chunks(int(active.size), chunk_size)):
+                if ring is not None:
+                    ring.acquire(layer, chunk_no)
+                inter_bytes = chunk.size * costs.intermediate_bytes_per_candidate(cfg, seq_len)
+                memory.alloc("chunk-intermediates", inter_bytes, CATEGORY_INTERMEDIATE)
+                self._charge_layer_chunk(chunk.size, seq_len)
+                memory.free("chunk-intermediates")
+                if ring is not None:
+                    ring.release(layer, chunk_no)
+
+            self.model.forward_layer(state, layer)
+            if self.streamer is not None:
+                self.streamer.advance(layer)
+            layers_executed += 1
+            candidate_layers += int(active.size)
+
+        # ---------------- finalisation ---------------------------------
+        slots = k - len(selected_idx)
+        if slots > 0 and active.size > 0:
+            self._charge_classifier(int(active.size))
+            scores = self.model.score(state)
+            order = np.argsort(-scores)[:slots]
+            selected_idx.extend(int(active[i]) for i in order)
+            selected_scores.extend(float(scores[i]) for i in order)
+
+        if ring is not None:
+            ring.release_all()
+        else:
+            memory.free("hidden")
+        if self.streamer is not None:
+            self.streamer.finish_pass()
+        self.device.ssd.drain()
+
+        return RerankResult(
+            top_indices=np.array(selected_idx[:k], dtype=np.int64),
+            top_scores=np.array(selected_scores[:k]),
+            latency_seconds=executor.now - t0,
+            layers_executed=layers_executed,
+            candidate_layers=candidate_layers,
+            io_stall_seconds=executor.io_stall_seconds - stall0,
+            prune_events=prune_events,
+            chunk_size=chunk_size,
+            terminated_early=terminated_early,
+        )
+
+    # ------------------------------------------------------------------
+    def _pruning_check(
+        self, state: ForwardState, active: np.ndarray, slots: int
+    ) -> PruneDecision:
+        """Score the active candidates and evaluate the pruning trigger."""
+        executor = self.executor
+        executor.device.clock.advance(self.config.cv_check_latency)
+        self._charge_classifier(int(active.size))
+        scores = self.model.score(state)
+        decision = self.pruner.decide(scores, slots)
+        if decision.clustering is not None:
+            executor.device.clock.advance(self.config.clustering_latency)
+        return decision
+
+    def _apply_decision(
+        self,
+        decision: PruneDecision,
+        state: ForwardState,
+        active: np.ndarray,
+        batch: CandidateBatch,
+        selected_idx: list[int],
+        selected_scores: list[float],
+        hidden_plan,
+        ring,
+    ) -> tuple[np.ndarray, ForwardState]:
+        """Route candidates per the decision; shrink hidden residency."""
+        assert state.scores is not None
+        for pos in decision.selected:
+            selected_idx.append(int(active[pos]))
+            selected_scores.append(float(state.scores[pos]))
+        if decision.terminal:
+            for pos in decision.deferred:
+                selected_idx.append(int(active[pos]))
+                selected_scores.append(float(state.scores[pos]))
+            return np.empty(0, dtype=np.int64), state
+
+        keep = np.sort(decision.deferred)
+        new_active = active[keep]
+        new_state = self._subset_state(state, keep)
+        new_state.scores = state.scores[keep]
+        if ring is None and self.device.memory.is_live("hidden"):
+            self.device.memory.free("hidden")
+            self.device.memory.alloc(
+                "hidden",
+                int(new_active.size) * hidden_plan.per_candidate_bytes,
+                CATEGORY_HIDDEN,
+            )
+        return new_active, new_state

@@ -1,0 +1,107 @@
+"""Evaluation metrics: Precision@K and ranking-convergence statistics.
+
+* :func:`precision_at_k` follows the paper's definition (§6.1): the
+  fraction of the returned top-K that is ground-truth relevant, with
+  the denominator capped by the number of relevant items when that is
+  smaller than K.
+* :func:`goodman_kruskal_gamma` quantifies how well an intermediate
+  layer's ranking agrees with the final ranking (§3.1): concordant
+  minus discordant candidate pairs over their sum.
+* :func:`cluster_gamma` restricts γ to pairs drawn from *different*
+  clusters — the paper's direct measurement of inter-cluster ranking
+  stability (Figure 2b), which stays ≈1.0 across layers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def precision_at_k(selected: np.ndarray, labels: np.ndarray, k: int) -> float:
+    """Precision@K of a returned top-K set.
+
+    Parameters
+    ----------
+    selected:
+        Indices (into the candidate pool) returned by the engine,
+        best-first; only the first ``k`` are considered.
+    labels:
+        Boolean ground-truth relevance per pool candidate.
+    k:
+        The K of top-K.
+    """
+    if k <= 0:
+        raise ValueError("k must be positive")
+    labels = np.asarray(labels, dtype=bool)
+    selected = np.asarray(selected)[:k]
+    num_relevant = int(labels.sum())
+    if num_relevant == 0:
+        return 1.0  # no relevant items exist; any selection is vacuously fine
+    hits = int(labels[selected].sum())
+    return hits / min(k, num_relevant)
+
+
+def goodman_kruskal_gamma(intermediate: np.ndarray, final: np.ndarray) -> float:
+    """Goodman and Kruskal's γ between two score vectors.
+
+    γ = (N_c − N_d) / (N_c + N_d) over all candidate pairs, where a
+    pair is concordant when both vectors order it the same way.  Ties
+    in either vector are excluded, per the standard definition.
+    """
+    intermediate = np.asarray(intermediate, dtype=np.float64)
+    final = np.asarray(final, dtype=np.float64)
+    if intermediate.shape != final.shape:
+        raise ValueError("score vectors must have equal shape")
+    n = intermediate.size
+    if n < 2:
+        return 1.0
+    di = np.sign(intermediate[:, None] - intermediate[None, :])
+    df = np.sign(final[:, None] - final[None, :])
+    upper = np.triu_indices(n, k=1)
+    products = di[upper] * df[upper]
+    concordant = int((products > 0).sum())
+    discordant = int((products < 0).sum())
+    if concordant + discordant == 0:
+        return 1.0
+    return (concordant - discordant) / (concordant + discordant)
+
+
+def cluster_gamma(
+    intermediate: np.ndarray, final: np.ndarray, cluster_ids: np.ndarray
+) -> float:
+    """γ restricted to candidate pairs in different clusters (Figure 2b)."""
+    intermediate = np.asarray(intermediate, dtype=np.float64)
+    final = np.asarray(final, dtype=np.float64)
+    cluster_ids = np.asarray(cluster_ids)
+    if not intermediate.shape == final.shape == cluster_ids.shape:
+        raise ValueError("inputs must have equal shape")
+    n = intermediate.size
+    if n < 2:
+        return 1.0
+    concordant = discordant = 0
+    for i in range(n):
+        for j in range(i + 1, n):
+            if cluster_ids[i] == cluster_ids[j]:
+                continue
+            di = np.sign(intermediate[i] - intermediate[j])
+            df = np.sign(final[i] - final[j])
+            if di == 0 or df == 0:
+                continue
+            if di == df:
+                concordant += 1
+            else:
+                discordant += 1
+    if concordant + discordant == 0:
+        return 1.0
+    return (concordant - discordant) / (concordant + discordant)
+
+
+def top_k_overlap(selected_a: np.ndarray, selected_b: np.ndarray, k: int) -> float:
+    """Fraction of agreement between two top-K sets (order-insensitive)."""
+    if k <= 0:
+        raise ValueError("k must be positive")
+    a = set(np.asarray(selected_a)[:k].tolist())
+    b = set(np.asarray(selected_b)[:k].tolist())
+    if not a and not b:
+        return 1.0
+    return len(a & b) / max(len(a), len(b))

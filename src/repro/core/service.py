@@ -1,0 +1,198 @@
+"""Online serving with self-calibrating threshold (§4.1, deployed mode).
+
+The paper's production story for the dispersion threshold: the user
+states a minimum precision target; the system *samples requests at a
+frequency and logs their top-K results; when the device is idle, it
+re-executes full inference (without pruning) to obtain the ground
+truth*, compares, and walks the threshold — up when sampled precision
+falls below the target, down when there is headroom.
+
+:class:`SemanticSelectionService` implements that loop around a live
+:class:`~repro.core.engine.PrismEngine`:
+
+* :meth:`select` serves requests at the current threshold, logging a
+  deterministic ``sample_rate`` fraction of them;
+* :meth:`idle_maintenance` models the device-idle background pass — it
+  replays the logged requests unpruned on a *shadow* device (so the
+  serving clock and memory are untouched), measures top-K agreement,
+  and applies one §4.1 threshold step.
+
+The controller is deliberately incremental (one step per idle pass),
+matching the paper's description, rather than re-running the full
+offline search of :class:`~repro.core.calibration.ThresholdCalibrator`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from ..device.platforms import Device, DeviceProfile
+from ..model.transformer import CandidateBatch, CrossEncoderModel
+from .config import PrismConfig
+from .engine import PrismEngine, RerankResult
+from .metrics import top_k_overlap
+
+
+@dataclass
+class SampledRequest:
+    """One logged request awaiting ground-truth comparison."""
+
+    batch: CandidateBatch
+    k: int
+    served_top: np.ndarray
+
+
+@dataclass
+class MaintenanceReport:
+    """Outcome of one idle-time calibration pass."""
+
+    samples_checked: int
+    sampled_precision: float
+    old_threshold: float
+    new_threshold: float
+
+    @property
+    def adjusted(self) -> bool:
+        return self.new_threshold != self.old_threshold
+
+
+@dataclass
+class ServiceStats:
+    requests_served: int = 0
+    requests_sampled: int = 0
+    maintenance_passes: int = 0
+    history: list[MaintenanceReport] = field(default_factory=list)
+
+
+class SemanticSelectionService:
+    """A self-calibrating top-K selection service over one device.
+
+    Parameters
+    ----------
+    model / profile:
+        Reranker and platform.  The serving engine runs on a device
+        created from ``profile``; ground-truth re-execution happens on
+        shadow devices so it never appears in serving latency — the
+        paper's "when the device is idle" semantics.
+    precision_target:
+        Minimum acceptable agreement between served and unpruned top-K.
+    sample_rate:
+        Fraction of requests logged for idle-time checking
+        (deterministic stride, so behaviour is reproducible).
+    step:
+        Threshold increment per idle pass.
+    min_threshold / max_threshold:
+        Clamp range for the walk.
+    """
+
+    def __init__(
+        self,
+        model: CrossEncoderModel,
+        profile: DeviceProfile,
+        config: PrismConfig | None = None,
+        precision_target: float = 0.95,
+        sample_rate: float = 0.25,
+        step: float = 0.05,
+        min_threshold: float = 0.02,
+        max_threshold: float = 1.5,
+    ) -> None:
+        if not 0 < precision_target <= 1:
+            raise ValueError("precision_target must lie in (0, 1]")
+        if not 0 < sample_rate <= 1:
+            raise ValueError("sample_rate must lie in (0, 1]")
+        if step <= 0:
+            raise ValueError("step must be positive")
+        if not 0 <= min_threshold < max_threshold:
+            raise ValueError("need 0 <= min_threshold < max_threshold")
+        self.model = model
+        self.profile = profile
+        self.config = config or PrismConfig(numerics=False)
+        self.precision_target = precision_target
+        self.sample_rate = sample_rate
+        self.step = step
+        self.min_threshold = min_threshold
+        self.max_threshold = max_threshold
+
+        self.device: Device = profile.create()
+        self.engine = PrismEngine(model, self.device, self.config)
+        self.engine.prepare()
+        self.stats = ServiceStats()
+        self._pending_samples: list[SampledRequest] = []
+        self._sample_accumulator = 0.0
+
+    # ------------------------------------------------------------------
+    @property
+    def threshold(self) -> float:
+        return self.engine.pruner.dispersion_threshold
+
+    def _set_threshold(self, value: float) -> None:
+        value = float(np.clip(value, self.min_threshold, self.max_threshold))
+        self.engine.pruner.dispersion_threshold = value
+        self.config = replace(self.config, dispersion_threshold=value)
+
+    # ------------------------------------------------------------------
+    # serving path
+    # ------------------------------------------------------------------
+    def select(self, batch: CandidateBatch, k: int) -> RerankResult:
+        """Serve one request; log it for idle checking per the rate."""
+        result = self.engine.rerank(batch, k)
+        self.stats.requests_served += 1
+        self._sample_accumulator += self.sample_rate
+        if self._sample_accumulator >= 1.0:
+            self._sample_accumulator -= 1.0
+            self.stats.requests_sampled += 1
+            self._pending_samples.append(
+                SampledRequest(batch=batch, k=k, served_top=result.top_indices.copy())
+            )
+        return result
+
+    # ------------------------------------------------------------------
+    # idle path
+    # ------------------------------------------------------------------
+    def _ground_truth(self, sample: SampledRequest) -> np.ndarray:
+        """Full unpruned inference on a shadow device (idle time)."""
+        shadow = self.profile.create()
+        engine = PrismEngine(
+            self.model, shadow, replace(self.config, pruning_enabled=False)
+        )
+        engine.prepare()
+        return engine.rerank(sample.batch, sample.k).top_indices
+
+    def _sampled_precision(self) -> tuple[int, float]:
+        overlaps = [
+            top_k_overlap(sample.served_top, self._ground_truth(sample), sample.k)
+            for sample in self._pending_samples
+        ]
+        return len(overlaps), float(np.mean(overlaps)) if overlaps else 1.0
+
+    def idle_maintenance(self) -> MaintenanceReport | None:
+        """Run one background calibration pass; returns its report.
+
+        No-op (returns None) when no samples are pending.  Applies one
+        §4.1 step: precision below target → raise the threshold (be
+        more conservative); at or above target → lower it (go faster).
+        """
+        if not self._pending_samples:
+            return None
+        checked, precision = self._sampled_precision()
+        old = self.threshold
+        if precision < self.precision_target:
+            self._set_threshold(old + self.step)
+        else:
+            self._set_threshold(old - self.step)
+        self._pending_samples.clear()
+        report = MaintenanceReport(
+            samples_checked=checked,
+            sampled_precision=precision,
+            old_threshold=old,
+            new_threshold=self.threshold,
+        )
+        self.stats.maintenance_passes += 1
+        self.stats.history.append(report)
+        return report
+
+    @property
+    def pending_samples(self) -> int:
+        return len(self._pending_samples)

@@ -1,0 +1,108 @@
+"""Overlapped layer streaming (§4.2).
+
+Throughout inference only two weight buffers exist: while layer *i*
+computes out of one buffer, layer *i+1* prefetches from the SSD into
+the other; when layer *i* finishes, its buffer is released and recycled
+for layer *i+2*.  The load latency hides entirely under the compute
+window whenever the window is long enough (§3.2); when pruning shrinks
+the active batch the window can fall short, and the residual wait is
+surfaced through the executor's stall accounting (the 81 ms overhead in
+Figure 16 is exactly that number).
+
+``LayerStreamer`` owns buffer lifecycle and the prefetch schedule; the
+engine calls :meth:`acquire` before computing a layer and
+:meth:`advance` after.
+"""
+
+from __future__ import annotations
+
+from ..device.executor import DeviceExecutor
+from ..device.memory import CATEGORY_WEIGHTS
+from ..model.weights import WeightStore
+
+
+class LayerStreamer:
+    """Double-buffered weight streaming over the simulated SSD."""
+
+    def __init__(
+        self,
+        store: WeightStore,
+        executor: DeviceExecutor,
+        lookahead: int = 1,
+    ) -> None:
+        if lookahead < 1:
+            raise ValueError("lookahead must be at least 1")
+        self.store = store
+        self.executor = executor
+        self.lookahead = lookahead
+        self._resident: set[int] = set()
+        self._inflight: set[int] = set()
+        self._started = False
+
+    @property
+    def num_layers(self) -> int:
+        return self.store.config.num_layers
+
+    # ------------------------------------------------------------------
+    def begin_pass(self) -> None:
+        """Kick off the pass: prefetch layer 0 (and lookahead) async.
+
+        Called at request start so the first loads overlap with the
+        embedding stage instead of serialising in front of layer 0.
+        """
+        if self._started:
+            raise RuntimeError("begin_pass called twice without finish")
+        self._started = True
+        for layer in range(min(1 + self.lookahead, self.num_layers)):
+            self._prefetch(layer)
+
+    def acquire(self, layer_idx: int) -> None:
+        """Block until ``layer_idx``'s weights are resident; keep the
+        pipeline primed by prefetching the next lookahead layer."""
+        if not self._started:
+            raise RuntimeError("acquire before begin_pass")
+        if layer_idx not in self._resident:
+            if layer_idx not in self._inflight:
+                self._prefetch(layer_idx)
+            self._wait(layer_idx)
+        nxt = layer_idx + self.lookahead
+        if nxt < self.num_layers and nxt not in self._resident and nxt not in self._inflight:
+            self._prefetch(nxt)
+
+    def advance(self, layer_idx: int) -> None:
+        """Layer finished computing: release its buffer immediately."""
+        if layer_idx in self._resident:
+            self.executor.device.memory.free(self._buffer_tag(layer_idx))
+            self._resident.discard(layer_idx)
+
+    def finish_pass(self) -> None:
+        """Tear down after the pass (early-terminated passes included)."""
+        for layer in list(self._inflight):
+            self._wait(layer)
+        for layer in list(self._resident):
+            self.advance(layer)
+        self._started = False
+
+    @property
+    def resident_layers(self) -> set[int]:
+        return set(self._resident)
+
+    # ------------------------------------------------------------------
+    def _buffer_tag(self, layer_idx: int) -> str:
+        return f"stream/{self.store.layer_tag(layer_idx)}"
+
+    def _prefetch(self, layer_idx: int) -> None:
+        nbytes = self.store.layer_nbytes(layer_idx)
+        # The destination buffer is allocated at issue time: the memory
+        # is committed as soon as the DMA starts filling it.
+        self.executor.device.memory.alloc(self._buffer_tag(layer_idx), nbytes, CATEGORY_WEIGHTS)
+        self.executor.prefetch(self._io_tag(layer_idx), nbytes)
+        self._inflight.add(layer_idx)
+
+    def _wait(self, layer_idx: int) -> None:
+        self.executor.wait_io(self._io_tag(layer_idx))
+        self._inflight.discard(layer_idx)
+        self._resident.add(layer_idx)
+
+    def _io_tag(self, layer_idx: int) -> str:
+        return f"load/{self.store.layer_tag(layer_idx)}"

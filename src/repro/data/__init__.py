@@ -1,0 +1,20 @@
+"""Workload substrate: tiered relevance, 18 dataset generators, packing."""
+
+from .datasets import ALL_DATASETS, BEIR_DATASETS, EXTRA_DATASETS, DatasetSpec, get_dataset, list_datasets
+from .relevance import RelevanceProfile, Tier
+from .workloads import CandidateSpec, RerankQuery, build_batch, make_query
+
+__all__ = [
+    "ALL_DATASETS",
+    "BEIR_DATASETS",
+    "CandidateSpec",
+    "DatasetSpec",
+    "EXTRA_DATASETS",
+    "RelevanceProfile",
+    "RerankQuery",
+    "Tier",
+    "build_batch",
+    "get_dataset",
+    "list_datasets",
+    "make_query",
+]

@@ -1,0 +1,197 @@
+"""The 18 evaluation datasets (§6.1), as synthetic generators.
+
+The paper's microbenchmarks run over 15 BEIR datasets plus LoTTE,
+Wikipedia, and CodeRAG.  Offline, we substitute per-dataset synthetic
+generators whose profiles vary along the axes that matter to PRISM:
+
+* **tier separation** — how cleanly relevant/partial/distractor bands
+  are spaced; controls when rankings stabilise and therefore how much
+  PRISM can prune (this produces the per-dataset spread of latency
+  reductions in Table 3, e.g. 10.5–53.9 %);
+* **ground-truth density** — how many relevant documents each query
+  has; shapes Precision@K levels (Wikipedia-like: P@1≈1.0, P@10≈0.73);
+* **document length** — drives per-candidate FLOPs and tensors.
+
+Profiles are loosely matched to each corpus's character (e.g. ArguAna
+has single-relevant queries; Quora duplicates are high-density; CodeRAG
+documents are long and tiers are crisp).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from .relevance import RelevanceProfile
+from .workloads import RerankQuery, make_query
+
+#: The 15 BEIR corpora the paper uses, in BEIR's canonical order.
+BEIR_DATASETS = (
+    "msmarco",
+    "trec-covid",
+    "nfcorpus",
+    "nq",
+    "hotpotqa",
+    "fiqa",
+    "arguana",
+    "webis-touche2020",
+    "cqadupstack",
+    "quora",
+    "dbpedia-entity",
+    "scidocs",
+    "fever",
+    "climate-fever",
+    "scifact",
+)
+
+EXTRA_DATASETS = ("lotte", "wikipedia", "coderag")
+
+#: All 18 evaluation datasets (§6.1).
+ALL_DATASETS = BEIR_DATASETS + EXTRA_DATASETS
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """Generator description for one dataset."""
+
+    name: str
+    profile: RelevanceProfile
+    query_length: int
+    doc_length_mean: int
+    seed: int
+
+    def queries(self, num_queries: int, num_candidates: int = 20) -> list[RerankQuery]:
+        """Generate the dataset's reranking workload deterministically."""
+        if num_queries <= 0:
+            raise ValueError("num_queries must be positive")
+        rng = np.random.default_rng(np.random.SeedSequence([0xDA7A, self.seed]))
+        out = []
+        for qid in range(num_queries):
+            labels, relevance = self.profile.draw_pool(rng, num_candidates)
+            out.append(
+                make_query(
+                    rng,
+                    query_id=qid,
+                    labels=labels,
+                    relevance=relevance,
+                    query_length=self.query_length,
+                    doc_length_mean=self.doc_length_mean,
+                )
+            )
+        return out
+
+
+_BASE = RelevanceProfile()
+
+_SPECS: dict[str, DatasetSpec] = {}
+
+
+def _register(
+    name: str,
+    seed: int,
+    separation: float = 1.0,
+    relevant_range: tuple[int, int] = (2, 12),
+    hard_relevant_rate: float = 0.22,
+    invisible_relevant_rate: float = 0.18,
+    plausible_distractor_rate: float = 0.10,
+    query_length: int = 16,
+    doc_length_mean: int = 460,
+) -> None:
+    profile = replace(
+        _BASE,
+        separation=separation,
+        relevant_range=relevant_range,
+        hard_relevant_rate=hard_relevant_rate,
+        invisible_relevant_rate=invisible_relevant_rate,
+        plausible_distractor_rate=plausible_distractor_rate,
+    )
+    _SPECS[name] = DatasetSpec(
+        name=name,
+        profile=profile,
+        query_length=query_length,
+        doc_length_mean=doc_length_mean,
+        seed=seed,
+    )
+
+
+# --- BEIR (profiles matched loosely to corpus character) ---------------
+_register("msmarco", seed=101, separation=0.85, relevant_range=(1, 4), doc_length_mean=340)
+_register("trec-covid", seed=102, separation=0.70, relevant_range=(6, 14), doc_length_mean=420)
+_register("nfcorpus", seed=103, separation=0.60, relevant_range=(3, 10), doc_length_mean=380)
+_register("nq", seed=104, separation=0.90, relevant_range=(1, 3), doc_length_mean=420)
+_register("hotpotqa", seed=105, separation=0.80, relevant_range=(2, 4), doc_length_mean=400)
+_register("fiqa", seed=106, separation=0.65, relevant_range=(2, 8), doc_length_mean=360)
+_register(
+    "arguana",
+    seed=107,
+    separation=0.64,
+    relevant_range=(1, 1),
+    hard_relevant_rate=0.35,
+    doc_length_mean=440,
+)
+_register(
+    "webis-touche2020",
+    seed=108,
+    separation=0.50,
+    relevant_range=(4, 12),
+    plausible_distractor_rate=0.22,
+    doc_length_mean=480,
+)
+_register("cqadupstack", seed=109, separation=0.70, relevant_range=(1, 5), doc_length_mean=320)
+_register("quora", seed=110, separation=0.95, relevant_range=(1, 6), doc_length_mean=120)
+_register(
+    "dbpedia-entity",
+    seed=111,
+    separation=0.65,
+    relevant_range=(5, 14),
+    plausible_distractor_rate=0.18,
+    doc_length_mean=300,
+)
+_register("scidocs", seed=112, separation=0.60, relevant_range=(3, 9), doc_length_mean=400)
+_register("fever", seed=113, separation=0.90, relevant_range=(1, 4), doc_length_mean=420)
+_register(
+    "climate-fever",
+    seed=114,
+    separation=0.60,
+    relevant_range=(2, 6),
+    plausible_distractor_rate=0.20,
+    doc_length_mean=420,
+)
+_register("scifact", seed=115, separation=0.80, relevant_range=(1, 3), doc_length_mean=440)
+
+# --- the three extra corpora -------------------------------------------
+_register("lotte", seed=116, separation=0.75, relevant_range=(2, 8), doc_length_mean=380)
+# Profile fitted against the paper's Figure 8 precision levels
+# (P@1≈0.998, P@5≈0.851, P@10≈0.730 for the unpruned baseline).
+_register(
+    "wikipedia",
+    seed=117,
+    separation=0.88,
+    relevant_range=(4, 12),
+    hard_relevant_rate=0.18,
+    invisible_relevant_rate=0.35,
+    doc_length_mean=500,
+)
+_register(
+    "coderag",
+    seed=118,
+    separation=0.92,
+    relevant_range=(1, 5),
+    hard_relevant_rate=0.15,
+    query_length=24,
+    doc_length_mean=520,
+)
+
+
+def get_dataset(name: str) -> DatasetSpec:
+    """Look up a dataset generator by name."""
+    try:
+        return _SPECS[name]
+    except KeyError:
+        known = ", ".join(sorted(_SPECS))
+        raise KeyError(f"unknown dataset {name!r}; known: {known}") from None
+
+
+def list_datasets() -> list[str]:
+    return list(ALL_DATASETS)

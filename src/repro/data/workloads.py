@@ -1,0 +1,106 @@
+"""Workload representation: reranking requests and packing.
+
+A :class:`RerankQuery` is model-agnostic — candidates are described by
+(seed, length, relevance, label) rather than concrete token ids, so the
+same workload can be packed for models with different vocabularies and
+sequence limits.  :func:`build_batch` turns one query into the
+:class:`~repro.model.transformer.CandidateBatch` an engine consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..model.transformer import CandidateBatch
+from ..text.tokenizer import Tokenizer
+
+
+@dataclass(frozen=True)
+class CandidateSpec:
+    """One candidate document of one query."""
+
+    uid: int
+    seed: int
+    length: int
+    relevance: float
+    is_relevant: bool
+
+
+@dataclass(frozen=True)
+class RerankQuery:
+    """One reranking request: a query against a candidate pool."""
+
+    query_id: int
+    seed: int
+    query_length: int
+    candidates: tuple[CandidateSpec, ...]
+
+    @property
+    def num_candidates(self) -> int:
+        return len(self.candidates)
+
+    @property
+    def num_relevant(self) -> int:
+        return sum(1 for c in self.candidates if c.is_relevant)
+
+    def relevance(self) -> np.ndarray:
+        return np.array([c.relevance for c in self.candidates])
+
+    def labels(self) -> np.ndarray:
+        return np.array([c.is_relevant for c in self.candidates], dtype=bool)
+
+    def uids(self) -> np.ndarray:
+        return np.array([c.uid for c in self.candidates], dtype=np.int64)
+
+
+def build_batch(query: RerankQuery, tokenizer: Tokenizer, max_len: int) -> CandidateBatch:
+    """Pack a query's candidates into a monolithic model batch."""
+    query_ids = tokenizer.encode_synthetic(query.seed, query.query_length)
+    docs = [tokenizer.encode_synthetic(c.seed, c.length) for c in query.candidates]
+    tokens = tokenizer.batch_pairs(query_ids, docs, max_len)
+    return CandidateBatch(
+        tokens=tokens,
+        lengths=tokenizer.attention_lengths(tokens),
+        relevance=query.relevance(),
+        uids=query.uids(),
+    )
+
+
+def make_query(
+    rng: np.random.Generator,
+    query_id: int,
+    labels: np.ndarray,
+    relevance: np.ndarray,
+    query_length: int,
+    doc_length_mean: int,
+    doc_length_jitter: int = 40,
+) -> RerankQuery:
+    """Assemble a :class:`RerankQuery` from a drawn relevance pool."""
+    if labels.shape != relevance.shape:
+        raise ValueError("labels and relevance must align")
+    candidates = []
+    for i, (label, rel) in enumerate(zip(labels, relevance)):
+        length = int(
+            np.clip(
+                rng.normal(doc_length_mean, doc_length_jitter),
+                32,
+                4 * doc_length_mean,
+            )
+        )
+        candidates.append(
+            CandidateSpec(
+                uid=int(rng.integers(0, 2**31 - 1)),
+                seed=int(rng.integers(0, 2**31 - 1)),
+                length=length,
+                relevance=float(rel),
+                is_relevant=bool(label),
+            )
+        )
+    return RerankQuery(
+        query_id=query_id,
+        seed=int(rng.integers(0, 2**31 - 1)),
+        query_length=query_length,
+        candidates=tuple(candidates),
+    )

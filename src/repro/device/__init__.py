@@ -1,0 +1,70 @@
+"""Virtual device substrate: clock, memory, SSD, compute, platforms.
+
+The paper's latency/memory claims require a native runtime and real
+edge hardware; this package substitutes a deterministic resource
+simulator (see DESIGN.md §2) that reproduces the resource arithmetic
+those claims rest on: compute windows, I/O overlap, and byte-accurate
+residency.
+"""
+
+from .clock import ClockError, VirtualClock
+from .compute import ComputeModel
+from .executor import DeviceExecutor, Span
+from .memory import (
+    CATEGORY_EMBEDDING,
+    CATEGORY_HIDDEN,
+    CATEGORY_INTERMEDIATE,
+    CATEGORY_KV,
+    CATEGORY_OTHER,
+    CATEGORY_WEIGHTS,
+    GiB,
+    MemoryStats,
+    MemoryTracker,
+    MiB,
+    OutOfMemoryError,
+    TimelinePoint,
+)
+from .platforms import (
+    APPLE_M2,
+    EDGE_PLATFORMS,
+    NVIDIA_5070,
+    NVIDIA_A800,
+    Device,
+    DeviceProfile,
+    get_profile,
+    list_profiles,
+    register_profile,
+)
+from .ssd import IORequest, SSDDevice, SSDModel
+
+__all__ = [
+    "APPLE_M2",
+    "CATEGORY_EMBEDDING",
+    "CATEGORY_HIDDEN",
+    "CATEGORY_INTERMEDIATE",
+    "CATEGORY_KV",
+    "CATEGORY_OTHER",
+    "CATEGORY_WEIGHTS",
+    "ClockError",
+    "ComputeModel",
+    "Device",
+    "DeviceExecutor",
+    "DeviceProfile",
+    "EDGE_PLATFORMS",
+    "GiB",
+    "IORequest",
+    "MemoryStats",
+    "MemoryTracker",
+    "MiB",
+    "NVIDIA_5070",
+    "NVIDIA_A800",
+    "OutOfMemoryError",
+    "SSDDevice",
+    "SSDModel",
+    "Span",
+    "TimelinePoint",
+    "VirtualClock",
+    "get_profile",
+    "list_profiles",
+    "register_profile",
+]

@@ -1,0 +1,71 @@
+"""Compute cost model: FLOPs and bytes → simulated seconds.
+
+Cross-encoder reranking is a prefill-only workload (§2.3): latency is
+dominated by dense matrix multiplies, so a roofline-style model — the
+maximum of compute time and memory-traffic time — captures its
+behaviour.  Each kernel invocation is described by its floating point
+operations and the bytes it must move; the device profile supplies the
+achievable throughput for each.
+
+Quantized (W4A16) execution is modelled per the paper's observations
+(§2.3 "Post-training Quantization", Figure 8): weights shrink 4×, which
+helps loads and memory, but prefill is compute-bound and edge devices
+lack fast INT4 matmul paths, so the quant engines carry a configurable
+compute *overhead* factor (dequantization work), making HF-Quant
+slightly slower than in-memory HF while using far less weight memory —
+exactly the trade-off Figure 8/9 shows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ComputeModel:
+    """Roofline cost model for one device.
+
+    Parameters
+    ----------
+    flops_per_second:
+        Achievable dense fp16 throughput (already derated from the
+        marketing peak; the profiles in :mod:`repro.device.platforms`
+        are calibrated against the paper's absolute latencies).
+    mem_bandwidth:
+        DRAM/VRAM bandwidth in bytes/second, used for the memory-bound
+        side of the roofline.
+    kernel_overhead:
+        Fixed per-kernel launch overhead in seconds.
+    quant_compute_overhead:
+        Multiplier applied to compute time when executing W4A16
+        kernels (dequantization cost on hardware without INT4 paths).
+    """
+
+    flops_per_second: float
+    mem_bandwidth: float
+    kernel_overhead: float = 5e-6
+    quant_compute_overhead: float = 1.12
+
+    def __post_init__(self) -> None:
+        if self.flops_per_second <= 0:
+            raise ValueError("flops_per_second must be positive")
+        if self.mem_bandwidth <= 0:
+            raise ValueError("mem_bandwidth must be positive")
+        if self.kernel_overhead < 0:
+            raise ValueError("kernel_overhead must be non-negative")
+        if self.quant_compute_overhead < 1.0:
+            raise ValueError("quant overhead models extra work; must be >= 1")
+
+    def op_time(self, flops: float, bytes_moved: float = 0.0, quantized: bool = False) -> float:
+        """Simulated seconds for one kernel.
+
+        The kernel takes the max of its compute-limited and
+        bandwidth-limited times plus a fixed launch overhead.
+        """
+        if flops < 0 or bytes_moved < 0:
+            raise ValueError("flops and bytes_moved must be non-negative")
+        compute = flops / self.flops_per_second
+        if quantized:
+            compute *= self.quant_compute_overhead
+        traffic = bytes_moved / self.mem_bandwidth
+        return self.kernel_overhead + max(compute, traffic)

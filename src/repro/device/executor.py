@@ -1,0 +1,108 @@
+"""Two-stream execution: compute/I-O overlap on the simulated device.
+
+PRISM's implementation (§5) runs a computation process and an I/O
+process that communicate over shared memory, so disk transfers proceed
+while the GPU computes.  In the simulator this is a scheduling concern:
+the compute stream is the critical path (the shared clock), while the
+SSD owns its own stream (:class:`repro.device.ssd.SSDDevice`).
+
+``DeviceExecutor`` adds the small amount of bookkeeping both PRISM and
+the baselines need on top of the raw device:
+
+* timed *spans* for per-stage latency breakdowns (Figures 11/12/14);
+* a stall accounting channel, so experiments can report how much time
+  the compute stream spent waiting on I/O (the 81 ms streaming overhead
+  in Figure 16 is exactly this number).
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from .platforms import Device
+
+
+@dataclass
+class Span:
+    """A named interval of simulated time."""
+
+    name: str
+    start: float
+    end: float
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclass
+class DeviceExecutor:
+    """Thin orchestration layer over a :class:`Device`."""
+
+    device: Device
+    spans: list[Span] = field(default_factory=list)
+    io_stall_seconds: float = 0.0
+
+    @property
+    def now(self) -> float:
+        return self.device.clock.now
+
+    # ------------------------------------------------------------------
+    # compute stream
+    # ------------------------------------------------------------------
+    def compute(self, flops: float, bytes_moved: float = 0.0, quantized: bool = False) -> float:
+        """Run one kernel on the compute stream; returns its duration."""
+        return self.device.run_op(flops, bytes_moved, quantized=quantized)
+
+    # ------------------------------------------------------------------
+    # I/O stream
+    # ------------------------------------------------------------------
+    def prefetch(self, tag: str, nbytes: int) -> None:
+        """Issue an asynchronous read (does not advance the clock)."""
+        self.device.ssd.read_async(tag, nbytes)
+
+    def offload_async(self, tag: str, nbytes: int) -> None:
+        """Issue an asynchronous write (does not advance the clock)."""
+        self.device.ssd.write_async(tag, nbytes)
+
+    def wait_io(self, tag: str) -> float:
+        """Wait for a pending transfer; the wait, if any, is a stall."""
+        before = self.now
+        end = self.device.ssd.wait(tag)
+        self.io_stall_seconds += max(0.0, end - before)
+        return end
+
+    def wait_io_if_pending(self, tag: str) -> None:
+        if self.device.ssd.is_pending(tag):
+            self.wait_io(tag)
+
+    def read_blocking(self, tag: str, nbytes: int) -> float:
+        """Synchronous read; full duration counts as a stall."""
+        before = self.now
+        end = self.device.ssd.read_sync(tag, nbytes)
+        self.io_stall_seconds += end - before
+        return end
+
+    def write_blocking(self, tag: str, nbytes: int) -> float:
+        before = self.now
+        end = self.device.ssd.write_sync(tag, nbytes)
+        self.io_stall_seconds += end - before
+        return end
+
+    # ------------------------------------------------------------------
+    # spans
+    # ------------------------------------------------------------------
+    @contextmanager
+    def span(self, name: str) -> Iterator[None]:
+        """Record a named span of simulated time around a block."""
+        start = self.now
+        try:
+            yield
+        finally:
+            self.spans.append(Span(name, start, self.now))
+
+    def span_total(self, name: str) -> float:
+        """Total simulated time spent in spans called ``name``."""
+        return sum(span.duration for span in self.spans if span.name == name)

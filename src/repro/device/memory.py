@@ -1,0 +1,226 @@
+"""Byte-accurate memory accounting for the device simulator.
+
+The paper's memory claims (Figures 9, 11b/c, 13, 15, 16) are statements
+about *which buffers are resident when*: full weight sets vs. two
+streamed layers, full embedding tables vs. an LRU slice, monolithic
+intermediate tensors vs. one chunk's worth.  ``MemoryTracker`` records
+named allocations and frees against the shared :class:`~repro.device.clock.VirtualClock`
+and exposes exactly the statistics the paper plots — a usage timeline,
+the peak, and the time-weighted average.
+
+Categories let experiments break the footprint down the way Figure 16
+does (weights / embedding / intermediate / hidden-state / other).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .clock import VirtualClock
+
+MiB = 1024 * 1024
+GiB = 1024 * MiB
+
+#: Canonical allocation categories used across the repo.
+CATEGORY_WEIGHTS = "weights"
+CATEGORY_EMBEDDING = "embedding"
+CATEGORY_INTERMEDIATE = "intermediate"
+CATEGORY_HIDDEN = "hidden"
+CATEGORY_KV = "kv"
+CATEGORY_OTHER = "other"
+
+
+class MemoryError_(RuntimeError):
+    """Raised on invalid allocation activity (double free, unknown name)."""
+
+
+class OutOfMemoryError(MemoryError_):
+    """Raised when an allocation would exceed the device's memory budget."""
+
+    def __init__(self, requested: int, in_use: int, budget: int, name: str) -> None:
+        self.requested = requested
+        self.in_use = in_use
+        self.budget = budget
+        self.name = name
+        super().__init__(
+            f"OOM allocating {requested / MiB:.1f} MiB for {name!r}: "
+            f"{in_use / MiB:.1f} MiB already in use of {budget / MiB:.1f} MiB budget"
+        )
+
+
+@dataclass
+class Allocation:
+    """A single live allocation."""
+
+    name: str
+    nbytes: int
+    category: str
+    alloc_time: float
+
+
+@dataclass
+class TimelinePoint:
+    """One step of the memory-usage staircase."""
+
+    time: float
+    in_use: int
+
+
+@dataclass
+class MemoryStats:
+    """Summary statistics over a tracked run."""
+
+    peak_bytes: int
+    avg_bytes: float
+    final_bytes: int
+    peak_by_category: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def peak_mib(self) -> float:
+        return self.peak_bytes / MiB
+
+    @property
+    def avg_mib(self) -> float:
+        return self.avg_bytes / MiB
+
+
+class MemoryTracker:
+    """Tracks named allocations against a virtual clock.
+
+    Parameters
+    ----------
+    clock:
+        The shared simulation clock; allocation events are stamped with
+        ``clock.now``.
+    budget_bytes:
+        Optional hard memory budget.  When set, an allocation pushing
+        usage past the budget raises :class:`OutOfMemoryError` — this is
+        how the reproduction recreates the paper's OOM entries for
+        Qwen3-4B/8B under vanilla HF on 8 GiB devices.
+    """
+
+    def __init__(self, clock: VirtualClock, budget_bytes: int | None = None) -> None:
+        self.clock = clock
+        self.budget_bytes = budget_bytes
+        self._live: dict[str, Allocation] = {}
+        self._in_use = 0
+        self._per_category: dict[str, int] = {}
+        self._peak_by_category: dict[str, int] = {}
+        self._timeline: list[TimelinePoint] = [TimelinePoint(clock.now, 0)]
+        self._category_timelines: dict[str, list[TimelinePoint]] = {}
+        self._peak = 0
+
+    # ------------------------------------------------------------------
+    # allocation API
+    # ------------------------------------------------------------------
+    def alloc(self, name: str, nbytes: int, category: str = CATEGORY_OTHER) -> None:
+        """Record an allocation of ``nbytes`` under ``name``."""
+        if nbytes < 0:
+            raise MemoryError_(f"negative allocation size {nbytes} for {name!r}")
+        if name in self._live:
+            raise MemoryError_(f"allocation name {name!r} already live")
+        if self.budget_bytes is not None and self._in_use + nbytes > self.budget_bytes:
+            raise OutOfMemoryError(nbytes, self._in_use, self.budget_bytes, name)
+        self._live[name] = Allocation(name, nbytes, category, self.clock.now)
+        self._in_use += nbytes
+        self._per_category[category] = self._per_category.get(category, 0) + nbytes
+        self._peak_by_category[category] = max(
+            self._peak_by_category.get(category, 0), self._per_category[category]
+        )
+        self._peak = max(self._peak, self._in_use)
+        self._record()
+        self._record_category(category)
+
+    def free(self, name: str) -> None:
+        """Release the allocation registered under ``name``."""
+        alloc = self._live.pop(name, None)
+        if alloc is None:
+            raise MemoryError_(f"free of unknown allocation {name!r}")
+        self._in_use -= alloc.nbytes
+        self._per_category[alloc.category] -= alloc.nbytes
+        self._record()
+        self._record_category(alloc.category)
+
+    def free_if_live(self, name: str) -> bool:
+        """Free ``name`` if it is live; return whether anything was freed."""
+        if name in self._live:
+            self.free(name)
+            return True
+        return False
+
+    def is_live(self, name: str) -> bool:
+        return name in self._live
+
+    def live_bytes(self, name: str) -> int:
+        """Size of the live allocation ``name`` (0 when absent)."""
+        alloc = self._live.get(name)
+        return alloc.nbytes if alloc else 0
+
+    # ------------------------------------------------------------------
+    # statistics
+    # ------------------------------------------------------------------
+    @property
+    def in_use(self) -> int:
+        return self._in_use
+
+    @property
+    def peak(self) -> int:
+        return self._peak
+
+    def in_use_by_category(self, category: str) -> int:
+        return self._per_category.get(category, 0)
+
+    def timeline(self) -> list[TimelinePoint]:
+        """The memory staircase: (time, bytes-in-use) after each event."""
+        return list(self._timeline)
+
+    def category_timeline(self, category: str) -> list[TimelinePoint]:
+        """Per-category staircase (the stacked curves of Figures 9/16).
+
+        Returns an empty list for categories never allocated.
+        """
+        return list(self._category_timelines.get(category, ()))
+
+    def stats(self) -> MemoryStats:
+        """Peak / time-weighted average / final usage over the run."""
+        return MemoryStats(
+            peak_bytes=self._peak,
+            avg_bytes=self._time_weighted_average(),
+            final_bytes=self._in_use,
+            peak_by_category=dict(self._peak_by_category),
+        )
+
+    def _time_weighted_average(self) -> float:
+        points = self._timeline
+        if len(points) < 2:
+            return float(points[-1].in_use if points else 0)
+        total = 0.0
+        span = points[-1].time - points[0].time
+        if span <= 0:
+            return float(points[-1].in_use)
+        for prev, nxt in zip(points, points[1:]):
+            total += prev.in_use * (nxt.time - prev.time)
+        return total / span
+
+    def _record(self) -> None:
+        point = TimelinePoint(self.clock.now, self._in_use)
+        # Collapse events at identical timestamps into the final state so
+        # the timeline stays a function of time.
+        if self._timeline and self._timeline[-1].time == point.time:
+            self._timeline[-1] = point
+        else:
+            self._timeline.append(point)
+
+    def _record_category(self, category: str) -> None:
+        series = self._category_timelines.setdefault(category, [])
+        point = TimelinePoint(self.clock.now, self._per_category.get(category, 0))
+        if series and series[-1].time == point.time:
+            series[-1] = point
+        else:
+            series.append(point)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"MemoryTracker(in_use={self._in_use / MiB:.1f} MiB, "
+            f"peak={self._peak / MiB:.1f} MiB, live={len(self._live)})"
+        )

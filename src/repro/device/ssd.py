@@ -1,0 +1,167 @@
+"""SSD model: the storage side of the overlap window.
+
+The paper's key memory insight (§3.2) is that a PCIe-4 SSD's sustained
+read bandwidth is high enough that loading layer *i+1*'s weights can hide
+entirely under layer *i*'s compute.  This module provides:
+
+* :class:`SSDModel` — a bandwidth/latency cost model for reads.
+* :class:`SSDDevice` — a simulated device that owns an I/O timeline and
+  supports both synchronous reads (blocking the caller's clock, used by
+  the HF-Offload baseline and embedding-cache misses) and asynchronous
+  reads (scheduled on the I/O stream, used by overlapped layer
+  streaming and hidden-state offloading).
+
+The I/O stream is a single queue: requests are serviced in issue order,
+each taking ``latency + nbytes / bandwidth`` of stream time.  This
+captures the first-order behaviour of a request-queue SSD without
+modelling channel-level parallelism.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .clock import VirtualClock
+
+
+@dataclass(frozen=True)
+class SSDModel:
+    """Cost model for a storage device.
+
+    Parameters
+    ----------
+    read_bandwidth:
+        Sustained sequential read bandwidth in bytes/second.
+    write_bandwidth:
+        Sustained write bandwidth in bytes/second.
+    latency:
+        Fixed per-request latency (seconds): queueing + command overhead.
+    """
+
+    read_bandwidth: float
+    write_bandwidth: float
+    latency: float = 50e-6
+
+    def __post_init__(self) -> None:
+        if self.read_bandwidth <= 0 or self.write_bandwidth <= 0:
+            raise ValueError("SSD bandwidths must be positive")
+        if self.latency < 0:
+            raise ValueError("SSD latency must be non-negative")
+
+    def read_time(self, nbytes: int) -> float:
+        """Seconds of device time to service a read of ``nbytes``."""
+        if nbytes < 0:
+            raise ValueError(f"negative read size {nbytes}")
+        return self.latency + nbytes / self.read_bandwidth
+
+    def write_time(self, nbytes: int) -> float:
+        """Seconds of device time to service a write of ``nbytes``."""
+        if nbytes < 0:
+            raise ValueError(f"negative write size {nbytes}")
+        return self.latency + nbytes / self.write_bandwidth
+
+
+@dataclass
+class IORequest:
+    """A scheduled transfer on the SSD's I/O stream."""
+
+    tag: str
+    nbytes: int
+    issue_time: float
+    start_time: float
+    complete_time: float
+    kind: str  # "read" or "write"
+
+
+class SSDDevice:
+    """A simulated SSD with a serialized I/O stream.
+
+    Asynchronous requests do not advance the caller's clock; they
+    reserve time on the SSD's own stream.  A caller that later *needs*
+    the data waits via :meth:`wait`, which advances the shared clock to
+    the request's completion time (if it has not already passed).
+    """
+
+    def __init__(self, clock: VirtualClock, model: SSDModel) -> None:
+        self.clock = clock
+        self.model = model
+        self._stream_free = clock.now
+        self._pending: dict[str, IORequest] = {}
+        self.total_read_bytes = 0
+        self.total_write_bytes = 0
+        self.request_log: list[IORequest] = []
+
+    # ------------------------------------------------------------------
+    # synchronous API
+    # ------------------------------------------------------------------
+    def read_sync(self, tag: str, nbytes: int) -> float:
+        """Blocking read: advances the shared clock; returns completion time."""
+        request = self._schedule(tag, nbytes, kind="read")
+        self.clock.advance_to(request.complete_time)
+        return request.complete_time
+
+    def write_sync(self, tag: str, nbytes: int) -> float:
+        """Blocking write: advances the shared clock; returns completion time."""
+        request = self._schedule(tag, nbytes, kind="write")
+        self.clock.advance_to(request.complete_time)
+        return request.complete_time
+
+    # ------------------------------------------------------------------
+    # asynchronous API
+    # ------------------------------------------------------------------
+    def read_async(self, tag: str, nbytes: int) -> IORequest:
+        """Issue a non-blocking read on the I/O stream."""
+        request = self._schedule(tag, nbytes, kind="read")
+        self._pending[tag] = request
+        return request
+
+    def write_async(self, tag: str, nbytes: int) -> IORequest:
+        """Issue a non-blocking write on the I/O stream."""
+        request = self._schedule(tag, nbytes, kind="write")
+        self._pending[tag] = request
+        return request
+
+    def wait(self, tag: str) -> float:
+        """Block the caller until the pending request ``tag`` completes."""
+        request = self._pending.pop(tag, None)
+        if request is None:
+            raise KeyError(f"no pending I/O request tagged {tag!r}")
+        self.clock.advance_to(request.complete_time)
+        return request.complete_time
+
+    def is_pending(self, tag: str) -> bool:
+        return tag in self._pending
+
+    def drain(self) -> float:
+        """Wait for every outstanding request; returns the final clock time."""
+        for tag in list(self._pending):
+            self.wait(tag)
+        return self.clock.now
+
+    @property
+    def stream_free_at(self) -> float:
+        """Time at which the I/O stream next becomes idle."""
+        return self._stream_free
+
+    # ------------------------------------------------------------------
+    def _schedule(self, tag: str, nbytes: int, kind: str) -> IORequest:
+        duration = (
+            self.model.read_time(nbytes) if kind == "read" else self.model.write_time(nbytes)
+        )
+        start = max(self.clock.now, self._stream_free)
+        complete = start + duration
+        self._stream_free = complete
+        request = IORequest(
+            tag=tag,
+            nbytes=nbytes,
+            issue_time=self.clock.now,
+            start_time=start,
+            complete_time=complete,
+            kind=kind,
+        )
+        if kind == "read":
+            self.total_read_bytes += nbytes
+        else:
+            self.total_write_bytes += nbytes
+        self.request_log.append(request)
+        return request

@@ -1,0 +1,17 @@
+"""Experiment harness: runner, per-figure experiments, text reporting."""
+
+from .reporting import format_series, format_table, ms, pct
+from .runner import SYSTEMS, RunStats, create_engine, run_system, shared_model, shared_tokenizer
+
+__all__ = [
+    "SYSTEMS",
+    "RunStats",
+    "create_engine",
+    "format_series",
+    "format_table",
+    "ms",
+    "pct",
+    "run_system",
+    "shared_model",
+    "shared_tokenizer",
+]

@@ -1,0 +1,121 @@
+"""Command-line entry point: regenerate any paper artifact from a shell.
+
+Usage::
+
+    python -m repro.harness.cli list
+    python -m repro.harness.cli fig16
+    python -m repro.harness.cli table3 --quick
+    python -m repro.harness.cli fig8 --out results/
+
+``--quick`` shrinks workloads (fewer datasets/queries) for smoke runs;
+the full sizes match the benchmarks under ``benchmarks/``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+from typing import Callable
+
+from . import experiments as ex
+
+#: name → (full-size runner, quick-size runner)
+_EXPERIMENTS: dict[str, tuple[Callable[[], object], Callable[[], object]]] = {
+    "fig1": (
+        lambda: ex.fig1_pipeline(num_docs=200, num_queries=4),
+        lambda: ex.fig1_pipeline(num_docs=100, num_queries=2),
+    ),
+    "fig2": (
+        lambda: ex.fig2_sparsity(num_queries=6),
+        lambda: ex.fig2_sparsity(num_queries=2),
+    ),
+    "table3": (
+        lambda: ex.table3(num_queries=2),
+        lambda: ex.table3(
+            models=("qwen3-reranker-0.6b",),
+            datasets=("wikipedia", "nfcorpus"),
+            platforms=("nvidia_5070",),
+            num_queries=2,
+        ),
+    ),
+    "fig8": (
+        lambda: ex.fig8_wikipedia(num_queries=3),
+        lambda: ex.fig8_wikipedia(
+            models=("qwen3-reranker-0.6b",), platforms=("nvidia_5070",), num_queries=2
+        ),
+    ),
+    "fig9": (
+        lambda: ex.fig9_memory(),
+        lambda: ex.fig9_memory(models=("qwen3-reranker-0.6b",)),
+    ),
+    "fig10": (
+        lambda: ex.fig10_tradeoff(num_thresholds=5, num_queries=6),
+        lambda: ex.fig10_tradeoff(num_thresholds=3, num_queries=2),
+    ),
+    "fig11": (
+        lambda: ex.fig11_rag(num_docs=200, num_queries=12),
+        lambda: ex.fig11_rag(num_docs=100, num_queries=3),
+    ),
+    "fig12-13": (
+        lambda: ex.fig12_13_agent_memory(),
+        lambda: ex.fig12_13_agent_memory(workloads=("video",)),
+    ),
+    "fig14-15": (
+        lambda: ex.fig14_15_long_context(num_tasks=24),
+        lambda: ex.fig14_15_long_context(num_tasks=6),
+    ),
+    "fig16": (
+        lambda: ex.fig16_ablation(),
+        lambda: ex.fig16_ablation(num_candidates=20),
+    ),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.harness.cli",
+        description="Regenerate the paper's tables/figures on the simulator.",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(_EXPERIMENTS) + ["list", "all"],
+        help="which artifact to regenerate ('list' to enumerate, 'all' for everything)",
+    )
+    parser.add_argument(
+        "--quick", action="store_true", help="scaled-down workload for smoke runs"
+    )
+    parser.add_argument(
+        "--out", type=Path, default=None, help="also write the rendered table to DIR"
+    )
+    return parser
+
+
+def run_one(name: str, quick: bool, out: Path | None) -> str:
+    full, small = _EXPERIMENTS[name]
+    start = time.perf_counter()
+    result = (small if quick else full)()
+    elapsed = time.perf_counter() - start
+    text = result.render()
+    if out is not None:
+        out.mkdir(parents=True, exist_ok=True)
+        (out / f"{name}.txt").write_text(text + "\n")
+    return f"{text}\n[{name}: {elapsed:.1f}s wall]"
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.experiment == "list":
+        for name in sorted(_EXPERIMENTS):
+            print(name)
+        return 0
+    names = sorted(_EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        print(run_one(name, args.quick, args.out))
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,57 @@
+"""Plain-text rendering of tables and figure series.
+
+The paper's artifacts are plots; offline we regenerate the underlying
+numbers and render them as aligned text tables (one per table/figure)
+so benches can print exactly the rows/series the paper reports.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render rows as an aligned text table."""
+    str_rows = [[_cell(value) for value in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(f"row width {len(row)} != header width {len(headers)}")
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(name: str, xs: Sequence[float], ys: Sequence[float]) -> str:
+    """Render one figure series as ``name: (x, y) ...`` pairs."""
+    if len(xs) != len(ys):
+        raise ValueError("xs and ys must align")
+    pairs = ", ".join(f"({_cell(x)}, {_cell(y)})" for x, y in zip(xs, ys))
+    return f"{name}: {pairs}"
+
+
+def pct(value: float) -> str:
+    """Format a ratio as a percentage string."""
+    return f"{100.0 * value:.1f}%"
+
+
+def ms(seconds: float) -> str:
+    """Format seconds as milliseconds."""
+    return f"{seconds * 1e3:.1f}ms"
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)

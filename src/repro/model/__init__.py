@@ -1,0 +1,44 @@
+"""Cross-encoder transformer substrate (paper-scale accounting, reduced numerics)."""
+
+from . import costs
+from .classifier import Classifier
+from .layers import TransformerLayer, TransformerLayerWeights, init_layer_weights
+from .semantics import ScoreDynamics, SemanticsConfig
+from .transformer import CandidateBatch, CrossEncoderModel, ForwardState
+from .weights import WeightStore
+from .zoo import (
+    BGE_M3,
+    BGE_MINICPM,
+    PAPER_MODELS,
+    QWEN3_0_6B,
+    QWEN3_4B,
+    QWEN3_8B,
+    ModelConfig,
+    get_model_config,
+    list_models,
+    register_model,
+)
+
+__all__ = [
+    "BGE_M3",
+    "BGE_MINICPM",
+    "CandidateBatch",
+    "Classifier",
+    "CrossEncoderModel",
+    "ForwardState",
+    "ModelConfig",
+    "PAPER_MODELS",
+    "QWEN3_0_6B",
+    "QWEN3_4B",
+    "QWEN3_8B",
+    "ScoreDynamics",
+    "SemanticsConfig",
+    "TransformerLayer",
+    "TransformerLayerWeights",
+    "WeightStore",
+    "costs",
+    "get_model_config",
+    "init_layer_weights",
+    "list_models",
+    "register_model",
+]

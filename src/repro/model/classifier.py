@@ -1,0 +1,43 @@
+"""The scoring head.
+
+Cross-encoder rerankers finish with a lightweight classifier applied to
+the final hidden states (§2.1).  PRISM re-uses the *same* head on
+intermediate hidden states to obtain provisional scores (§4.1).
+
+The head reads the model's relevance channel: after every layer the
+semantic process (``repro.model.semantics``) writes the provisional
+score into channel 0 of the readout token — the last non-pad position
+for decoders (causal models accumulate sequence meaning at the end) or
+the BOS/CLS position for encoders.  The classifier's weight vector is
+the corresponding basis vector, so scoring is a genuine numpy dot
+product whose result equals the semantic process's value.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .zoo import ModelConfig
+
+
+class Classifier:
+    """Hidden-state → scalar relevance score head."""
+
+    def __init__(self, config: ModelConfig) -> None:
+        self.config = config
+        weight = np.zeros(config.sim_hidden)
+        weight[0] = 1.0
+        self.weight = weight
+
+    def readout_positions(self, lengths: np.ndarray) -> np.ndarray:
+        """Index of the readout token for each sequence in a batch."""
+        lengths = np.asarray(lengths)
+        if self.config.is_decoder:
+            return np.maximum(lengths - 1, 0)
+        return np.zeros_like(lengths)
+
+    def score(self, hidden: np.ndarray, lengths: np.ndarray) -> np.ndarray:
+        """Apply the head to a hidden batch (N, L, D_sim) → scores (N,)."""
+        positions = self.readout_positions(lengths)
+        readout = hidden[np.arange(hidden.shape[0]), positions]  # (N, D)
+        return readout @ self.weight

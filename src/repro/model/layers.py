@@ -1,0 +1,132 @@
+"""Transformer layer numerics at reduced width.
+
+``TransformerLayerWeights`` holds the numpy arrays for one layer;
+``TransformerLayer`` applies pre-norm attention + FFN with residual
+connections.  Decoder-family models (Qwen3, MiniCPM) use RMSNorm,
+causal attention and SwiGLU; encoder-family models (BGE-M3) use
+LayerNorm, bidirectional attention and GELU — mirroring the two
+cross-encoder architectures the paper evaluates (§2.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .tensor_ops import (
+    causal_mask,
+    gelu,
+    layer_norm,
+    merge_heads,
+    padding_mask,
+    rms_norm,
+    silu,
+    softmax,
+    split_heads,
+)
+from .zoo import ModelConfig
+
+
+@dataclass
+class TransformerLayerWeights:
+    """Numpy weights for one reduced-width layer."""
+
+    wq: np.ndarray
+    wk: np.ndarray
+    wv: np.ndarray
+    wo: np.ndarray
+    w_gate: np.ndarray | None  # decoder (SwiGLU) only
+    w_up: np.ndarray
+    w_down: np.ndarray
+    norm1: np.ndarray
+    norm2: np.ndarray
+    norm1_bias: np.ndarray | None  # encoder (LayerNorm) only
+    norm2_bias: np.ndarray | None
+
+    def nbytes_actual(self) -> int:
+        """Actual numpy bytes (diagnostics only; accounting is paper-scale)."""
+        total = 0
+        for value in vars(self).values():
+            if isinstance(value, np.ndarray):
+                total += value.nbytes
+        return total
+
+
+def init_layer_weights(config: ModelConfig, layer_idx: int) -> TransformerLayerWeights:
+    """Deterministically initialise one layer's reduced-width weights.
+
+    Seeded by (model seed, layer index) so that a layer loaded from the
+    simulated SSD is bit-identical no matter which engine loads it.
+    """
+    rng = np.random.default_rng(np.random.SeedSequence([config.model_seed, layer_idx]))
+    d, f = config.sim_hidden, config.sim_ffn
+    scale = 1.0 / np.sqrt(d)
+
+    def mat(rows: int, cols: int) -> np.ndarray:
+        return rng.standard_normal((rows, cols)) * scale
+
+    decoder = config.is_decoder
+    return TransformerLayerWeights(
+        wq=mat(d, d),
+        wk=mat(d, d),
+        wv=mat(d, d),
+        wo=mat(d, d),
+        w_gate=mat(d, f) if decoder else None,
+        w_up=mat(d, f),
+        w_down=mat(f, d),
+        norm1=np.ones(d),
+        norm2=np.ones(d),
+        norm1_bias=None if decoder else np.zeros(d),
+        norm2_bias=None if decoder else np.zeros(d),
+    )
+
+
+class TransformerLayer:
+    """Applies one layer's numerics to a hidden-state batch."""
+
+    def __init__(self, config: ModelConfig, weights: TransformerLayerWeights) -> None:
+        self.config = config
+        self.weights = weights
+
+    def forward(self, hidden: np.ndarray, lengths: np.ndarray) -> np.ndarray:
+        """Run the layer over ``hidden`` (N, L, D_sim); returns a new array."""
+        if hidden.ndim != 3:
+            raise ValueError(f"hidden must be (N, L, D); got {hidden.shape}")
+        normed = self._norm(hidden, self.weights.norm1, self.weights.norm1_bias)
+        hidden = hidden + self._attention(normed, lengths)
+        normed = self._norm(hidden, self.weights.norm2, self.weights.norm2_bias)
+        hidden = hidden + self._ffn(normed)
+        return hidden
+
+    # ------------------------------------------------------------------
+    def _norm(
+        self, x: np.ndarray, weight: np.ndarray, bias: np.ndarray | None
+    ) -> np.ndarray:
+        if self.config.is_decoder:
+            return rms_norm(x, weight)
+        assert bias is not None
+        return layer_norm(x, weight, bias)
+
+    def _attention(self, x: np.ndarray, lengths: np.ndarray) -> np.ndarray:
+        w = self.weights
+        heads = self.config.sim_heads
+        seq_len = x.shape[1]
+        q = split_heads(x @ w.wq, heads)
+        k = split_heads(x @ w.wk, heads)
+        v = split_heads(x @ w.wv, heads)
+        head_dim = q.shape[-1]
+        scores = q @ k.transpose(0, 1, 3, 2) / np.sqrt(head_dim)
+        scores = scores + padding_mask(lengths, seq_len)
+        if self.config.is_decoder:
+            scores = scores + causal_mask(seq_len)[None, None]
+        attn = softmax(scores, axis=-1)
+        out = merge_heads(attn @ v)
+        return out @ w.wo
+
+    def _ffn(self, x: np.ndarray) -> np.ndarray:
+        w = self.weights
+        if self.config.is_decoder:
+            assert w.w_gate is not None
+            return (silu(x @ w.w_gate) * (x @ w.w_up)) @ w.w_down
+        return gelu(x @ w.w_up) @ w.w_down

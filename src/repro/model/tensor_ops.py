@@ -1,0 +1,72 @@
+"""Numpy kernels used by the reduced-width transformer numerics.
+
+These are straightforward, well-tested reference implementations: the
+simulator charges *paper-scale* costs separately (``repro.model.costs``),
+so these kernels only need to be correct, not fast.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Numerically stable softmax along ``axis``."""
+    shifted = x - np.max(x, axis=axis, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / np.sum(exp, axis=axis, keepdims=True)
+
+
+def rms_norm(x: np.ndarray, weight: np.ndarray, eps: float = 1e-6) -> np.ndarray:
+    """RMSNorm as used by the Qwen/MiniCPM decoder family."""
+    scale = np.sqrt(np.mean(np.square(x), axis=-1, keepdims=True) + eps)
+    return x / scale * weight
+
+
+def layer_norm(
+    x: np.ndarray, weight: np.ndarray, bias: np.ndarray, eps: float = 1e-6
+) -> np.ndarray:
+    """LayerNorm as used by the BGE-M3 encoder family."""
+    mean = np.mean(x, axis=-1, keepdims=True)
+    var = np.var(x, axis=-1, keepdims=True)
+    return (x - mean) / np.sqrt(var + eps) * weight + bias
+
+
+def gelu(x: np.ndarray) -> np.ndarray:
+    """tanh-approximated GELU (the variant BERT-family models use)."""
+    return 0.5 * x * (1.0 + np.tanh(np.sqrt(2.0 / np.pi) * (x + 0.044715 * x**3)))
+
+
+def silu(x: np.ndarray) -> np.ndarray:
+    """SiLU/Swish, the gate activation in SwiGLU FFNs."""
+    return x / (1.0 + np.exp(-x))
+
+
+def causal_mask(seq_len: int) -> np.ndarray:
+    """Additive causal attention mask: 0 on/below diagonal, -inf above."""
+    mask = np.zeros((seq_len, seq_len), dtype=np.float64)
+    mask[np.triu_indices(seq_len, k=1)] = -np.inf
+    return mask
+
+
+def padding_mask(lengths: np.ndarray, seq_len: int) -> np.ndarray:
+    """Additive padding mask (N, 1, 1, L): -inf at padded key positions."""
+    lengths = np.asarray(lengths)
+    positions = np.arange(seq_len)
+    blocked = positions[None, :] >= lengths[:, None]  # (N, L)
+    mask = np.where(blocked, -np.inf, 0.0)
+    return mask[:, None, None, :]
+
+
+def split_heads(x: np.ndarray, num_heads: int) -> np.ndarray:
+    """(N, L, D) → (N, H, L, D/H)."""
+    n, length, dim = x.shape
+    if dim % num_heads:
+        raise ValueError(f"dim {dim} not divisible by heads {num_heads}")
+    return x.reshape(n, length, num_heads, dim // num_heads).transpose(0, 2, 1, 3)
+
+
+def merge_heads(x: np.ndarray) -> np.ndarray:
+    """(N, H, L, D/H) → (N, L, D)."""
+    n, heads, length, head_dim = x.shape
+    return x.transpose(0, 2, 1, 3).reshape(n, length, heads * head_dim)

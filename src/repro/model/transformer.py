@@ -1,0 +1,170 @@
+"""CrossEncoderModel: the per-layer forward API engines drive.
+
+The execution *policy* (what is batched, what is resident, what is
+pruned) lives in the engines (``repro.core.engine`` and
+``repro.baselines``); this class owns the model itself:
+
+* packing token batches down to the reduced numerics dimensions;
+* the embedding → layers → classifier numerics;
+* the semantic channel: after every layer, the provisional score from
+  :class:`~repro.model.semantics.ScoreDynamics` is written into channel
+  0 of each candidate's readout token, which is exactly what the
+  classifier head reads (see ``repro.model.classifier``).
+
+Engines can run with ``numerics=False`` for large parameter sweeps; the
+model then skips the numpy tensor work and serves scores directly from
+the semantic process.  Both paths produce *identical scores* (asserted
+in tests) and engines charge identical simulated costs either way.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .classifier import Classifier
+from .layers import TransformerLayer
+from .semantics import ScoreDynamics
+from .weights import WeightStore
+from .zoo import ModelConfig
+
+
+@dataclass
+class CandidateBatch:
+    """A monolithic batch of query-candidate pairs ready to forward.
+
+    ``tokens`` are paper-scale packed sequences (N, max_seq_len);
+    ``relevance``/``uids`` drive the semantic score process and come
+    from the workload's hidden ground truth — engines never read them
+    directly, only through classifier scores.
+    """
+
+    tokens: np.ndarray
+    lengths: np.ndarray
+    relevance: np.ndarray
+    uids: np.ndarray
+
+    def __post_init__(self) -> None:
+        n = self.tokens.shape[0]
+        for name in ("lengths", "relevance", "uids"):
+            arr = getattr(self, name)
+            if arr.shape[0] != n:
+                raise ValueError(f"{name} length {arr.shape[0]} != batch size {n}")
+
+    @property
+    def size(self) -> int:
+        return int(self.tokens.shape[0])
+
+    def select(self, index: np.ndarray) -> "CandidateBatch":
+        """Sub-batch view for chunking / pruning."""
+        return CandidateBatch(
+            tokens=self.tokens[index],
+            lengths=self.lengths[index],
+            relevance=self.relevance[index],
+            uids=self.uids[index],
+        )
+
+
+@dataclass
+class ForwardState:
+    """Mutable per-candidate state while a batch advances through layers."""
+
+    batch: CandidateBatch
+    layer_done: int = -1  # index of the last executed layer (-1 = embedding only)
+    hidden: np.ndarray | None = None  # (N, sim_seq, sim_hidden) when numerics on
+    sim_lengths: np.ndarray | None = None
+    scores: np.ndarray | None = None  # provisional scores at layer_done
+    extra: dict = field(default_factory=dict)
+
+    @property
+    def size(self) -> int:
+        return self.batch.size
+
+
+class CrossEncoderModel:
+    """A reranker: embedding + L transformer layers + scoring head."""
+
+    def __init__(self, config: ModelConfig, store: WeightStore | None = None) -> None:
+        self.config = config
+        self.store = store if store is not None else WeightStore(config)
+        self.classifier = Classifier(config)
+        self.dynamics = ScoreDynamics(config.semantics, config.num_layers, config.model_seed)
+
+    # ------------------------------------------------------------------
+    # numerics-dimension packing
+    # ------------------------------------------------------------------
+    def sim_tokens(self, batch: CandidateBatch) -> tuple[np.ndarray, np.ndarray]:
+        """Stride paper-length token rows down to the numerics length."""
+        cfg = self.config
+        stride = max(1, cfg.max_seq_len // cfg.sim_seq_len)
+        tokens = batch.tokens[:, ::stride][:, : cfg.sim_seq_len]
+        if tokens.shape[1] < cfg.sim_seq_len:
+            pad = np.zeros((tokens.shape[0], cfg.sim_seq_len - tokens.shape[1]), dtype=np.int64)
+            tokens = np.concatenate([tokens, pad], axis=1)
+        sim_lengths = np.clip(
+            np.ceil(batch.lengths / stride).astype(np.int64), 1, cfg.sim_seq_len
+        )
+        return tokens, sim_lengths
+
+    # ------------------------------------------------------------------
+    # forward stages
+    # ------------------------------------------------------------------
+    def embed(self, batch: CandidateBatch, numerics: bool = True) -> ForwardState:
+        """Embedding stage → a fresh :class:`ForwardState` (layer_done = -1)."""
+        state = ForwardState(batch=batch)
+        if numerics:
+            tokens, sim_lengths = self.sim_tokens(batch)
+            state.hidden = self.store.embedding_rows(tokens)
+            state.sim_lengths = sim_lengths
+            self._inject(state)
+        return state
+
+    def forward_layer(self, state: ForwardState, layer_idx: int) -> ForwardState:
+        """Run one layer in place (numerics if the state carries hidden)."""
+        expected = state.layer_done + 1
+        if layer_idx != expected:
+            raise ValueError(f"layer {layer_idx} out of order; expected {expected}")
+        if state.hidden is not None:
+            assert state.sim_lengths is not None
+            layer = TransformerLayer(self.config, self.store.load_layer(layer_idx))
+            state.hidden = layer.forward(state.hidden, state.sim_lengths)
+        state.layer_done = layer_idx
+        if state.hidden is not None:
+            self._inject(state)
+        state.scores = None  # invalidate: scores belong to a specific depth
+        return state
+
+    def score(self, state: ForwardState) -> np.ndarray:
+        """Apply the classifier head at the state's current depth."""
+        if state.layer_done < 0:
+            raise ValueError("cannot score before any transformer layer has run")
+        if state.hidden is not None:
+            assert state.sim_lengths is not None
+            scores = self.classifier.score(state.hidden, state.sim_lengths)
+        else:
+            scores = self.dynamics.scores_at(
+                state.layer_done, state.batch.relevance, state.batch.uids
+            )
+        state.scores = scores
+        return scores
+
+    def full_forward(self, batch: CandidateBatch, numerics: bool = True) -> np.ndarray:
+        """Reference unpruned forward pass → final scores."""
+        state = self.embed(batch, numerics=numerics)
+        for layer_idx in range(self.config.num_layers):
+            self.forward_layer(state, layer_idx)
+        return self.score(state)
+
+    # ------------------------------------------------------------------
+    def _inject(self, state: ForwardState) -> None:
+        """Write the semantic channel into the readout token, channel 0."""
+        assert state.hidden is not None and state.sim_lengths is not None
+        if state.layer_done < 0:
+            values = np.full(state.size, self.config.semantics.anchor)
+        else:
+            values = self.dynamics.scores_at(
+                state.layer_done, state.batch.relevance, state.batch.uids
+            )
+        positions = self.classifier.readout_positions(state.sim_lengths)
+        state.hidden[np.arange(state.size), positions, 0] = values

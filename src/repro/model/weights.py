@@ -1,0 +1,109 @@
+"""WeightStore: the model's on-disk representation.
+
+Engines never own weight arrays directly — they ask the store for
+(a) the *paper-scale byte size* of each blob, used for memory
+accounting and SSD transfer times, and (b) the reduced-width numpy
+arrays, deterministically re-materialised on load so that a layer
+"read from disk" is bit-identical across engines and loads.
+
+Blob layout mirrors the checkpoints the paper streams (§4.2/§4.4):
+one blob per transformer layer, one embedding table (row-addressable,
+for the embedding cache), and one classifier head.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import numpy as np
+
+from . import costs
+from .layers import TransformerLayerWeights, init_layer_weights
+from .zoo import ModelConfig
+
+
+class WeightStore:
+    """Addressable weight blobs for one model, at fp16 or W4A16."""
+
+    def __init__(self, config: ModelConfig, quantized: bool = False) -> None:
+        self.config = config
+        self.quantized = quantized
+        self._layer_cache: dict[int, TransformerLayerWeights] = {}
+        self._row_cache: dict[int, np.ndarray] = {}
+
+    # ------------------------------------------------------------------
+    # blob sizes (paper scale)
+    # ------------------------------------------------------------------
+    def layer_nbytes(self, layer_idx: int) -> int:
+        self._check_layer(layer_idx)
+        return costs.layer_weight_bytes(self.config, self.quantized)
+
+    def embedding_nbytes(self) -> int:
+        return costs.embedding_table_bytes(self.config, self.quantized)
+
+    def embedding_row_nbytes(self) -> int:
+        return costs.embedding_row_bytes(self.config)
+
+    def classifier_nbytes(self) -> int:
+        return costs.classifier_weight_bytes(self.config)
+
+    def total_nbytes(self) -> int:
+        return costs.total_weight_bytes(self.config, self.quantized)
+
+    # ------------------------------------------------------------------
+    # blob tags (for SSD requests / memory allocations)
+    # ------------------------------------------------------------------
+    def layer_tag(self, layer_idx: int) -> str:
+        self._check_layer(layer_idx)
+        return f"{self.config.name}/layer{layer_idx:03d}"
+
+    def embedding_tag(self) -> str:
+        return f"{self.config.name}/embedding"
+
+    def classifier_tag(self) -> str:
+        return f"{self.config.name}/classifier"
+
+    # ------------------------------------------------------------------
+    # numerics materialisation
+    # ------------------------------------------------------------------
+    def load_layer(self, layer_idx: int) -> TransformerLayerWeights:
+        """Materialise one layer's reduced-width weights (deterministic)."""
+        self._check_layer(layer_idx)
+        cached = self._layer_cache.get(layer_idx)
+        if cached is None:
+            cached = init_layer_weights(self.config, layer_idx)
+            self._layer_cache[layer_idx] = cached
+        return cached
+
+    def embedding_row(self, token_id: int) -> np.ndarray:
+        """Reduced-width embedding row for one token (deterministic)."""
+        if not 0 <= token_id < self.config.vocab_size:
+            raise ValueError(f"token id {token_id} outside vocab")
+        row = self._row_cache.get(token_id)
+        if row is None:
+            row = _make_row(self.config.model_seed, token_id, self.config.sim_hidden)
+            self._row_cache[token_id] = row
+        return row
+
+    def embedding_rows(self, token_ids: np.ndarray) -> np.ndarray:
+        """Rows for a flat array of token ids → (len, sim_hidden)."""
+        flat = np.asarray(token_ids).ravel()
+        out = np.empty((flat.size, self.config.sim_hidden))
+        for i, token in enumerate(flat):
+            out[i] = self.embedding_row(int(token))
+        return out.reshape(*np.asarray(token_ids).shape, self.config.sim_hidden)
+
+    # ------------------------------------------------------------------
+    def _check_layer(self, layer_idx: int) -> None:
+        if not 0 <= layer_idx < self.config.num_layers:
+            raise IndexError(
+                f"layer {layer_idx} outside [0, {self.config.num_layers}) for {self.config.name}"
+            )
+
+
+@lru_cache(maxsize=200_000)
+def _make_row(model_seed: int, token_id: int, dim: int) -> np.ndarray:
+    rng = np.random.default_rng(np.random.SeedSequence([model_seed, 0xE0B, token_id]))
+    row = rng.standard_normal(dim) * 0.02
+    row.flags.writeable = False
+    return row

@@ -1,0 +1,25 @@
+"""RAG retrieval substrate: corpus, BM25, bi-encoder, vector indexes, hybrid."""
+
+from .biencoder import EMBED_DIM, BiEncoder, EmbeddingModelSpec
+from .bm25 import BM25Index, BM25Stats, RetrievalHit
+from .corpus import CorpusQuery, Document, SyntheticCorpus
+from .hybrid import HybridRetriever, RetrievedPool
+from .vector_index import FlatIndex, IVFIndex, SearchOutcome, recall_at_n
+
+__all__ = [
+    "BM25Index",
+    "BM25Stats",
+    "BiEncoder",
+    "CorpusQuery",
+    "Document",
+    "EMBED_DIM",
+    "EmbeddingModelSpec",
+    "FlatIndex",
+    "HybridRetriever",
+    "IVFIndex",
+    "RetrievalHit",
+    "RetrievedPool",
+    "SearchOutcome",
+    "SyntheticCorpus",
+    "recall_at_n",
+]

@@ -1,0 +1,134 @@
+"""Bi-encoder embedder (the RAG pipeline's dense arm).
+
+The paper's RAG application embeds personal data with
+Qwen3-Embedding-0.6B and retrieves by vector similarity (§6.3).  The
+checkpoint is unavailable offline; this module substitutes a numpy
+bi-encoder with the property that actually matters to the pipeline —
+**cosine similarity tracks topical overlap** — while the *cost* of
+embedding is charged at the paper-scale model's prefill FLOPs.
+
+Embedding construction: every word hashes to a deterministic Gaussian
+direction; a text's embedding is the idf-weighted sum of its word
+vectors, L2-normalised.  Two documents sharing topic vocabulary point
+the same way; unrelated documents are near-orthogonal in expectation
+(random directions in high dimension).  This is exactly the geometry a
+trained bi-encoder provides, minus the learned subtleties — which the
+pipeline does not depend on, because the reranker (the system under
+evaluation) re-scores every retrieved candidate anyway.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+#: Default embedding dimensionality (kept modest: cost accounting uses
+#: the paper-scale model below, not this numerics dimension).
+EMBED_DIM = 64
+
+
+def _word_vector(word: str, dim: int) -> np.ndarray:
+    """Deterministic unit-Gaussian direction for one word."""
+    digest = hashlib.blake2b(word.encode("utf-8"), digest_size=8).digest()
+    seed = int.from_bytes(digest, "little")
+    rng = np.random.default_rng(seed)
+    return rng.standard_normal(dim)
+
+
+@dataclass(frozen=True)
+class EmbeddingModelSpec:
+    """Paper-scale description of the embedding model (cost accounting).
+
+    Defaults describe Qwen3-Embedding-0.6B, the model the RAG
+    experiment deploys (§6.3).
+    """
+
+    name: str = "qwen3-embedding-0.6b"
+    num_layers: int = 28
+    hidden_dim: int = 1024
+    ffn_dim: int = 3072
+    dtype_bytes: int = 2
+
+    def params(self) -> int:
+        per_layer = 4 * self.hidden_dim**2 + 3 * self.hidden_dim * self.ffn_dim
+        return self.num_layers * per_layer
+
+    def weight_bytes(self) -> int:
+        return self.params() * self.dtype_bytes
+
+    def prefill_flops(self, num_tokens: int) -> float:
+        """Dense prefill FLOPs for one text of ``num_tokens``."""
+        if num_tokens < 0:
+            raise ValueError("num_tokens must be non-negative")
+        return 2.0 * self.params() * num_tokens
+
+
+class BiEncoder:
+    """Hash-based bi-encoder with idf term weighting.
+
+    ``fit`` learns document frequencies from a corpus so that topical
+    (rare) words dominate embeddings over common background words,
+    mirroring how trained encoders suppress stopwords.
+    """
+
+    def __init__(self, dim: int = EMBED_DIM, spec: EmbeddingModelSpec | None = None) -> None:
+        if dim <= 0:
+            raise ValueError("dim must be positive")
+        self.dim = dim
+        self.spec = spec or EmbeddingModelSpec()
+        self._doc_freq: dict[str, int] = {}
+        self._num_docs = 0
+        self._vector_cache: dict[str, np.ndarray] = {}
+
+    # ------------------------------------------------------------------
+    def fit(self, documents: list[tuple[str, ...]]) -> None:
+        """Record document frequencies for idf weighting."""
+        for words in documents:
+            self._num_docs += 1
+            for word in set(words):
+                self._doc_freq[word] = self._doc_freq.get(word, 0) + 1
+
+    def idf(self, word: str) -> float:
+        if self._num_docs == 0:
+            return 1.0
+        df = self._doc_freq.get(word, 0)
+        return math.log(1.0 + (self._num_docs - df + 0.5) / (df + 0.5))
+
+    # ------------------------------------------------------------------
+    def embed(self, words: tuple[str, ...] | list[str]) -> np.ndarray:
+        """Embed one text → unit vector of ``self.dim``."""
+        if not words:
+            return np.zeros(self.dim)
+        acc = np.zeros(self.dim)
+        for word in words:
+            vec = self._vector_cache.get(word)
+            if vec is None:
+                vec = _word_vector(word, self.dim)
+                self._vector_cache[word] = vec
+            acc += self.idf(word) * vec
+        norm = np.linalg.norm(acc)
+        if norm == 0.0:
+            return acc
+        return acc / norm
+
+    def embed_batch(self, texts: list[tuple[str, ...]]) -> np.ndarray:
+        """Embed many texts → (N, dim) matrix of unit vectors."""
+        if not texts:
+            return np.zeros((0, self.dim))
+        return np.stack([self.embed(words) for words in texts])
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def similarity(a: np.ndarray, b: np.ndarray) -> float:
+        """Cosine similarity between two embeddings."""
+        na, nb = np.linalg.norm(a), np.linalg.norm(b)
+        if na == 0.0 or nb == 0.0:
+            return 0.0
+        return float(a @ b / (na * nb))
+
+    def embed_cost_flops(self, num_tokens: int) -> float:
+        """Paper-scale prefill FLOPs to embed one text."""
+        return self.spec.prefill_flops(num_tokens)

@@ -1,0 +1,152 @@
+"""Hybrid retrieval: sparse + dense arms feeding the reranker.
+
+The semantic-selection pipeline of Figure 1 retrieves ten candidates by
+keyword search and ten by embedding search, then hands the merged pool
+to the cross-encoder.  :class:`HybridRetriever` reproduces that stage:
+
+* BM25 over the corpus (sparse arm);
+* bi-encoder + vector index (dense arm, flat or IVF);
+* dedup-merge of the two hit lists into one candidate pool;
+* packing of the pool into the :class:`~repro.model.transformer.CandidateBatch`
+  an engine consumes, carrying each document's *true* relevance for the
+  semantic score process and Precision@K.
+
+Retrieval latency is returned per arm so application pipelines can
+charge it to the simulated clock and report the per-stage breakdown of
+Figures 1 and 11.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..model.transformer import CandidateBatch
+from ..text.tokenizer import Tokenizer
+from .biencoder import BiEncoder
+from .bm25 import BM25Index
+from .corpus import CorpusQuery, SyntheticCorpus
+from .vector_index import FlatIndex, IVFIndex, SearchOutcome
+
+
+@dataclass
+class RetrievedPool:
+    """The merged candidate pool for one query."""
+
+    query: CorpusQuery
+    doc_ids: list[int]
+    sparse_seconds: float
+    dense_seconds: float
+    #: ids that came from each arm (before dedup), for diagnostics
+    sparse_ids: list[int]
+    dense_ids: list[int]
+
+    @property
+    def size(self) -> int:
+        return len(self.doc_ids)
+
+    def relevance(self) -> np.ndarray:
+        return self.query.relevance[self.doc_ids]
+
+    def labels(self) -> np.ndarray:
+        return self.query.labels[self.doc_ids]
+
+    def recall(self) -> float:
+        """Fraction of the query's relevant documents present in the pool."""
+        relevant = set(self.query.relevant_ids().tolist())
+        if not relevant:
+            return 1.0
+        return len(relevant & set(self.doc_ids)) / len(relevant)
+
+
+class HybridRetriever:
+    """Sparse+dense retrieval over a synthetic corpus.
+
+    Parameters
+    ----------
+    corpus:
+        The document collection.
+    index_kind:
+        ``"flat"`` for exact dense search, ``"ivf"`` for the
+        approximate inverted-file index.
+    per_arm:
+        Candidates each arm contributes before dedup (paper: 10 + 10).
+    """
+
+    def __init__(
+        self,
+        corpus: SyntheticCorpus,
+        index_kind: str = "flat",
+        per_arm: int = 10,
+        embed_dim: int = 64,
+        ivf_lists: int = 16,
+        ivf_nprobe: int = 4,
+    ) -> None:
+        if per_arm <= 0:
+            raise ValueError("per_arm must be positive")
+        if index_kind not in ("flat", "ivf"):
+            raise ValueError(f"unknown index kind {index_kind!r}")
+        self.corpus = corpus
+        self.per_arm = per_arm
+        self.index_kind = index_kind
+
+        self.bm25 = BM25Index()
+        self.bm25.add_documents(corpus.documents)
+
+        self.encoder = BiEncoder(dim=embed_dim)
+        texts = [doc.words for doc in corpus.documents]
+        self.encoder.fit(texts)
+        vectors = self.encoder.embed_batch(texts)
+        doc_ids = [doc.doc_id for doc in corpus.documents]
+        if index_kind == "flat":
+            self.vector_index: FlatIndex | IVFIndex = FlatIndex(embed_dim)
+            self.vector_index.add_batch(doc_ids, vectors)
+        else:
+            self.vector_index = IVFIndex(embed_dim, num_lists=ivf_lists, nprobe=ivf_nprobe)
+            self.vector_index.train(doc_ids, vectors)
+
+    # ------------------------------------------------------------------
+    def retrieve(self, query: CorpusQuery) -> RetrievedPool:
+        """Run both arms and merge their hits (sparse first, stable order)."""
+        sparse_hits, postings = self.bm25.search(query.words, top_n=self.per_arm)
+        sparse_seconds = self.bm25.search_cost_seconds(postings)
+
+        query_vec = self.encoder.embed(query.words)
+        outcome: SearchOutcome = self.vector_index.search(query_vec, top_n=self.per_arm)
+        dense_seconds = outcome.cost_seconds()
+
+        sparse_ids = [hit.doc_id for hit in sparse_hits]
+        dense_ids = outcome.ids()
+        merged: list[int] = []
+        seen: set[int] = set()
+        for doc_id in sparse_ids + dense_ids:
+            if doc_id not in seen:
+                seen.add(doc_id)
+                merged.append(doc_id)
+        return RetrievedPool(
+            query=query,
+            doc_ids=merged,
+            sparse_seconds=sparse_seconds,
+            dense_seconds=dense_seconds,
+            sparse_ids=sparse_ids,
+            dense_ids=dense_ids,
+        )
+
+    # ------------------------------------------------------------------
+    def build_batch(self, pool: RetrievedPool, tokenizer: Tokenizer, max_len: int) -> CandidateBatch:
+        """Pack a retrieved pool for the reranker.
+
+        ``uids`` are the corpus doc_ids (globally unique), so the
+        semantic score process is consistent across queries that retrieve
+        the same document.
+        """
+        query_ids = tokenizer.encode_text(pool.query.text)
+        docs = [tokenizer.encode_text(self.corpus.document(d).text) for d in pool.doc_ids]
+        tokens = tokenizer.batch_pairs(query_ids, docs, max_len)
+        return CandidateBatch(
+            tokens=tokens,
+            lengths=tokenizer.attention_lengths(tokens),
+            relevance=pool.relevance(),
+            uids=np.array(pool.doc_ids, dtype=np.int64),
+        )

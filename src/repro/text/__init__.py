@@ -1,0 +1,6 @@
+"""Tokenizer substrate: Zipfian vocabulary + deterministic tokenizer."""
+
+from .tokenizer import Tokenizer
+from .vocab import Vocabulary
+
+__all__ = ["Tokenizer", "Vocabulary"]

@@ -1,0 +1,102 @@
+"""Behaviour tests for the Agent Memory application (Figures 12 & 13)."""
+
+import pytest
+
+from repro.apps.agent_memory import (
+    AGENT_WORKLOADS,
+    AgentMemoryApp,
+    generate_tasks,
+)
+from repro.model.zoo import QWEN3_0_6B
+
+
+@pytest.fixture(scope="module")
+def runs():
+    out = {}
+    for system in ("disable", "hf", "prism"):
+        app = AgentMemoryApp(QWEN3_0_6B, "nvidia_5070", system=system)
+        out[system] = app.run_workload("video", keep_timeline=True)
+    return out
+
+
+class TestWorkloadGeneration:
+    def test_both_workloads_defined(self):
+        assert set(AGENT_WORKLOADS) == {"video", "community"}
+
+    def test_deterministic(self):
+        a = generate_tasks(AGENT_WORKLOADS["video"])
+        b = generate_tasks(AGENT_WORKLOADS["video"])
+        assert [t.signature for t in a] == [t.signature for t in b]
+
+    def test_task_counts(self):
+        spec = AGENT_WORKLOADS["community"]
+        tasks = generate_tasks(spec)
+        assert len(tasks) == spec.num_tasks
+        assert all(t.num_steps >= 2 for t in tasks)
+
+    def test_repeats_marked(self):
+        tasks = generate_tasks(AGENT_WORKLOADS["video"])
+        assert any(t.is_repeat for t in tasks)
+
+    def test_community_tasks_longer_on_average(self):
+        video = generate_tasks(AGENT_WORKLOADS["video"])
+        community = generate_tasks(AGENT_WORKLOADS["community"])
+        mean = lambda ts: sum(t.num_steps for t in ts) / len(ts)
+        assert mean(community) > mean(video)
+
+
+class TestFigure12Shapes:
+    def test_memory_systems_beat_disable(self, runs):
+        """Caching trajectories cuts end-to-end latency (Figure 12)."""
+        assert runs["hf"].mean_latency < runs["disable"].mean_latency
+        assert runs["prism"].mean_latency < runs["disable"].mean_latency
+
+    def test_prism_beats_hf(self, runs):
+        assert runs["prism"].mean_latency < runs["hf"].mean_latency
+
+    def test_prism_rerank_stage_cheaper(self, runs):
+        assert runs["prism"].stage_means()["rerank"] < runs["hf"].stage_means()["rerank"]
+
+    def test_env_time_identical_across_systems(self, runs):
+        env = [r.stage_means()["env"] for r in runs.values()]
+        assert max(env) == pytest.approx(min(env))
+
+    def test_inference_drops_with_memory(self, runs):
+        assert runs["hf"].stage_means()["inference"] < runs["disable"].stage_means()["inference"]
+
+    def test_success_rates_high(self, runs):
+        """Figure 12: success stays ≈1.0 with the memory enabled."""
+        for run in runs.values():
+            assert run.success_rate >= 0.9
+
+    def test_disable_never_consults_memory(self, runs):
+        assert runs["disable"].hit_rate == 0.0
+        assert runs["disable"].stage_means()["rerank"] == 0.0
+
+    def test_memory_systems_hit_often(self, runs):
+        assert runs["hf"].hit_rate > 0.5
+        assert runs["prism"].hit_rate > 0.5
+
+    def test_hit_rates_equal_across_rerankers(self, runs):
+        """HF and PRISM make the same accept decisions (exact scores)."""
+        assert runs["prism"].hit_rate == pytest.approx(runs["hf"].hit_rate, abs=0.1)
+
+
+class TestFigure13Shapes:
+    def test_prism_peak_far_below_hf(self, runs):
+        """Figure 13: 63 % peak reduction during a single action."""
+        assert runs["prism"].peak_mib < 0.5 * runs["hf"].peak_mib
+
+    def test_timeline_captured(self, runs):
+        assert runs["prism"].timeline
+
+
+class TestValidation:
+    def test_unknown_system_rejected(self):
+        with pytest.raises(ValueError):
+            AgentMemoryApp(QWEN3_0_6B, "nvidia_5070", system="magic")
+
+    def test_unknown_workload_rejected(self):
+        app = AgentMemoryApp(QWEN3_0_6B, "nvidia_5070", system="disable")
+        with pytest.raises(KeyError):
+            app.run_workload("gaming")

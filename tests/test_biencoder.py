@@ -1,0 +1,121 @@
+"""Unit tests for the bi-encoder embedder."""
+
+import numpy as np
+import pytest
+
+from repro.retrieval.biencoder import BiEncoder, EmbeddingModelSpec
+from repro.retrieval.corpus import SyntheticCorpus
+
+
+@pytest.fixture
+def encoder():
+    return BiEncoder(dim=32)
+
+
+class TestEmbedding:
+    def test_unit_norm(self, encoder):
+        vec = encoder.embed(("alpha", "beta", "gamma"))
+        assert np.linalg.norm(vec) == pytest.approx(1.0)
+
+    def test_deterministic(self, encoder):
+        a = encoder.embed(("alpha", "beta"))
+        b = encoder.embed(("alpha", "beta"))
+        assert np.array_equal(a, b)
+
+    def test_deterministic_across_instances(self):
+        a = BiEncoder(dim=32).embed(("word",))
+        b = BiEncoder(dim=32).embed(("word",))
+        assert np.array_equal(a, b)
+
+    def test_empty_text_zero_vector(self, encoder):
+        assert np.array_equal(encoder.embed(()), np.zeros(32))
+
+    def test_order_insensitive_up_to_weighting(self, encoder):
+        a = encoder.embed(("x", "y"))
+        b = encoder.embed(("y", "x"))
+        assert np.allclose(a, b)
+
+    def test_batch_shape(self, encoder):
+        out = encoder.embed_batch([("a",), ("b", "c")])
+        assert out.shape == (2, 32)
+
+    def test_empty_batch(self, encoder):
+        assert encoder.embed_batch([]).shape == (0, 32)
+
+    def test_invalid_dim_rejected(self):
+        with pytest.raises(ValueError):
+            BiEncoder(dim=0)
+
+
+class TestSimilarityGeometry:
+    def test_identical_texts_similarity_one(self, encoder):
+        vec = encoder.embed(("shared", "words", "here"))
+        assert BiEncoder.similarity(vec, vec) == pytest.approx(1.0)
+
+    def test_overlapping_texts_more_similar_than_disjoint(self, encoder):
+        a = encoder.embed(("topic", "shared", "words"))
+        b = encoder.embed(("topic", "shared", "other"))
+        c = encoder.embed(("entirely", "different", "vocabulary"))
+        assert BiEncoder.similarity(a, b) > BiEncoder.similarity(a, c)
+
+    def test_disjoint_texts_near_orthogonal(self, encoder):
+        rng_words_a = tuple(f"wa{i}" for i in range(20))
+        rng_words_b = tuple(f"wb{i}" for i in range(20))
+        sim = BiEncoder.similarity(encoder.embed(rng_words_a), encoder.embed(rng_words_b))
+        assert abs(sim) < 0.45
+
+    def test_zero_vector_similarity_zero(self, encoder):
+        assert BiEncoder.similarity(np.zeros(32), np.ones(32)) == 0.0
+
+    def test_same_topic_documents_cluster(self):
+        corpus = SyntheticCorpus(num_docs=60, num_topics=3, words_per_doc=80)
+        encoder = BiEncoder(dim=64)
+        texts = [d.words for d in corpus.documents]
+        encoder.fit(texts)
+        vectors = encoder.embed_batch(texts)
+        same = cross = []
+        same, cross = [], []
+        for i in range(0, 30):
+            for j in range(i + 1, 30):
+                sim = float(vectors[i] @ vectors[j])
+                if corpus.documents[i].topic_id == corpus.documents[j].topic_id:
+                    same.append(sim)
+                else:
+                    cross.append(sim)
+        assert np.mean(same) > np.mean(cross)
+
+
+class TestIDFWeighting:
+    def test_fit_records_document_frequencies(self, encoder):
+        encoder.fit([("common", "a"), ("common", "b"), ("rare", "c")])
+        assert encoder.idf("rare") > encoder.idf("common")
+
+    def test_unfitted_idf_is_neutral(self, encoder):
+        assert encoder.idf("anything") == 1.0
+
+    def test_rare_words_dominate_embeddings(self):
+        encoder = BiEncoder(dim=64)
+        docs = [("common", f"filler{i}") for i in range(50)] + [("common", "rare")]
+        encoder.fit(docs)
+        query = encoder.embed(("rare",))
+        mixed = encoder.embed(("common", "rare"))
+        common_only = encoder.embed(("common",))
+        assert BiEncoder.similarity(query, mixed) > BiEncoder.similarity(query, common_only)
+
+
+class TestCostModel:
+    def test_spec_params_positive(self):
+        spec = EmbeddingModelSpec()
+        assert spec.params() > 1e8
+        assert spec.weight_bytes() == spec.params() * 2
+
+    def test_prefill_flops_linear_in_tokens(self):
+        spec = EmbeddingModelSpec()
+        assert spec.prefill_flops(20) == pytest.approx(2 * spec.prefill_flops(10))
+
+    def test_negative_tokens_rejected(self):
+        with pytest.raises(ValueError):
+            EmbeddingModelSpec().prefill_flops(-1)
+
+    def test_encoder_exposes_cost(self, encoder):
+        assert encoder.embed_cost_flops(10) > 0

@@ -1,0 +1,141 @@
+"""Unit tests for the BM25 keyword index."""
+
+import pytest
+
+from repro.retrieval.bm25 import BM25Index, bm25_scores_dense
+from repro.retrieval.corpus import SyntheticCorpus
+
+
+@pytest.fixture
+def index():
+    idx = BM25Index()
+    idx.add(0, ["apple", "banana", "apple"])
+    idx.add(1, ["banana", "cherry"])
+    idx.add(2, ["date", "elderberry", "fig", "grape"])
+    return idx
+
+
+class TestIndexing:
+    def test_document_count(self, index):
+        assert index.num_documents == 3
+
+    def test_avg_doc_length(self, index):
+        assert index.avg_doc_length == pytest.approx((3 + 2 + 4) / 3)
+
+    def test_duplicate_doc_id_rejected(self, index):
+        with pytest.raises(ValueError):
+            index.add(0, ["more", "words"])
+
+    def test_stats(self, index):
+        stats = index.stats()
+        assert stats.num_documents == 3
+        assert stats.num_terms == 7
+        assert stats.num_postings == 8  # apple appears once in postings
+
+    def test_empty_index(self):
+        idx = BM25Index()
+        hits, visited = idx.search(["anything"], top_n=5)
+        assert hits == [] and visited == 0
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            BM25Index(k1=-0.5)
+        with pytest.raises(ValueError):
+            BM25Index(b=1.5)
+
+
+class TestIDF:
+    def test_rare_terms_weigh_more(self, index):
+        assert index.idf("cherry") > index.idf("banana")
+
+    def test_unseen_term_max_idf(self, index):
+        assert index.idf("zebra") >= index.idf("cherry")
+
+    def test_never_negative(self, index):
+        for term in ("apple", "banana", "cherry", "zebra"):
+            assert index.idf(term) >= 0.0
+
+    def test_document_frequency(self, index):
+        assert index.document_frequency("banana") == 2
+        assert index.document_frequency("zebra") == 0
+
+
+class TestSearch:
+    def test_matching_document_ranks_first(self, index):
+        hits, _ = index.search(["cherry"], top_n=3)
+        assert hits[0].doc_id == 1
+
+    def test_term_frequency_boosts(self, index):
+        hits, _ = index.search(["apple", "banana"], top_n=3)
+        assert hits[0].doc_id == 0  # two query terms, apple twice
+
+    def test_results_sorted_descending(self, index):
+        hits, _ = index.search(["apple", "banana", "cherry"], top_n=3)
+        scores = [h.score for h in hits]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_top_n_respected(self, index):
+        hits, _ = index.search(["apple", "banana", "cherry"], top_n=1)
+        assert len(hits) == 1
+
+    def test_postings_visited_counted(self, index):
+        _, visited = index.search(["banana"], top_n=3)
+        assert visited == 2
+
+    def test_duplicate_query_terms_counted_once(self, index):
+        _, visited_once = index.search(["banana"], top_n=3)
+        _, visited_twice = index.search(["banana", "banana"], top_n=3)
+        assert visited_once == visited_twice
+
+    def test_no_match(self, index):
+        hits, _ = index.search(["zebra"], top_n=3)
+        assert hits == []
+
+    def test_invalid_top_n(self, index):
+        with pytest.raises(ValueError):
+            index.search(["apple"], top_n=0)
+
+    def test_length_normalisation(self):
+        """With b=1, longer documents are penalised at equal tf."""
+        idx = BM25Index(b=1.0)
+        idx.add(0, ["term"] + ["pad"] * 20)
+        idx.add(1, ["term", "pad"])
+        hits, _ = idx.search(["term"], top_n=2)
+        assert hits[0].doc_id == 1
+
+    def test_b_zero_disables_length_normalisation(self):
+        idx = BM25Index(b=0.0)
+        idx.add(0, ["term"] + ["pad"] * 20)
+        idx.add(1, ["term", "pad"])
+        hits, _ = idx.search(["term"], top_n=2)
+        assert hits[0].score == pytest.approx(hits[1].score)
+
+
+class TestCostModel:
+    def test_cost_grows_with_postings(self, index):
+        assert index.search_cost_seconds(1000) > index.search_cost_seconds(10)
+
+    def test_negative_postings_rejected(self, index):
+        with pytest.raises(ValueError):
+            index.search_cost_seconds(-1)
+
+    def test_index_bytes_positive(self, index):
+        assert index.index_bytes() > 0
+
+
+class TestOnCorpus:
+    def test_topical_queries_retrieve_same_topic(self):
+        corpus = SyntheticCorpus(num_docs=100, num_topics=5, words_per_doc=60)
+        index = BM25Index()
+        index.add_documents(corpus.documents)
+        query = corpus.make_query(0, topic_id=2)
+        hits, _ = index.search(query.words, top_n=10)
+        assert hits
+        topics = [corpus.document(h.doc_id).topic_id for h in hits]
+        assert topics.count(2) >= len(topics) * 0.8
+
+    def test_dense_scores_helper(self, index):
+        scores = bm25_scores_dense(index, ("banana",), 3)
+        assert scores.shape == (3,)
+        assert scores[2] == 0.0
+        assert scores[0] > 0 and scores[1] > 0

@@ -1,0 +1,46 @@
+"""Unit tests for the scoring head."""
+
+import numpy as np
+
+from repro.model.classifier import Classifier
+from repro.model.zoo import BGE_M3, QWEN3_0_6B
+
+
+class TestReadoutPositions:
+    def test_decoder_reads_last_valid_token(self):
+        clf = Classifier(QWEN3_0_6B)
+        positions = clf.readout_positions(np.array([5, 12, 1]))
+        assert positions.tolist() == [4, 11, 0]
+
+    def test_decoder_clamps_zero_length(self):
+        clf = Classifier(QWEN3_0_6B)
+        assert clf.readout_positions(np.array([0])).tolist() == [0]
+
+    def test_encoder_reads_cls_position(self):
+        clf = Classifier(BGE_M3)
+        positions = clf.readout_positions(np.array([5, 12]))
+        assert positions.tolist() == [0, 0]
+
+
+class TestScore:
+    def test_score_reads_channel_zero_of_readout(self):
+        clf = Classifier(QWEN3_0_6B)
+        n, seq, dim = 3, 8, QWEN3_0_6B.sim_hidden
+        hidden = np.zeros((n, seq, dim))
+        lengths = np.array([3, 8, 5])
+        for i, length in enumerate(lengths):
+            hidden[i, length - 1, 0] = 10.0 + i
+        scores = clf.score(hidden, lengths)
+        assert scores.tolist() == [10.0, 11.0, 12.0]
+
+    def test_other_channels_ignored(self):
+        clf = Classifier(QWEN3_0_6B)
+        hidden = np.zeros((1, 4, QWEN3_0_6B.sim_hidden))
+        hidden[0, 3, 1:] = 99.0  # junk everywhere except channel 0
+        assert clf.score(hidden, np.array([4]))[0] == 0.0
+
+    def test_encoder_scores_from_first_position(self):
+        clf = Classifier(BGE_M3)
+        hidden = np.zeros((1, 4, BGE_M3.sim_hidden))
+        hidden[0, 0, 0] = 7.0
+        assert clf.score(hidden, np.array([4]))[0] == 7.0

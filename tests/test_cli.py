@@ -1,0 +1,54 @@
+"""Tests for the experiment CLI."""
+
+import pytest
+
+from repro.harness.cli import _EXPERIMENTS, build_parser, main, run_one
+
+
+class TestParser:
+    def test_known_experiments_parse(self):
+        parser = build_parser()
+        args = parser.parse_args(["fig16", "--quick"])
+        assert args.experiment == "fig16"
+        assert args.quick
+
+    def test_unknown_experiment_rejected(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args(["fig99"])
+
+    def test_every_paper_artifact_registered(self):
+        expected = {
+            "fig1",
+            "fig2",
+            "table3",
+            "fig8",
+            "fig9",
+            "fig10",
+            "fig11",
+            "fig12-13",
+            "fig14-15",
+            "fig16",
+        }
+        assert set(_EXPERIMENTS) == expected
+
+
+class TestExecution:
+    def test_list_mode(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig16" in out and "table3" in out
+
+    def test_quick_run_renders(self):
+        text = run_one("fig16", quick=True, out=None)
+        assert "ablation" in text
+        assert "wall]" in text
+
+    def test_out_dir_written(self, tmp_path):
+        run_one("fig2", quick=True, out=tmp_path)
+        assert (tmp_path / "fig2.txt").exists()
+        assert "cluster_gamma" in (tmp_path / "fig2.txt").read_text()
+
+    def test_main_runs_single_experiment(self, capsys):
+        assert main(["fig2", "--quick"]) == 0
+        assert "gamma" in capsys.readouterr().out

@@ -1,0 +1,78 @@
+"""Unit tests for the virtual clock."""
+
+import pytest
+
+from repro.device.clock import ClockError, VirtualClock
+
+
+class TestConstruction:
+    def test_starts_at_zero_by_default(self):
+        assert VirtualClock().now == 0.0
+
+    def test_custom_start(self):
+        assert VirtualClock(5.0).now == 5.0
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(ClockError):
+            VirtualClock(-1.0)
+
+
+class TestAdvance:
+    def test_advance_moves_forward(self):
+        clock = VirtualClock()
+        assert clock.advance(1.5) == 1.5
+        assert clock.now == 1.5
+
+    def test_advance_accumulates(self):
+        clock = VirtualClock()
+        clock.advance(1.0)
+        clock.advance(2.0)
+        assert clock.now == 3.0
+
+    def test_zero_advance_is_noop(self):
+        clock = VirtualClock(2.0)
+        clock.advance(0.0)
+        assert clock.now == 2.0
+
+    def test_negative_advance_rejected(self):
+        clock = VirtualClock()
+        with pytest.raises(ClockError):
+            clock.advance(-0.1)
+
+
+class TestAdvanceTo:
+    def test_advance_to_future(self):
+        clock = VirtualClock()
+        clock.advance_to(4.0)
+        assert clock.now == 4.0
+
+    def test_advance_to_past_is_noop(self):
+        clock = VirtualClock(10.0)
+        clock.advance_to(3.0)
+        assert clock.now == 10.0
+
+    def test_advance_to_now_is_noop(self):
+        clock = VirtualClock(7.0)
+        clock.advance_to(7.0)
+        assert clock.now == 7.0
+
+    def test_returns_new_time(self):
+        clock = VirtualClock()
+        assert clock.advance_to(2.5) == 2.5
+
+
+class TestReset:
+    def test_reset_to_zero(self):
+        clock = VirtualClock()
+        clock.advance(9.0)
+        clock.reset()
+        assert clock.now == 0.0
+
+    def test_reset_to_value(self):
+        clock = VirtualClock()
+        clock.reset(3.0)
+        assert clock.now == 3.0
+
+    def test_negative_reset_rejected(self):
+        with pytest.raises(ClockError):
+            VirtualClock().reset(-2.0)

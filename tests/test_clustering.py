@@ -1,0 +1,127 @@
+"""Unit tests for 1-D k-means and statistically-distinct cluster selection."""
+
+import numpy as np
+import pytest
+
+from repro.core.clustering import Clustering, cluster_scores, kmeans_1d
+
+
+def tiers(rng, centers, spread, per_tier):
+    return np.concatenate([rng.normal(c, spread, size=per_tier) for c in centers])
+
+
+class TestKMeans1D:
+    def test_deterministic(self):
+        scores = np.random.default_rng(0).uniform(0, 1, 30)
+        a = kmeans_1d(scores, 3)
+        b = kmeans_1d(scores, 3)
+        assert np.array_equal(a.labels, b.labels)
+        assert np.array_equal(a.centers, b.centers)
+
+    def test_centers_descending(self):
+        scores = np.random.default_rng(1).uniform(0, 1, 40)
+        clustering = kmeans_1d(scores, 4)
+        assert (np.diff(clustering.centers) < 0).all()
+
+    def test_cluster_zero_is_the_best_band(self):
+        rng = np.random.default_rng(2)
+        scores = tiers(rng, [0.9, 0.1], 0.02, 10)
+        clustering = kmeans_1d(scores, 2)
+        top = clustering.members(0)
+        assert (scores[top] > 0.5).all()
+
+    def test_labels_partition_all_points(self):
+        scores = np.random.default_rng(3).uniform(0, 1, 25)
+        clustering = kmeans_1d(scores, 3)
+        assert clustering.sizes().sum() == 25
+        assert (clustering.sizes() > 0).all()
+
+    def test_k_capped_by_unique_values(self):
+        scores = np.array([0.5, 0.5, 0.5, 0.7])
+        clustering = kmeans_1d(scores, 4)
+        assert clustering.num_clusters <= 2
+
+    def test_single_cluster(self):
+        scores = np.array([0.4, 0.5, 0.6])
+        clustering = kmeans_1d(scores, 1)
+        assert clustering.num_clusters == 1
+        assert clustering.centers[0] == pytest.approx(0.5)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            kmeans_1d(np.array([]), 2)
+
+    def test_2d_rejected(self):
+        with pytest.raises(ValueError):
+            kmeans_1d(np.zeros((3, 2)), 2)
+
+    def test_inertia_nonincreasing_in_k(self):
+        scores = np.random.default_rng(4).uniform(0, 1, 50)
+        inertias = [kmeans_1d(scores, k).inertia for k in (1, 2, 3, 4)]
+        assert all(b <= a + 1e-12 for a, b in zip(inertias, inertias[1:]))
+
+    def test_perfect_tiers_zero_inertia(self):
+        scores = np.array([0.2, 0.2, 0.8, 0.8])
+        assert kmeans_1d(scores, 2).inertia == pytest.approx(0.0)
+
+
+class TestClusterScores:
+    def test_recovers_obvious_tiers(self):
+        rng = np.random.default_rng(5)
+        scores = tiers(rng, [0.85, 0.5, 0.15], 0.015, 7)
+        clustering = cluster_scores(scores)
+        assert clustering.num_clusters == 3
+
+    def test_unimodal_noise_stays_one_cluster(self):
+        """The separation guard: a Gaussian blob must not split —
+        early-layer scores would otherwise create phantom clusters
+        (the cluster-γ ≈ 1 premise of Figure 2b)."""
+        for seed in range(10):
+            scores = np.random.default_rng(seed).normal(0.5, 0.05, 20)
+            assert cluster_scores(scores).num_clusters == 1
+
+    def test_two_well_separated_tiers(self):
+        rng = np.random.default_rng(6)
+        scores = tiers(rng, [0.8, 0.2], 0.03, 10)
+        assert cluster_scores(scores).num_clusters == 2
+
+    def test_max_clusters_respected(self):
+        rng = np.random.default_rng(7)
+        scores = tiers(rng, [0.1, 0.3, 0.5, 0.7, 0.9], 0.005, 5)
+        clustering = cluster_scores(scores, max_clusters=3)
+        assert clustering.num_clusters <= 3
+
+    def test_single_point(self):
+        clustering = cluster_scores(np.array([0.5]))
+        assert clustering.num_clusters == 1
+
+    def test_identical_scores(self):
+        clustering = cluster_scores(np.full(10, 0.5))
+        assert clustering.num_clusters == 1
+        assert clustering.inertia == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            cluster_scores(np.array([]))
+
+    def test_members_accessor(self):
+        rng = np.random.default_rng(8)
+        scores = tiers(rng, [0.9, 0.1], 0.01, 5)
+        clustering = cluster_scores(scores)
+        members = clustering.members(0)
+        assert (scores[members] > 0.5).all()
+        assert members.size == 5
+
+
+class TestClusteringDataclass:
+    def test_num_clusters(self):
+        c = Clustering(
+            labels=np.array([0, 0, 1]), centers=np.array([0.8, 0.2]), inertia=0.0
+        )
+        assert c.num_clusters == 2
+
+    def test_sizes(self):
+        c = Clustering(
+            labels=np.array([0, 0, 1]), centers=np.array([0.8, 0.2]), inertia=0.0
+        )
+        assert c.sizes().tolist() == [2, 1]

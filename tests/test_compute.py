@@ -1,0 +1,73 @@
+"""Unit tests for the roofline compute model."""
+
+import pytest
+
+from repro.device.compute import ComputeModel
+
+
+@pytest.fixture
+def model():
+    return ComputeModel(
+        flops_per_second=1e12,
+        mem_bandwidth=1e11,
+        kernel_overhead=1e-6,
+        quant_compute_overhead=1.5,
+    )
+
+
+class TestValidation:
+    def test_rejects_nonpositive_flops(self):
+        with pytest.raises(ValueError):
+            ComputeModel(flops_per_second=0, mem_bandwidth=1e9)
+
+    def test_rejects_nonpositive_bandwidth(self):
+        with pytest.raises(ValueError):
+            ComputeModel(flops_per_second=1e12, mem_bandwidth=0)
+
+    def test_rejects_negative_overhead(self):
+        with pytest.raises(ValueError):
+            ComputeModel(flops_per_second=1e12, mem_bandwidth=1e9, kernel_overhead=-1e-6)
+
+    def test_rejects_quant_speedup(self):
+        # Quant overhead models extra dequantization work; < 1 would
+        # mean quantization magically speeds up compute.
+        with pytest.raises(ValueError):
+            ComputeModel(flops_per_second=1e12, mem_bandwidth=1e9, quant_compute_overhead=0.9)
+
+
+class TestRoofline:
+    def test_compute_bound_kernel(self, model):
+        # 1e12 FLOPs at 1e12 FLOPS = 1s; traffic negligible.
+        assert model.op_time(1e12, 1e3) == pytest.approx(1.0 + 1e-6)
+
+    def test_memory_bound_kernel(self, model):
+        # 1e11 bytes at 1e11 B/s = 1s; compute negligible.
+        assert model.op_time(1e3, 1e11) == pytest.approx(1.0 + 1e-6)
+
+    def test_max_not_sum(self, model):
+        # Equal compute and traffic time: the roofline takes the max.
+        t = model.op_time(1e12, 1e11)
+        assert t == pytest.approx(1.0 + 1e-6)
+
+    def test_zero_work_costs_overhead(self, model):
+        assert model.op_time(0.0) == pytest.approx(1e-6)
+
+    def test_negative_inputs_rejected(self, model):
+        with pytest.raises(ValueError):
+            model.op_time(-1.0)
+        with pytest.raises(ValueError):
+            model.op_time(1.0, -1.0)
+
+
+class TestQuantOverhead:
+    def test_quant_slows_compute_bound_kernels(self, model):
+        base = model.op_time(1e12, quantized=False)
+        quant = model.op_time(1e12, quantized=True)
+        assert quant == pytest.approx((base - 1e-6) * 1.5 + 1e-6)
+
+    def test_quant_does_not_slow_memory_bound_kernels(self, model):
+        # Memory-bound time is unchanged: only the compute side carries
+        # the dequantization penalty.
+        base = model.op_time(1e3, 1e11, quantized=False)
+        quant = model.op_time(1e3, 1e11, quantized=True)
+        assert quant == pytest.approx(base)

@@ -1,0 +1,117 @@
+"""Unit tests for paper-scale cost accounting — including the paper's
+published anchor numbers (§2.2, §4.3, §4.4)."""
+
+import pytest
+
+from repro.device.memory import MiB
+from repro.model import costs
+from repro.model.zoo import BGE_M3, PAPER_MODELS, QWEN3_0_6B
+
+
+class TestPaperAnchors:
+    def test_qwen06b_layer_params_about_15m(self):
+        """§2.2: Qwen3-Reranker-0.6B has ≈15 M weights per layer."""
+        params = costs.layer_param_count(QWEN3_0_6B)
+        assert 12e6 < params < 18e6
+
+    def test_qwen06b_layers_dominate_weights(self):
+        """§2.2: 28 transformer layers account for >70 % of weights."""
+        layers = costs.all_layer_weight_bytes(QWEN3_0_6B)
+        total = costs.total_weight_bytes(QWEN3_0_6B)
+        assert layers / total > 0.70
+
+    def test_qwen06b_embedding_table_about_296mb(self):
+        """§4.4: the fp16 embedding table is ≈296 MB."""
+        table_mb = costs.embedding_table_bytes(QWEN3_0_6B) / 1e6
+        assert 280 < table_mb < 320
+
+    def test_two_streamed_layers_about_60mb(self):
+        """§4.4: two active streamed layers cost ≈60 MB."""
+        two_layers_mb = 2 * costs.layer_weight_bytes(QWEN3_0_6B) / 1e6
+        assert 45 < two_layers_mb < 75
+
+    def test_intermediates_60cand_about_473mb(self):
+        """§4.3: 60 candidates × 512 tokens add ≈473 MB per layer."""
+        per_cand = costs.intermediate_bytes_per_candidate(QWEN3_0_6B, 512)
+        total_mb = 60 * per_cand / MiB
+        assert 350 < total_mb < 600
+
+
+class TestLayerAccounting:
+    def test_encoder_ffn_smaller_than_decoder(self):
+        """Encoders carry 2 FFN matrices, decoders 3 (SwiGLU gate)."""
+        d, f = BGE_M3.hidden_dim, BGE_M3.ffn_dim
+        encoder_params = costs.layer_param_count(BGE_M3)
+        assert encoder_params == 4 * d * d + 2 * d * f + 2 * d
+
+    def test_quantized_layer_about_4x_smaller(self):
+        fp16 = costs.layer_weight_bytes(QWEN3_0_6B, quantized=False)
+        w4 = costs.layer_weight_bytes(QWEN3_0_6B, quantized=True)
+        assert 3.0 < fp16 / w4 < 4.0  # scale overhead keeps it under 4×
+
+    def test_embedding_not_quantized(self):
+        """GPTQ keeps embedding rows fp16 — §4.4's cache matters even
+        for quant runs."""
+        assert costs.embedding_table_bytes(
+            QWEN3_0_6B, quantized=True
+        ) == costs.embedding_table_bytes(QWEN3_0_6B, quantized=False)
+
+    def test_all_layer_bytes_is_sum(self):
+        assert costs.all_layer_weight_bytes(QWEN3_0_6B) == (
+            QWEN3_0_6B.num_layers * costs.layer_weight_bytes(QWEN3_0_6B)
+        )
+
+    def test_total_weight_bytes_composition(self):
+        total = costs.total_weight_bytes(QWEN3_0_6B)
+        assert total == (
+            costs.all_layer_weight_bytes(QWEN3_0_6B)
+            + costs.embedding_table_bytes(QWEN3_0_6B)
+            + costs.classifier_weight_bytes(QWEN3_0_6B)
+        )
+
+
+class TestFlops:
+    def test_layer_flops_scale_superlinearly_in_seq_len(self):
+        """Attention's L² term makes doubling length more than double."""
+        short = costs.layer_flops_per_candidate(QWEN3_0_6B, 256)
+        long = costs.layer_flops_per_candidate(QWEN3_0_6B, 512)
+        assert long > 2 * short
+
+    def test_layer_flops_positive_and_monotone(self):
+        prev = 0.0
+        for seq_len in (64, 128, 256, 512):
+            flops = costs.layer_flops_per_candidate(QWEN3_0_6B, seq_len)
+            assert flops > prev
+            prev = flops
+
+    def test_invalid_seq_len_rejected(self):
+        with pytest.raises(ValueError):
+            costs.layer_flops_per_candidate(QWEN3_0_6B, 0)
+
+    def test_classifier_flops_tiny(self):
+        assert costs.classifier_flops_per_candidate(QWEN3_0_6B) == 2.0 * QWEN3_0_6B.hidden_dim
+
+    def test_forward_flops_linear_in_candidates(self):
+        one = costs.forward_flops(QWEN3_0_6B, 1, 512)
+        twenty = costs.forward_flops(QWEN3_0_6B, 20, 512)
+        assert twenty == pytest.approx(20 * one)
+
+    def test_forward_flops_anchor_magnitude(self):
+        """20 candidates × 512 tokens on the 0.6 B model ≈ 12 TFLOP
+        (the Figure 1 / §5 calibration anchor)."""
+        tflop = costs.forward_flops(QWEN3_0_6B, 20, 512) / 1e12
+        assert 8 < tflop < 18
+
+
+class TestModelOrdering:
+    def test_bigger_models_cost_more(self):
+        """Weight bytes and per-layer FLOPs rise with parameter count."""
+        by_weights = sorted(PAPER_MODELS, key=costs.total_weight_bytes)
+        names = [m.name for m in by_weights]
+        assert names.index("qwen3-reranker-8b") == len(names) - 1
+        assert names.index("bge-reranker-v2-m3") <= 1
+
+    def test_hidden_state_bytes_formula(self):
+        assert costs.hidden_state_bytes_per_candidate(QWEN3_0_6B, 512) == (
+            512 * QWEN3_0_6B.hidden_dim * QWEN3_0_6B.dtype_bytes
+        )

@@ -1,0 +1,90 @@
+"""Unit tests for the two-stream device executor."""
+
+import pytest
+
+from repro.device.executor import DeviceExecutor
+from repro.device.platforms import NVIDIA_5070
+
+
+@pytest.fixture
+def executor():
+    return DeviceExecutor(NVIDIA_5070.create())
+
+
+class TestComputeStream:
+    def test_compute_advances_clock(self, executor):
+        duration = executor.compute(1e12)
+        assert executor.now == pytest.approx(duration)
+
+    def test_compute_returns_duration(self, executor):
+        assert executor.compute(1e12) > 0.0
+
+
+class TestIOOverlap:
+    def test_prefetch_does_not_advance_clock(self, executor):
+        executor.prefetch("layer", 100_000_000)
+        assert executor.now == 0.0
+        assert executor.io_stall_seconds == 0.0
+
+    def test_wait_io_counts_stall_when_arriving_early(self, executor):
+        executor.prefetch("layer", 100_000_000)
+        executor.wait_io("layer")
+        assert executor.io_stall_seconds > 0.0
+        assert executor.now == pytest.approx(executor.io_stall_seconds)
+
+    def test_no_stall_when_compute_covers_the_load(self, executor):
+        executor.prefetch("layer", 1_000_000)  # ~0.3ms on the 5070 SSD
+        executor.compute(1e12)  # ~80ms of compute
+        executor.wait_io("layer")
+        assert executor.io_stall_seconds == 0.0
+
+    def test_partial_overlap_counts_only_the_residual(self, executor):
+        nbytes = 100_000_000  # ~28.6ms on a 3.5 GB/s SSD
+        executor.prefetch("layer", nbytes)
+        executor.compute(1.23e11)  # ~10ms of compute
+        before = executor.now
+        executor.wait_io("layer")
+        load_time = executor.device.ssd.model.read_time(nbytes)
+        assert executor.io_stall_seconds == pytest.approx(load_time - before)
+
+    def test_read_blocking_is_all_stall(self, executor):
+        executor.read_blocking("blob", 35_000_000)
+        assert executor.io_stall_seconds == pytest.approx(executor.now)
+
+    def test_write_blocking_is_all_stall(self, executor):
+        executor.write_blocking("blob", 28_000_000)
+        assert executor.io_stall_seconds == pytest.approx(executor.now)
+
+    def test_wait_io_if_pending_tolerates_missing_tag(self, executor):
+        executor.wait_io_if_pending("never-issued")  # no exception
+        assert executor.io_stall_seconds == 0.0
+
+    def test_offload_async_does_not_advance_clock(self, executor):
+        executor.offload_async("hidden", 50_000_000)
+        assert executor.now == 0.0
+
+
+class TestSpans:
+    def test_span_measures_simulated_time(self, executor):
+        with executor.span("stage"):
+            executor.compute(1e12)
+        assert executor.span_total("stage") == pytest.approx(executor.now)
+
+    def test_spans_accumulate_by_name(self, executor):
+        with executor.span("stage"):
+            executor.compute(1e11)
+        with executor.span("stage"):
+            executor.compute(1e11)
+        with executor.span("other"):
+            executor.compute(1e11)
+        assert executor.span_total("stage") == pytest.approx(2 * executor.span_total("other"))
+
+    def test_span_records_even_on_exception(self, executor):
+        with pytest.raises(RuntimeError):
+            with executor.span("failing"):
+                executor.compute(1e11)
+                raise RuntimeError("boom")
+        assert executor.span_total("failing") > 0.0
+
+    def test_unknown_span_total_is_zero(self, executor):
+        assert executor.span_total("nothing") == 0.0

@@ -1,0 +1,299 @@
+"""Shape tests for the per-figure experiment entry points.
+
+Each experiment runs at a scaled-down size and the assertions check the
+paper's qualitative claims — who wins, roughly by how much, and where
+the crossovers sit.  The full-scale numbers live in ``benchmarks/``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.harness import experiments as ex
+
+
+class TestFig1:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return ex.fig1_pipeline(num_docs=100, num_queries=2)
+
+    def test_rerank_dominates_latency(self, result):
+        """The paper reports a 96.3 % reranker latency share."""
+        assert result.rerank_latency_share > 0.9
+
+    def test_rerank_dominates_memory(self, result):
+        assert result.rerank_memory_share > 0.6
+
+    def test_retrieval_fast_and_small(self, result):
+        assert result.retrieval_seconds < 0.05
+        assert result.retrieval_mib < result.rerank_peak_mib
+
+    def test_render(self, result):
+        text = result.render()
+        assert "Figure 1" in text and "rerank" in text
+
+
+class TestFig2:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return ex.fig2_sparsity(num_queries=2)
+
+    def test_gamma_rises_with_depth(self, result):
+        """Figure 2b: γ increases toward 1.0 at the final layer."""
+        assert result.gamma[-1] == pytest.approx(1.0)
+        assert np.mean(result.gamma[-5:]) > np.mean(result.gamma[:5])
+
+    def test_cluster_gamma_near_one_once_clusters_form(self, result):
+        """Figure 2b: inter-cluster rankings are stable (≈1.0) from the
+        point where clusters first emerge."""
+        assert np.mean(result.cluster_gamma_values[3:]) > 0.9
+
+    def test_trajectories_fan_out(self, result):
+        """Figure 2a: score spread grows with depth."""
+        spread_early = result.trajectories[:, 1].std()
+        spread_late = result.trajectories[:, -1].std()
+        assert spread_late > 2 * spread_early
+
+    def test_works_for_encoder_architecture(self):
+        result = ex.fig2_sparsity(model_name="bge-reranker-v2-m3", num_queries=1)
+        assert result.gamma[-1] == pytest.approx(1.0)
+
+    def test_render(self, result):
+        assert "cluster_gamma" in result.render()
+
+
+class TestTable3:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return ex.table3(
+            models=("qwen3-reranker-0.6b",),
+            datasets=("wikipedia", "nfcorpus"),
+            platforms=("nvidia_5070",),
+            ks=(1, 10),
+            num_queries=2,
+        )
+
+    def test_rows_for_each_baseline_and_k(self, result):
+        assert len(result.rows) == 6  # 3 baselines × 2 Ks
+
+    def test_prism_reduces_latency_vs_all_baselines(self, result):
+        for baseline in ("hf", "hf_offload", "hf_quant"):
+            row = result.find("qwen3-reranker-0.6b", baseline, 10)
+            assert row.reduction_mean > 0.05
+
+    def test_offload_reduction_larger_than_hf(self, result):
+        """HF-Offload is the slowest baseline, so reductions vs it are
+        the largest — Table 3's pattern."""
+        hf = result.find("qwen3-reranker-0.6b", "hf", 10)
+        offload = result.find("qwen3-reranker-0.6b", "hf_offload", 10)
+        assert offload.reduction_mean > hf.reduction_mean
+
+    def test_precision_losses_tiny(self, result):
+        for row in result.rows:
+            assert row.precision_loss_max > -0.12
+
+    def test_oom_for_big_models_on_edge(self):
+        result = ex.table3(
+            models=("qwen3-reranker-8b",),
+            datasets=("wikipedia",),
+            platforms=("nvidia_5070",),
+            ks=(10,),
+            num_queries=1,
+        )
+        assert result.find("qwen3-reranker-8b", "hf", 10).baseline_oom
+
+    def test_render(self, result):
+        assert "Table 3" in result.render()
+
+
+class TestFig8:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return ex.fig8_wikipedia(
+            models=("qwen3-reranker-0.6b",),
+            platforms=("nvidia_5070",),
+            ks=(10,),
+            num_queries=2,
+        )
+
+    def test_seven_systems(self, result):
+        assert len(result.cells) == 7
+
+    def test_prism_low_fastest(self, result):
+        cells = {c.system: c for c in result.cells}
+        assert cells["prism_low"].latency <= cells["prism_high"].latency
+        assert cells["prism_low"].latency < cells["hf"].latency
+        assert cells["hf"].latency < cells["hf_offload"].latency
+
+    def test_quant_slower_than_plain_prism(self, result):
+        cells = {c.system: c for c in result.cells}
+        assert cells["prism_quant_low"].latency > cells["prism_low"].latency
+
+    def test_precision_band(self, result):
+        for cell in result.cells:
+            if not cell.oom:
+                assert 0.5 < cell.precision <= 1.0
+
+    def test_render(self, result):
+        assert "Wikipedia" in result.render()
+
+
+class TestFig9:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return ex.fig9_memory(models=("qwen3-reranker-0.6b", "qwen3-reranker-4b"))
+
+    def test_prism_smallest_everywhere(self, result):
+        for model in ("qwen3-reranker-0.6b", "qwen3-reranker-4b"):
+            prism = result.find(model, "prism").peak_mib
+            for system in ("hf", "hf_offload", "hf_quant"):
+                assert prism < result.find(model, system).peak_mib
+
+    def test_peak_ratio_bands(self, result):
+        """Paper: 5.34–11.45× vs HF, 1.34–3.83× vs Offload,
+        2.77–4.83× vs Quant."""
+        assert 4 < result.peak_ratio("qwen3-reranker-0.6b", "hf") < 14
+        assert 1.2 < result.peak_ratio("qwen3-reranker-0.6b", "hf_offload") < 5
+        assert 2 < result.peak_ratio("qwen3-reranker-0.6b", "hf_quant") < 6
+
+    def test_4b_hf_ooms_on_edge(self, result):
+        row = result.find("qwen3-reranker-4b", "hf")
+        assert row.oom_on_edge
+        assert row.platform == "nvidia_a800"
+
+    def test_timelines_recorded(self, result):
+        assert result.find("qwen3-reranker-0.6b", "prism").timeline
+
+    def test_render_marks_a800_fallback(self, result):
+        assert "(A800)" in result.render()
+
+
+class TestFig10:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return ex.fig10_tradeoff(num_thresholds=4, num_queries=3)
+
+    def test_latency_rises_with_threshold(self, result):
+        latencies = result.latencies()
+        assert latencies[-1] > latencies[0]
+
+    def test_precision_within_band(self, result):
+        for k in (1, 5, 10):
+            for p in result.precisions(k):
+                assert 0.4 <= p <= 1.0
+
+    def test_render(self, result):
+        assert "threshold" in result.render()
+
+
+class TestFig11:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return ex.fig11_rag(num_docs=100, num_queries=3)
+
+    def test_both_platforms_present(self, result):
+        assert set(result.runs) == {"apple_m2", "nvidia_5070"}
+
+    def test_prism_wins_on_both_platforms(self, result):
+        for platform in result.runs:
+            hf = result.runs[platform]["hf"]
+            prism = result.runs[platform]["prism"]
+            assert prism.mean_latency < hf.mean_latency
+            assert prism.peak_mib < hf.peak_mib
+
+    def test_render(self, result):
+        assert "RAG" in result.render()
+
+
+class TestFig12_13:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return ex.fig12_13_agent_memory(workloads=("video",))
+
+    def test_three_systems(self, result):
+        assert set(result.runs["video"]) == {"disable", "hf", "prism"}
+
+    def test_ordering(self, result):
+        runs = result.runs["video"]
+        assert runs["prism"].mean_latency < runs["hf"].mean_latency
+        assert runs["hf"].mean_latency < runs["disable"].mean_latency
+
+    def test_render(self, result):
+        assert "agent memory" in result.render()
+
+
+class TestFig14_15:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return ex.fig14_15_long_context(num_tasks=6)
+
+    def test_three_systems(self, result):
+        assert set(result.runs) == {"baseline", "hf", "prism"}
+
+    def test_ordering(self, result):
+        assert result.runs["prism"].mean_latency < result.runs["hf"].mean_latency
+        assert result.runs["hf"].mean_latency < result.runs["baseline"].mean_latency
+
+    def test_memory_gap(self, result):
+        assert result.runs["prism"].peak_mib < result.runs["hf"].peak_mib
+
+    def test_render(self, result):
+        assert "long-context" in result.render()
+
+
+class TestFig16:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return ex.fig16_ablation()
+
+    def test_five_steps(self, result):
+        assert [r.step for r in result.rows] == list(ex.ABLATION_STEPS)
+
+    def test_pruning_cuts_latency(self, result):
+        assert result.find("+pruning").latency < 0.75 * result.find("hf").latency
+
+    def test_pruning_inflates_peak_memory(self, result):
+        """The monolithic batch costs memory until chunking reclaims it."""
+        assert result.find("+pruning").peak_mib > result.find("hf").peak_mib
+
+    def test_chunking_reclaims_memory(self, result):
+        assert result.find("+chunked").peak_mib < result.find("+pruning").peak_mib
+
+    def test_streaming_big_memory_cut_small_latency_cost(self, result):
+        chunked = result.find("+chunked")
+        streaming = result.find("+streaming")
+        assert streaming.peak_mib < 0.6 * chunked.peak_mib
+        assert streaming.latency - chunked.latency < 0.1 * chunked.latency
+
+    def test_embedding_cache_final_cut(self, result):
+        assert result.find("+embedding-cache").peak_mib < 0.6 * result.find("+streaming").peak_mib
+
+    def test_full_stack_vs_baseline(self, result):
+        """The paper's combined claim: −48.5 % latency, −78.4 % peak."""
+        hf = result.find("hf")
+        full = result.find("+embedding-cache")
+        assert full.latency < 0.75 * hf.latency
+        assert full.peak_mib < 0.35 * hf.peak_mib
+
+    def test_render(self, result):
+        assert "ablation" in result.render()
+
+
+class TestOverlapWindowSweep:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return ex.overlap_window_sweep(bandwidths_gbps=(0.5, 3.5), num_queries=2)
+
+    def test_latency_monotone_in_bandwidth(self, result):
+        assert result.points[0].latency > result.points[1].latency
+
+    def test_slow_storage_breaks_the_window(self, result):
+        slow, fast = result.points
+        assert slow.io_stall_seconds > 5 * fast.io_stall_seconds
+
+    def test_memory_independent_of_bandwidth(self, result):
+        slow, fast = result.points
+        assert slow.peak_mib == pytest.approx(fast.peak_mib, abs=1.0)
+
+    def test_render(self, result):
+        text = result.render()
+        assert "Overlap-window" in text and "HF reference" in text

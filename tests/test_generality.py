@@ -1,0 +1,80 @@
+"""§7 generality: sequence-level sparsity beyond dedicated rerankers.
+
+The paper's discussion reports that an instruction-tuned LLM used as a
+reranker (Qwen3-4B-Instruct) shows the same sequence-level sparsity,
+so PRISM's principles extend beyond specialised reranker checkpoints.
+"""
+
+import numpy as np
+import pytest
+
+from repro.data.datasets import get_dataset
+from repro.harness.experiments import fig2_sparsity
+from repro.harness.runner import run_system
+from repro.model.zoo import QWEN3_4B, get_model_config
+
+LLM_RERANKER = "qwen3-4b-instruct-as-reranker"
+
+
+class TestSparsityGeneralises:
+    def test_gamma_still_converges(self):
+        result = fig2_sparsity(model_name=LLM_RERANKER, num_queries=3)
+        assert result.gamma[-1] == pytest.approx(1.0)
+        assert np.mean(result.gamma[-4:]) > np.mean(result.gamma[:4]) + 0.3
+
+    def test_cluster_gamma_still_stable(self):
+        result = fig2_sparsity(model_name=LLM_RERANKER, num_queries=3)
+        assert np.mean(result.cluster_gamma_values[4:]) > 0.85
+
+    def test_convergence_later_than_finetuned_reranker(self):
+        """Without reranking fine-tuning, rankings stabilise later —
+        γ at mid-depth trails the dedicated 4B reranker."""
+        llm = fig2_sparsity(model_name=LLM_RERANKER, num_queries=3)
+        tuned = fig2_sparsity(model_name=QWEN3_4B.name, num_queries=3)
+        mid = len(llm.gamma) // 2
+        assert llm.gamma[mid] < tuned.gamma[mid]
+
+
+class TestPrismOnLLMReranker:
+    @pytest.fixture(scope="class")
+    def queries(self):
+        return get_dataset("wikipedia").queries(3, 20)
+
+    def test_prism_still_reduces_latency(self, queries):
+        model = get_model_config(LLM_RERANKER)
+        offload = run_system("hf_offload", model, "nvidia_5070", queries, 10)
+        prism = run_system("prism", model, "nvidia_5070", queries, 10)
+        assert prism.mean_latency < offload.mean_latency
+
+    def test_prism_precision_neutral(self, queries):
+        model = get_model_config(LLM_RERANKER)
+        offload = run_system("hf_offload", model, "nvidia_5070", queries, 10)
+        prism = run_system("prism", model, "nvidia_5070", queries, 10)
+        assert abs(prism.mean_precision - offload.mean_precision) < 0.08
+
+    def test_llm_reranker_ranks_less_faithfully(self, queries):
+        """The instruction-tuned LLM's noisier judgements track the
+        true relevance ordering less faithfully than the fine-tuned
+        reranker of the same size (γ against ground truth)."""
+        from repro.core.metrics import goodman_kruskal_gamma
+        from repro.model.transformer import CrossEncoderModel
+
+        llm = CrossEncoderModel(get_model_config(LLM_RERANKER))
+        tuned = CrossEncoderModel(QWEN3_4B)
+        llm_gammas, tuned_gammas = [], []
+        for query in queries:
+            rel, uids = query.relevance(), query.uids()
+            llm_gammas.append(
+                goodman_kruskal_gamma(llm.dynamics.final_scores(rel, uids), rel)
+            )
+            tuned_gammas.append(
+                goodman_kruskal_gamma(tuned.dynamics.final_scores(rel, uids), rel)
+            )
+        assert np.mean(llm_gammas) < np.mean(tuned_gammas)
+
+    def test_vanilla_hf_ooms_but_prism_runs(self, queries):
+        """A 4B LLM is just as OOM-prone as the 4B reranker; PRISM
+        makes it deployable on the edge device."""
+        model = get_model_config(LLM_RERANKER)
+        assert run_system("hf", model, "nvidia_5070", queries, 10).oom
+        assert not run_system("prism", model, "nvidia_5070", queries, 10).oom

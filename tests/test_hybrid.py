@@ -1,0 +1,104 @@
+"""Unit tests for the hybrid retriever."""
+
+import numpy as np
+import pytest
+
+from repro.harness.runner import shared_tokenizer
+from repro.model.zoo import QWEN3_0_6B
+from repro.retrieval.corpus import SyntheticCorpus
+from repro.retrieval.hybrid import HybridRetriever
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return SyntheticCorpus(num_docs=120, num_topics=8, words_per_doc=80)
+
+
+@pytest.fixture(scope="module")
+def retriever(corpus):
+    return HybridRetriever(corpus, per_arm=10)
+
+
+class TestConstruction:
+    def test_invalid_per_arm(self, corpus):
+        with pytest.raises(ValueError):
+            HybridRetriever(corpus, per_arm=0)
+
+    def test_invalid_index_kind(self, corpus):
+        with pytest.raises(ValueError):
+            HybridRetriever(corpus, index_kind="hnsw")
+
+    def test_ivf_variant_builds(self, corpus):
+        retriever = HybridRetriever(corpus, index_kind="ivf", per_arm=5)
+        pool = retriever.retrieve(corpus.make_query(0, topic_id=1))
+        assert pool.size > 0
+
+
+class TestRetrieve:
+    def test_pool_deduplicated(self, retriever, corpus):
+        pool = retriever.retrieve(corpus.make_query(0, topic_id=2))
+        assert len(pool.doc_ids) == len(set(pool.doc_ids))
+
+    def test_pool_bounded_by_both_arms(self, retriever, corpus):
+        pool = retriever.retrieve(corpus.make_query(1, topic_id=3))
+        assert pool.size <= 20
+        assert len(pool.sparse_ids) <= 10
+        assert len(pool.dense_ids) <= 10
+
+    def test_pool_union_of_arms(self, retriever, corpus):
+        pool = retriever.retrieve(corpus.make_query(2, topic_id=4))
+        assert set(pool.doc_ids) == set(pool.sparse_ids) | set(pool.dense_ids)
+
+    def test_arm_costs_positive(self, retriever, corpus):
+        pool = retriever.retrieve(corpus.make_query(3, topic_id=5))
+        assert pool.sparse_seconds > 0
+        assert pool.dense_seconds > 0
+
+    def test_pool_mostly_on_topic(self, retriever, corpus):
+        pool = retriever.retrieve(corpus.make_query(4, topic_id=6))
+        topics = [corpus.document(d).topic_id for d in pool.doc_ids]
+        assert topics.count(6) >= pool.size * 0.5
+
+    def test_recall_reasonable(self, retriever, corpus):
+        recalls = [
+            retriever.retrieve(corpus.make_query(i, topic_id=i % 8)).recall()
+            for i in range(4)
+        ]
+        assert np.mean(recalls) > 0.3
+
+    def test_pool_ground_truth_views(self, retriever, corpus):
+        query = corpus.make_query(5, topic_id=1)
+        pool = retriever.retrieve(query)
+        assert np.array_equal(pool.relevance(), query.relevance[pool.doc_ids])
+        assert np.array_equal(pool.labels(), query.labels[pool.doc_ids])
+
+
+class TestBuildBatch:
+    def test_batch_matches_pool(self, retriever, corpus):
+        tokenizer = shared_tokenizer(QWEN3_0_6B)
+        query = corpus.make_query(6, topic_id=2)
+        pool = retriever.retrieve(query)
+        batch = retriever.build_batch(pool, tokenizer, 512)
+        assert batch.size == pool.size
+        assert np.array_equal(batch.uids, np.array(pool.doc_ids))
+        assert np.array_equal(batch.relevance, pool.relevance())
+
+    def test_batch_tokens_shape(self, retriever, corpus):
+        tokenizer = shared_tokenizer(QWEN3_0_6B)
+        pool = retriever.retrieve(corpus.make_query(7, topic_id=3))
+        batch = retriever.build_batch(pool, tokenizer, 256)
+        assert batch.tokens.shape == (pool.size, 256)
+
+    def test_uids_stable_across_queries(self, retriever, corpus):
+        """The same document must carry the same uid in every pool —
+        the semantic process keys off it."""
+        tokenizer = shared_tokenizer(QWEN3_0_6B)
+        pool_a = retriever.retrieve(corpus.make_query(8, topic_id=4))
+        pool_b = retriever.retrieve(corpus.make_query(9, topic_id=4))
+        batch_a = retriever.build_batch(pool_a, tokenizer, 256)
+        batch_b = retriever.build_batch(pool_b, tokenizer, 256)
+        shared = set(pool_a.doc_ids) & set(pool_b.doc_ids)
+        for doc_id in shared:
+            ia = pool_a.doc_ids.index(doc_id)
+            ib = pool_b.doc_ids.index(doc_id)
+            assert batch_a.uids[ia] == batch_b.uids[ib] == doc_id

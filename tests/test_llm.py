@@ -1,0 +1,175 @@
+"""Unit tests for the LLM generation cost models."""
+
+import pytest
+
+from repro.apps.llm import (
+    MOBIMIND_VLM_7B,
+    QWEN3_4B_INSTRUCT_W4,
+    QWEN3_32B,
+    LLMSpec,
+    OnDeviceLLM,
+    RemoteLLM,
+    ServerProfile,
+)
+from repro.device.executor import DeviceExecutor
+from repro.device.platforms import NVIDIA_5070, NVIDIA_A800
+
+
+@pytest.fixture
+def executor():
+    return DeviceExecutor(NVIDIA_5070.create())
+
+
+class TestLLMSpec:
+    def test_params_magnitudes(self):
+        assert 25e9 < QWEN3_32B.params() < 40e9
+        assert 3e9 < QWEN3_4B_INSTRUCT_W4.params() < 5e9
+        assert 6e9 < MOBIMIND_VLM_7B.params() < 9e9
+
+    def test_quantized_weights_smaller(self):
+        fp16 = LLMSpec(name="x", num_layers=36, hidden_dim=2560, ffn_dim=9728)
+        assert QWEN3_4B_INSTRUCT_W4.weight_bytes() < 0.45 * fp16.weight_bytes()
+
+    def test_prefill_flops_superlinear(self):
+        assert QWEN3_32B.prefill_flops(2000) > 2 * QWEN3_32B.prefill_flops(1000)
+
+    def test_decode_flops_grow_with_context(self):
+        assert QWEN3_32B.decode_flops_per_token(4000) > QWEN3_32B.decode_flops_per_token(100)
+
+    def test_kv_bytes_positive(self):
+        assert QWEN3_32B.kv_bytes_per_token() > 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LLMSpec(name="bad", num_layers=0, hidden_dim=10, ffn_dim=10)
+        with pytest.raises(ValueError):
+            QWEN3_32B.prefill_flops(-1)
+
+
+class TestOnDeviceLLM:
+    def test_prepare_loads_weights(self, executor):
+        llm = OnDeviceLLM(QWEN3_4B_INSTRUCT_W4, executor)
+        llm.prepare()
+        assert executor.device.memory.in_use == QWEN3_4B_INSTRUCT_W4.weight_bytes()
+        assert executor.now > 0  # load time charged
+
+    def test_generate_before_prepare_rejected(self, executor):
+        llm = OnDeviceLLM(QWEN3_4B_INSTRUCT_W4, executor)
+        with pytest.raises(RuntimeError):
+            llm.generate(100, 10)
+
+    def test_generate_advances_clock(self, executor):
+        llm = OnDeviceLLM(QWEN3_4B_INSTRUCT_W4, executor)
+        llm.prepare()
+        before = executor.now
+        result = llm.generate(1000, 16)
+        assert executor.now - before == pytest.approx(result.total_seconds)
+
+    def test_longer_prompts_cost_more(self, executor):
+        llm = OnDeviceLLM(QWEN3_4B_INSTRUCT_W4, executor)
+        llm.prepare()
+        short = llm.generate(1000, 0).prefill_seconds
+        long = llm.generate(8000, 0).prefill_seconds
+        assert long > 6 * short
+
+    def test_kv_freed_after_generation(self, executor):
+        llm = OnDeviceLLM(QWEN3_4B_INSTRUCT_W4, executor)
+        llm.prepare()
+        llm.generate(1000, 8)
+        assert executor.device.memory.in_use == QWEN3_4B_INSTRUCT_W4.weight_bytes()
+
+    def test_kv_counted_in_peak(self, executor):
+        llm = OnDeviceLLM(QWEN3_4B_INSTRUCT_W4, executor)
+        llm.prepare()
+        llm.generate(10_000, 4)
+        peak_kv = executor.device.memory.stats().peak_by_category.get("kv", 0)
+        assert peak_kv >= 10_000 * QWEN3_4B_INSTRUCT_W4.kv_bytes_per_token()
+
+    def test_release(self, executor):
+        llm = OnDeviceLLM(QWEN3_4B_INSTRUCT_W4, executor)
+        llm.prepare()
+        llm.release()
+        assert executor.device.memory.in_use == 0
+
+    def test_validation(self, executor):
+        llm = OnDeviceLLM(QWEN3_4B_INSTRUCT_W4, executor)
+        llm.prepare()
+        with pytest.raises(ValueError):
+            llm.generate(0, 4)
+        with pytest.raises(ValueError):
+            llm.generate(100, -1)
+
+    def test_prepare_idempotent(self, executor):
+        llm = OnDeviceLLM(QWEN3_4B_INSTRUCT_W4, executor)
+        llm.prepare()
+        in_use = executor.device.memory.in_use
+        llm.prepare()
+        assert executor.device.memory.in_use == in_use
+
+
+class TestRemoteLLM:
+    def test_no_device_memory_charged(self, executor):
+        llm = RemoteLLM(QWEN3_32B, executor)
+        llm.generate(2000, 8)
+        assert executor.device.memory.in_use == 0
+
+    def test_clock_advances_by_server_time(self, executor):
+        llm = RemoteLLM(QWEN3_32B, executor)
+        before = executor.now
+        result = llm.generate(2000, 8)
+        assert executor.now - before == pytest.approx(result.total_seconds)
+
+    def test_includes_network_rtt(self, executor):
+        fast_net = RemoteLLM(QWEN3_32B, executor, ServerProfile(network_rtt=0.0))
+        slow_net = RemoteLLM(QWEN3_32B, executor, ServerProfile(network_rtt=0.1))
+        assert (
+            slow_net.generate(1000, 0).prefill_seconds
+            - fast_net.generate(1000, 0).prefill_seconds
+        ) == pytest.approx(0.1)
+
+    def test_first_token_is_one_decode_step(self, executor):
+        llm = RemoteLLM(QWEN3_32B, executor)
+        result = llm.first_token(1500)
+        assert result.output_tokens == 1
+
+    def test_server_faster_than_edge(self):
+        """The A800 server generates far faster than the edge device —
+        why the paper offloads generation in RAG/AM."""
+        edge_exec = DeviceExecutor(NVIDIA_5070.create())
+        server_exec = DeviceExecutor(NVIDIA_A800.create())
+        on_device = OnDeviceLLM(QWEN3_4B_INSTRUCT_W4, edge_exec)
+        on_device.prepare()
+        edge_time = on_device.generate(2000, 16).total_seconds
+        remote = RemoteLLM(QWEN3_4B_INSTRUCT_W4, server_exec)
+        server_time = remote.generate(2000, 16).total_seconds
+        assert server_time < edge_time
+
+    def test_vlm_too_big_for_edge_memory(self):
+        """The fp16 7 B VLM cannot even fit the 8 GiB edge budget —
+        remote serving is forced, not optional."""
+        executor = DeviceExecutor(NVIDIA_5070.create())
+        from repro.device.memory import OutOfMemoryError
+
+        llm = OnDeviceLLM(MOBIMIND_VLM_7B, executor)
+        with pytest.raises(OutOfMemoryError):
+            llm.prepare()
+
+    def test_validation(self, executor):
+        llm = RemoteLLM(QWEN3_32B, executor)
+        with pytest.raises(ValueError):
+            llm.generate(0, 4)
+        with pytest.raises(ValueError):
+            ServerProfile(flops_per_second=0)
+
+
+class TestGenerationResult:
+    def test_first_token_latency(self, executor):
+        llm = RemoteLLM(QWEN3_32B, executor)
+        result = llm.generate(1000, 10)
+        assert result.first_token_seconds < result.total_seconds
+        assert result.first_token_seconds > result.prefill_seconds
+
+    def test_zero_output_first_token_is_prefill(self, executor):
+        llm = RemoteLLM(QWEN3_32B, executor)
+        result = llm.generate(1000, 0)
+        assert result.first_token_seconds == result.prefill_seconds

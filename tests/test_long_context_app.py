@@ -1,0 +1,106 @@
+"""Behaviour tests for LLM Long-Context Selection (Figures 14 & 15)."""
+
+import pytest
+
+from repro.apps.long_context import LongContextApp, generate_tasks
+from repro.model.zoo import QWEN3_0_6B
+
+
+@pytest.fixture(scope="module")
+def tasks():
+    return generate_tasks(8)
+
+
+@pytest.fixture(scope="module")
+def runs(tasks):
+    out = {}
+    for system in ("baseline", "hf", "prism"):
+        app = LongContextApp(QWEN3_0_6B, "nvidia_5070", system=system)
+        out[system] = app.run(tasks, keep_timeline=True)
+    return out
+
+
+class TestTaskGeneration:
+    def test_deterministic(self):
+        a = generate_tasks(3)
+        b = generate_tasks(3)
+        assert [t.needed for t in a] == [t.needed for t in b]
+
+    def test_needed_segments_within_range(self, tasks):
+        for task in tasks:
+            assert 2 <= len(task.needed) <= 4
+            assert all(0 <= seg < task.num_segments for seg in task.needed)
+
+    def test_needed_segments_read_relevant(self, tasks):
+        for task in tasks:
+            for seg in task.needed:
+                assert task.relevance[seg] > 0.6
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            generate_tasks(0)
+        with pytest.raises(ValueError):
+            generate_tasks(2, num_segments=0)
+
+
+class TestFigure14Shapes:
+    def test_rerank_systems_much_faster_than_baseline(self, runs):
+        """Figure 14: selection cuts the end-to-end latency sharply
+        (the paper reports 2.07× for no-reranker vs HF-reranker)."""
+        assert runs["hf"].mean_latency < 0.6 * runs["baseline"].mean_latency
+        assert runs["prism"].mean_latency < runs["hf"].mean_latency
+
+    def test_baseline_has_no_rerank_stage(self, runs):
+        assert runs["baseline"].mean_rerank_seconds == 0.0
+
+    def test_rerank_inference_split(self, runs):
+        run = runs["prism"]
+        assert run.mean_rerank_seconds > 0
+        assert run.mean_latency == pytest.approx(
+            run.mean_rerank_seconds + run.mean_inference_seconds
+        )
+
+    def test_inference_cheaper_with_selection(self, runs):
+        """Selected prompts are ~10× smaller than the full context."""
+        assert runs["prism"].mean_inference_seconds < 0.5 * runs["baseline"].mean_inference_seconds
+
+    def test_accuracy_not_hurt_by_selection(self, runs):
+        """Figure 14: rerank systems match or beat the distracted
+        full-context baseline."""
+        assert runs["prism"].accuracy >= runs["baseline"].accuracy - 0.05
+        assert runs["hf"].accuracy >= runs["baseline"].accuracy - 0.05
+
+    def test_selection_covers_needed_segments(self, runs):
+        assert runs["prism"].mean_coverage > 0.8
+        assert runs["hf"].mean_coverage > 0.8
+
+
+class TestFigure15Shapes:
+    def test_prism_peak_below_hf(self, runs):
+        """Figure 15: ≈1 GiB peak reduction vs the HF reranker."""
+        assert runs["prism"].peak_mib < runs["hf"].peak_mib - 500
+
+    def test_generator_weights_dominate_prism_footprint(self, runs):
+        from repro.apps.llm import QWEN3_4B_INSTRUCT_W4
+        from repro.device.memory import MiB
+
+        generator_mib = QWEN3_4B_INSTRUCT_W4.weight_bytes() / MiB
+        assert runs["prism"].peak_mib > generator_mib
+
+    def test_timeline_captured(self, runs):
+        assert runs["hf"].timeline
+
+
+class TestValidation:
+    def test_unknown_system_rejected(self):
+        with pytest.raises(ValueError):
+            LongContextApp(QWEN3_0_6B, "nvidia_5070", system="rag")
+
+    def test_invalid_k_rejected(self):
+        with pytest.raises(ValueError):
+            LongContextApp(QWEN3_0_6B, "nvidia_5070", k_segments=0)
+
+    def test_empty_tasks_rejected(self):
+        app = LongContextApp(QWEN3_0_6B, "nvidia_5070", system="baseline")
+        with pytest.raises(ValueError):
+            app.run([])

@@ -1,0 +1,213 @@
+"""Unit tests for the byte-accurate memory tracker."""
+
+import pytest
+
+from repro.device.clock import VirtualClock
+from repro.device.memory import (
+    CATEGORY_HIDDEN,
+    CATEGORY_WEIGHTS,
+    MemoryError_,
+    MemoryTracker,
+    MiB,
+    OutOfMemoryError,
+)
+
+
+@pytest.fixture
+def clock():
+    return VirtualClock()
+
+
+@pytest.fixture
+def tracker(clock):
+    return MemoryTracker(clock)
+
+
+class TestAllocFree:
+    def test_alloc_increases_in_use(self, tracker):
+        tracker.alloc("a", 100)
+        assert tracker.in_use == 100
+
+    def test_free_decreases_in_use(self, tracker):
+        tracker.alloc("a", 100)
+        tracker.free("a")
+        assert tracker.in_use == 0
+
+    def test_multiple_allocations_sum(self, tracker):
+        tracker.alloc("a", 100)
+        tracker.alloc("b", 250)
+        assert tracker.in_use == 350
+
+    def test_zero_byte_allocation_allowed(self, tracker):
+        tracker.alloc("empty", 0)
+        assert tracker.in_use == 0
+        tracker.free("empty")
+
+    def test_negative_allocation_rejected(self, tracker):
+        with pytest.raises(MemoryError_):
+            tracker.alloc("bad", -1)
+
+    def test_duplicate_name_rejected(self, tracker):
+        tracker.alloc("a", 10)
+        with pytest.raises(MemoryError_):
+            tracker.alloc("a", 20)
+
+    def test_name_reusable_after_free(self, tracker):
+        tracker.alloc("a", 10)
+        tracker.free("a")
+        tracker.alloc("a", 30)
+        assert tracker.in_use == 30
+
+    def test_free_unknown_rejected(self, tracker):
+        with pytest.raises(MemoryError_):
+            tracker.free("ghost")
+
+    def test_double_free_rejected(self, tracker):
+        tracker.alloc("a", 10)
+        tracker.free("a")
+        with pytest.raises(MemoryError_):
+            tracker.free("a")
+
+    def test_free_if_live(self, tracker):
+        tracker.alloc("a", 10)
+        assert tracker.free_if_live("a") is True
+        assert tracker.free_if_live("a") is False
+
+    def test_is_live_and_live_bytes(self, tracker):
+        tracker.alloc("a", 42)
+        assert tracker.is_live("a")
+        assert tracker.live_bytes("a") == 42
+        assert not tracker.is_live("b")
+        assert tracker.live_bytes("b") == 0
+
+
+class TestPeak:
+    def test_peak_tracks_maximum(self, tracker):
+        tracker.alloc("a", 100)
+        tracker.alloc("b", 50)
+        tracker.free("a")
+        tracker.alloc("c", 20)
+        assert tracker.peak == 150
+        assert tracker.in_use == 70
+
+    def test_peak_never_decreases(self, tracker):
+        tracker.alloc("a", 500)
+        tracker.free("a")
+        assert tracker.peak == 500
+
+
+class TestCategories:
+    def test_per_category_accounting(self, tracker):
+        tracker.alloc("w", 100, CATEGORY_WEIGHTS)
+        tracker.alloc("h", 30, CATEGORY_HIDDEN)
+        assert tracker.in_use_by_category(CATEGORY_WEIGHTS) == 100
+        assert tracker.in_use_by_category(CATEGORY_HIDDEN) == 30
+
+    def test_category_decreases_on_free(self, tracker):
+        tracker.alloc("w", 100, CATEGORY_WEIGHTS)
+        tracker.free("w")
+        assert tracker.in_use_by_category(CATEGORY_WEIGHTS) == 0
+
+    def test_peak_by_category_in_stats(self, tracker):
+        tracker.alloc("w1", 100, CATEGORY_WEIGHTS)
+        tracker.alloc("w2", 60, CATEGORY_WEIGHTS)
+        tracker.free("w1")
+        stats = tracker.stats()
+        assert stats.peak_by_category[CATEGORY_WEIGHTS] == 160
+
+
+class TestBudget:
+    def test_allocation_within_budget(self, clock):
+        tracker = MemoryTracker(clock, budget_bytes=1000)
+        tracker.alloc("a", 1000)  # exactly at budget
+        assert tracker.in_use == 1000
+
+    def test_allocation_over_budget_raises(self, clock):
+        tracker = MemoryTracker(clock, budget_bytes=1000)
+        tracker.alloc("a", 800)
+        with pytest.raises(OutOfMemoryError) as excinfo:
+            tracker.alloc("b", 300)
+        err = excinfo.value
+        assert err.requested == 300
+        assert err.in_use == 800
+        assert err.budget == 1000
+        assert err.name == "b"
+
+    def test_oom_leaves_state_unchanged(self, clock):
+        tracker = MemoryTracker(clock, budget_bytes=100)
+        tracker.alloc("a", 90)
+        with pytest.raises(OutOfMemoryError):
+            tracker.alloc("b", 20)
+        assert tracker.in_use == 90
+        assert not tracker.is_live("b")
+
+    def test_budget_freed_memory_reusable(self, clock):
+        tracker = MemoryTracker(clock, budget_bytes=100)
+        tracker.alloc("a", 90)
+        tracker.free("a")
+        tracker.alloc("b", 95)
+        assert tracker.in_use == 95
+
+
+class TestTimeline:
+    def test_timeline_records_staircase(self, clock, tracker):
+        tracker.alloc("a", 100)
+        clock.advance(1.0)
+        tracker.alloc("b", 50)
+        clock.advance(1.0)
+        tracker.free("a")
+        usages = [point.in_use for point in tracker.timeline()]
+        assert usages == [100, 150, 50]
+        times = [point.time for point in tracker.timeline()]
+        assert times == [0.0, 1.0, 2.0]
+
+    def test_same_timestamp_events_collapse(self, tracker):
+        tracker.alloc("a", 100)
+        tracker.alloc("b", 50)  # same simulated instant
+        usages = [point.in_use for point in tracker.timeline()]
+        assert usages == [150]
+
+    def test_time_weighted_average(self, clock, tracker):
+        tracker.alloc("a", 100)
+        clock.advance(1.0)
+        tracker.alloc("b", 100)
+        clock.advance(3.0)
+        tracker.free("b")
+        # 1s at 100 + 3s at 200 → 175 average over 4s.
+        assert tracker.stats().avg_bytes == pytest.approx(175.0)
+
+    def test_stats_final_bytes(self, clock, tracker):
+        tracker.alloc("a", 64 * MiB)
+        clock.advance(1.0)
+        assert tracker.stats().final_bytes == 64 * MiB
+
+
+class TestCategoryTimelines:
+    def test_category_staircase_tracks_events(self, clock, tracker):
+        tracker.alloc("w1", 100, CATEGORY_WEIGHTS)
+        clock.advance(1.0)
+        tracker.alloc("h1", 40, CATEGORY_HIDDEN)
+        clock.advance(1.0)
+        tracker.free("w1")
+        weights = tracker.category_timeline(CATEGORY_WEIGHTS)
+        assert [p.in_use for p in weights] == [100, 0]
+        hidden = tracker.category_timeline(CATEGORY_HIDDEN)
+        assert [p.in_use for p in hidden] == [40]
+
+    def test_unknown_category_empty(self, tracker):
+        assert tracker.category_timeline("nothing") == []
+
+    def test_same_instant_events_collapse(self, tracker):
+        tracker.alloc("a", 10, CATEGORY_WEIGHTS)
+        tracker.alloc("b", 20, CATEGORY_WEIGHTS)
+        series = tracker.category_timeline(CATEGORY_WEIGHTS)
+        assert [p.in_use for p in series] == [30]
+
+    def test_category_peak_matches_timeline_max(self, clock, tracker):
+        tracker.alloc("a", 50, CATEGORY_HIDDEN)
+        clock.advance(0.5)
+        tracker.alloc("b", 70, CATEGORY_HIDDEN)
+        clock.advance(0.5)
+        tracker.free("a")
+        series = tracker.category_timeline(CATEGORY_HIDDEN)
+        assert max(p.in_use for p in series) == tracker.stats().peak_by_category[CATEGORY_HIDDEN]

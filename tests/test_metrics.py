@@ -1,0 +1,134 @@
+"""Unit tests for the evaluation metrics."""
+
+import numpy as np
+import pytest
+
+from repro.core.metrics import (
+    cluster_gamma,
+    goodman_kruskal_gamma,
+    precision_at_k,
+    top_k_overlap,
+)
+
+
+class TestPrecisionAtK:
+    def test_all_relevant_selected(self):
+        labels = np.array([True, True, False, False])
+        assert precision_at_k(np.array([0, 1]), labels, 2) == 1.0
+
+    def test_none_relevant_selected(self):
+        labels = np.array([True, True, False, False])
+        assert precision_at_k(np.array([2, 3]), labels, 2) == 0.0
+
+    def test_partial(self):
+        labels = np.array([True, False, True, False])
+        assert precision_at_k(np.array([0, 1]), labels, 2) == 0.5
+
+    def test_denominator_capped_by_num_relevant(self):
+        """§6.1: when ground truth < K, divide by the ground truth."""
+        labels = np.array([True, False, False, False, False])
+        assert precision_at_k(np.array([0, 1, 2]), labels, 3) == 1.0
+
+    def test_no_relevant_items_is_vacuous_success(self):
+        labels = np.zeros(4, dtype=bool)
+        assert precision_at_k(np.array([0, 1]), labels, 2) == 1.0
+
+    def test_only_first_k_considered(self):
+        labels = np.array([False, False, True])
+        assert precision_at_k(np.array([0, 1, 2]), labels, 2) == 0.0
+
+    def test_invalid_k_rejected(self):
+        with pytest.raises(ValueError):
+            precision_at_k(np.array([0]), np.array([True]), 0)
+
+
+class TestGoodmanKruskalGamma:
+    def test_identical_rankings(self):
+        scores = np.array([0.1, 0.5, 0.9, 0.3])
+        assert goodman_kruskal_gamma(scores, scores) == 1.0
+
+    def test_reversed_rankings(self):
+        scores = np.array([0.1, 0.5, 0.9])
+        assert goodman_kruskal_gamma(scores, -scores) == -1.0
+
+    def test_monotone_transform_invariant(self):
+        a = np.array([0.1, 0.4, 0.7, 0.9])
+        assert goodman_kruskal_gamma(a, np.exp(a)) == 1.0
+
+    def test_partial_agreement_in_open_interval(self):
+        a = np.array([1.0, 2.0, 3.0, 4.0])
+        b = np.array([1.0, 2.0, 4.0, 3.0])
+        gamma = goodman_kruskal_gamma(a, b)
+        assert -1.0 < gamma < 1.0
+
+    def test_ties_excluded(self):
+        a = np.array([1.0, 1.0, 2.0])
+        b = np.array([1.0, 2.0, 3.0])
+        # Pair (0,1) tied in a → excluded; remaining pairs concordant.
+        assert goodman_kruskal_gamma(a, b) == 1.0
+
+    def test_all_ties_vacuous(self):
+        a = np.full(4, 0.5)
+        assert goodman_kruskal_gamma(a, np.arange(4.0)) == 1.0
+
+    def test_single_element(self):
+        assert goodman_kruskal_gamma(np.array([1.0]), np.array([2.0])) == 1.0
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            goodman_kruskal_gamma(np.array([1.0]), np.array([1.0, 2.0]))
+
+    def test_symmetry(self):
+        rng = np.random.default_rng(0)
+        a, b = rng.random(10), rng.random(10)
+        assert goodman_kruskal_gamma(a, b) == pytest.approx(goodman_kruskal_gamma(b, a))
+
+
+class TestClusterGamma:
+    def test_within_cluster_pairs_ignored(self):
+        """Order flips inside a cluster must not lower cluster-γ."""
+        intermediate = np.array([0.9, 0.8, 0.2, 0.1])
+        final = np.array([0.8, 0.9, 0.1, 0.2])  # flipped within both clusters
+        clusters = np.array([0, 0, 1, 1])
+        assert cluster_gamma(intermediate, final, clusters) == 1.0
+
+    def test_inter_cluster_flip_detected(self):
+        intermediate = np.array([0.9, 0.1])
+        final = np.array([0.1, 0.9])
+        clusters = np.array([0, 1])
+        assert cluster_gamma(intermediate, final, clusters) == -1.0
+
+    def test_matches_gamma_when_all_clusters_distinct(self):
+        rng = np.random.default_rng(1)
+        a, b = rng.random(8), rng.random(8)
+        clusters = np.arange(8)
+        assert cluster_gamma(a, b, clusters) == pytest.approx(goodman_kruskal_gamma(a, b))
+
+    def test_single_cluster_vacuous(self):
+        a = np.array([0.1, 0.9, 0.5])
+        assert cluster_gamma(a, -a, np.zeros(3, dtype=int)) == 1.0
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            cluster_gamma(np.array([1.0]), np.array([1.0]), np.array([0, 1]))
+
+
+class TestTopKOverlap:
+    def test_identical_sets(self):
+        assert top_k_overlap(np.array([1, 2, 3]), np.array([3, 2, 1]), 3) == 1.0
+
+    def test_disjoint_sets(self):
+        assert top_k_overlap(np.array([1, 2]), np.array([3, 4]), 2) == 0.0
+
+    def test_partial_overlap(self):
+        assert top_k_overlap(np.array([1, 2]), np.array([2, 3]), 2) == 0.5
+
+    def test_only_first_k_compared(self):
+        assert top_k_overlap(np.array([1, 9]), np.array([1, 8]), 1) == 1.0
+
+    def test_empty_sets_vacuous(self):
+        assert top_k_overlap(np.array([]), np.array([]), 3) == 1.0
+
+    def test_invalid_k_rejected(self):
+        with pytest.raises(ValueError):
+            top_k_overlap(np.array([1]), np.array([1]), 0)

@@ -1,0 +1,88 @@
+"""Unit tests for device profiles and the platform registry."""
+
+import pytest
+
+from repro.device.memory import GiB
+from repro.device.platforms import (
+    APPLE_M2,
+    EDGE_PLATFORMS,
+    NVIDIA_5070,
+    NVIDIA_A800,
+    DeviceProfile,
+    get_profile,
+    list_profiles,
+    register_profile,
+)
+
+
+class TestRegistry:
+    def test_paper_platforms_registered(self):
+        assert get_profile("nvidia_5070") is NVIDIA_5070
+        assert get_profile("apple_m2") is APPLE_M2
+        assert get_profile("nvidia_a800") is NVIDIA_A800
+
+    def test_unknown_profile_raises_with_known_list(self):
+        with pytest.raises(KeyError, match="apple_m2"):
+            get_profile("tpu_v5")
+
+    def test_list_profiles_sorted(self):
+        profiles = list_profiles()
+        assert profiles == sorted(profiles)
+        assert "nvidia_5070" in profiles
+
+    def test_register_custom_profile(self):
+        custom = DeviceProfile(
+            name="test_custom_platform",
+            compute=NVIDIA_5070.compute,
+            ssd=NVIDIA_5070.ssd,
+            memory_budget_bytes=2 * GiB,
+        )
+        register_profile(custom)
+        assert get_profile("test_custom_platform") is custom
+
+    def test_edge_platforms_are_the_papers_two(self):
+        assert set(EDGE_PLATFORMS) == {"nvidia_5070", "apple_m2"}
+
+
+class TestPaperCalibration:
+    def test_edge_budgets_below_8gib(self):
+        # Both edge platforms expose a bit over 7 GiB to the reranker
+        # process (driver/display reservations), which is what makes
+        # Qwen3-4B/8B OOM under vanilla HF per Table 3.
+        assert 7 * GiB < NVIDIA_5070.memory_budget_bytes < 8 * GiB
+        assert APPLE_M2.memory_budget_bytes == NVIDIA_5070.memory_budget_bytes
+
+    def test_a800_has_headroom(self):
+        assert NVIDIA_A800.memory_budget_bytes > NVIDIA_5070.memory_budget_bytes
+
+    def test_nvidia_faster_than_apple(self):
+        assert NVIDIA_5070.compute.flops_per_second > APPLE_M2.compute.flops_per_second
+
+    def test_pcie4_ssd_bandwidth_scale(self):
+        # §3.2's overlap window requires multi-GB/s sustained reads.
+        assert NVIDIA_5070.ssd.read_bandwidth >= 3e9
+        assert APPLE_M2.ssd.read_bandwidth >= 3e9
+
+
+class TestDevice:
+    def test_create_returns_fresh_instances(self):
+        d1 = NVIDIA_5070.create()
+        d2 = NVIDIA_5070.create()
+        assert d1.clock is not d2.clock
+        d1.clock.advance(1.0)
+        assert d2.clock.now == 0.0
+
+    def test_components_share_the_clock(self):
+        device = APPLE_M2.create()
+        assert device.memory.clock is device.clock
+        assert device.ssd.clock is device.clock
+
+    def test_run_op_advances_clock(self):
+        device = NVIDIA_5070.create()
+        duration = device.run_op(1e12)
+        assert device.clock.now == pytest.approx(duration)
+        assert duration > 0
+
+    def test_memory_budget_wired_through(self):
+        device = NVIDIA_5070.create()
+        assert device.memory.budget_bytes == NVIDIA_5070.memory_budget_bytes

@@ -1,0 +1,106 @@
+"""Behaviour tests for the RAG assistant pipeline (Figure 11)."""
+
+import pytest
+
+from repro.apps.rag import RagPipeline
+from repro.model.zoo import QWEN3_0_6B
+from repro.retrieval.corpus import SyntheticCorpus
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return SyntheticCorpus(num_docs=120, num_topics=8)
+
+
+@pytest.fixture(scope="module")
+def queries(corpus):
+    return corpus.make_queries(4)
+
+
+@pytest.fixture(scope="module")
+def hf_run(corpus, queries):
+    return RagPipeline(corpus, QWEN3_0_6B, "apple_m2", system="hf").run(
+        queries, keep_timeline=True
+    )
+
+
+@pytest.fixture(scope="module")
+def prism_run(corpus, queries):
+    return RagPipeline(corpus, QWEN3_0_6B, "apple_m2", system="prism").run(
+        queries, keep_timeline=True
+    )
+
+
+class TestStageBreakdown:
+    def test_all_stages_present(self, hf_run):
+        stages = hf_run.stage_means()
+        assert set(stages) == {"sparse", "dense", "rerank", "first_token"}
+        assert all(v > 0 for v in stages.values())
+
+    def test_rerank_dominates_pipeline(self, hf_run):
+        """Figure 1: the reranker contributes the vast majority of
+        end-to-end latency under the vanilla engine."""
+        assert hf_run.rerank_share > 0.5
+
+    def test_retrieval_stage_is_milliseconds(self, hf_run):
+        stages = hf_run.stage_means()
+        assert stages["sparse"] + stages["dense"] < 0.05
+
+
+class TestSystemComparison:
+    def test_prism_faster(self, hf_run, prism_run):
+        assert prism_run.mean_latency < hf_run.mean_latency
+
+    def test_prism_rerank_stage_faster(self, hf_run, prism_run):
+        assert prism_run.stage_means()["rerank"] < hf_run.stage_means()["rerank"]
+
+    def test_prism_smaller_peak(self, hf_run, prism_run):
+        """Figure 11b/c: large peak- and average-memory reductions."""
+        assert prism_run.peak_mib < 0.5 * hf_run.peak_mib
+
+    def test_prism_smaller_average(self, hf_run, prism_run):
+        assert prism_run.avg_mib < 0.5 * hf_run.avg_mib
+
+    def test_generation_stage_identical(self, hf_run, prism_run):
+        """The first-token stage runs on the same remote server."""
+        assert prism_run.stage_means()["first_token"] == pytest.approx(
+            hf_run.stage_means()["first_token"], rel=0.2
+        )
+
+    def test_accuracy_comparable(self, hf_run, prism_run):
+        """Figure 11a: no accuracy loss from PRISM's pruning."""
+        assert abs(prism_run.accuracy - hf_run.accuracy) <= 0.25
+
+
+class TestResultRecords:
+    def test_per_query_records(self, prism_run):
+        assert len(prism_run.queries) == 4
+        for record in prism_run.queries:
+            assert record.pool_size > 0
+            assert 0.0 <= record.precision <= 1.0
+            assert 0.0 <= record.needed_coverage <= 1.0
+            assert len(record.selected_doc_ids) <= 10
+
+    def test_timeline_captured(self, prism_run):
+        assert prism_run.timeline
+        assert prism_run.timeline[0].time >= 0.0
+
+    def test_total_is_sum_of_stages(self, prism_run):
+        record = prism_run.queries[0]
+        assert record.total_seconds == pytest.approx(
+            record.sparse_seconds
+            + record.dense_seconds
+            + record.rerank_seconds
+            + record.first_token_seconds
+        )
+
+
+class TestValidation:
+    def test_invalid_k(self, corpus):
+        with pytest.raises(ValueError):
+            RagPipeline(corpus, QWEN3_0_6B, "apple_m2", k=0)
+
+    def test_empty_queries(self, corpus):
+        pipeline = RagPipeline(corpus, QWEN3_0_6B, "apple_m2")
+        with pytest.raises(ValueError):
+            pipeline.run([])

@@ -1,0 +1,53 @@
+"""Unit tests for text-table reporting."""
+
+import pytest
+
+from repro.harness.reporting import format_series, format_table, ms, pct
+
+
+class TestFormatTable:
+    def test_basic_alignment(self):
+        table = format_table(("name", "value"), [("a", 1), ("long-name", 2)])
+        lines = table.splitlines()
+        assert lines[0].startswith("name")
+        assert len(lines) == 4  # header, rule, 2 rows
+        # All lines equal width when stripped of trailing spaces.
+        widths = {len(line.rstrip()) <= len(lines[0]) for line in lines}
+        assert widths == {True}
+
+    def test_title_prepended(self):
+        table = format_table(("a",), [("x",)], title="My Table")
+        assert table.splitlines()[0] == "My Table"
+
+    def test_floats_formatted(self):
+        table = format_table(("v",), [(0.123456,)])
+        assert "0.123" in table
+
+    def test_row_width_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            format_table(("a", "b"), [("only-one",)])
+
+    def test_empty_rows_ok(self):
+        table = format_table(("a", "b"), [])
+        assert "a" in table
+
+
+class TestFormatSeries:
+    def test_pairs_rendered(self):
+        series = format_series("latency", [1, 2], [10.0, 20.0])
+        assert series.startswith("latency:")
+        assert "(1, 10.000)" in series
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            format_series("x", [1, 2], [1.0])
+
+
+class TestScalarFormatters:
+    def test_pct(self):
+        assert pct(0.892) == "89.2%"
+        assert pct(0.0) == "0.0%"
+
+    def test_ms(self):
+        assert ms(5.754) == "5754.0ms"
+        assert ms(0.0081) == "8.1ms"

@@ -1,0 +1,167 @@
+"""Unit tests for the layerwise score-dynamics process."""
+
+import numpy as np
+import pytest
+
+from repro.model.semantics import ScoreDynamics, SemanticsConfig, _unit_normal, _unit_normals
+from repro.model.zoo import QWEN3_0_6B, QWEN3_8B
+
+
+@pytest.fixture
+def config():
+    return SemanticsConfig()
+
+
+@pytest.fixture
+def dynamics(config):
+    return ScoreDynamics(config, num_layers=28, model_seed=601)
+
+
+class TestConfigValidation:
+    def test_midpoint_bounds(self):
+        with pytest.raises(ValueError):
+            SemanticsConfig(fanout_midpoint=0.0)
+        with pytest.raises(ValueError):
+            SemanticsConfig(fanout_midpoint=1.0)
+
+    def test_sharpness_positive(self):
+        with pytest.raises(ValueError):
+            SemanticsConfig(fanout_sharpness=0.0)
+
+    def test_noise_ordering(self):
+        with pytest.raises(ValueError):
+            SemanticsConfig(noise_initial=0.01, noise_final=0.05)
+
+    def test_noise_decay_positive(self):
+        with pytest.raises(ValueError):
+            SemanticsConfig(noise_decay=0.0)
+
+
+class TestFanout:
+    def test_boundary_values(self, config):
+        assert config.fanout(0.0) == pytest.approx(0.0)
+        assert config.fanout(1.0) == pytest.approx(1.0)
+
+    def test_monotone_increasing(self, config):
+        values = [config.fanout(p) for p in np.linspace(0, 1, 21)]
+        assert all(b >= a for a, b in zip(values, values[1:]))
+
+    def test_out_of_range_rejected(self, config):
+        with pytest.raises(ValueError):
+            config.fanout(-0.1)
+        with pytest.raises(ValueError):
+            config.fanout(1.1)
+
+    def test_compressed_early(self, config):
+        """Scores start compressed around the anchor (Figure 2a)."""
+        assert config.fanout(0.1) < 0.15
+
+
+class TestNoise:
+    def test_decays_with_depth(self, config):
+        scales = [config.noise_scale(p) for p in np.linspace(0, 1, 11)]
+        assert all(b <= a for a, b in zip(scales, scales[1:]))
+
+    def test_endpoints(self, config):
+        assert config.noise_scale(0.0) == pytest.approx(config.noise_initial)
+        assert config.noise_scale(1.0) == pytest.approx(config.noise_final)
+
+    def test_overfit_noise_rises_late(self):
+        config = QWEN3_8B.semantics
+        assert config.late_overfit_noise > 0
+        # Past the 75% depth mark the noise turns back up.
+        assert config.noise_scale(1.0) > config.noise_scale(0.75)
+
+    def test_well_behaved_models_have_no_late_rise(self):
+        config = QWEN3_0_6B.semantics
+        assert config.noise_scale(1.0) <= config.noise_scale(0.75)
+
+
+class TestUnitNormals:
+    def test_deterministic(self):
+        uids = np.array([10, 20, 30], dtype=np.uint64)
+        a = _unit_normals(601, uids, 5)
+        b = _unit_normals(601, uids, 5)
+        assert np.array_equal(a, b)
+
+    def test_batch_independence(self):
+        """A candidate's draw must not depend on its batch neighbours —
+        cross-encoder scores are per-pair (DESIGN.md §2)."""
+        solo = _unit_normals(601, np.array([42]), 3)[0]
+        batched = _unit_normals(601, np.array([1, 42, 99]), 3)[1]
+        assert solo == batched
+
+    def test_varies_with_layer(self):
+        uids = np.array([42])
+        assert _unit_normals(601, uids, 1)[0] != _unit_normals(601, uids, 2)[0]
+
+    def test_varies_with_seed(self):
+        uids = np.array([42])
+        assert _unit_normals(601, uids, 1)[0] != _unit_normals(602, uids, 1)[0]
+
+    def test_scalar_wrapper_matches(self):
+        assert _unit_normal(601, 42, 3) == _unit_normals(601, np.array([42]), 3)[0]
+
+    def test_roughly_standard_normal(self):
+        draws = _unit_normals(601, np.arange(20_000, dtype=np.uint64), 0)
+        assert abs(draws.mean()) < 0.03
+        assert abs(draws.std() - 1.0) < 0.03
+
+
+class TestScoreDynamics:
+    def test_progress_bounds(self, dynamics):
+        assert dynamics.progress(0) == pytest.approx(1 / 28)
+        assert dynamics.progress(27) == pytest.approx(1.0)
+        with pytest.raises(ValueError):
+            dynamics.progress(28)
+        with pytest.raises(ValueError):
+            dynamics.progress(-1)
+
+    def test_scores_converge_to_relevance(self, dynamics):
+        relevance = np.array([0.9, 0.1])
+        uids = np.array([1, 2])
+        final = dynamics.final_scores(relevance, uids)
+        assert abs(final[0] - 0.9) < 0.06
+        assert abs(final[1] - 0.1) < 0.06
+
+    def test_early_scores_compressed_around_anchor(self, dynamics):
+        """Mean early-layer deviation from the anchor is far smaller
+        than the relevance gap being expressed (Figure 2a's blob)."""
+        n = 200
+        relevance = np.full(n, 0.95)
+        uids = np.arange(n)
+        early = dynamics.scores_at(0, relevance, uids)
+        final = dynamics.final_scores(relevance, uids)
+        anchor = dynamics.config.anchor
+        early_dev = np.abs(early - anchor).mean()
+        final_dev = np.abs(final - anchor).mean()
+        assert early_dev < 0.5 * final_dev
+
+    def test_shape_mismatch_rejected(self, dynamics):
+        with pytest.raises(ValueError):
+            dynamics.scores_at(0, np.array([0.5, 0.6]), np.array([1]))
+
+    def test_trajectory_length(self, dynamics):
+        assert dynamics.trajectory(0.8, 7).size == 28
+
+    def test_trajectory_matches_score_at(self, dynamics):
+        traj = dynamics.trajectory(0.8, 7)
+        assert traj[13] == dynamics.score_at(13, 0.8, 7)
+
+    def test_num_layers_validated(self, config):
+        with pytest.raises(ValueError):
+            ScoreDynamics(config, num_layers=0, model_seed=1)
+
+    def test_ranking_stabilizes_with_depth(self, dynamics):
+        """The Figure 2 premise: deep-layer rankings match the final one
+        more often than shallow-layer rankings do."""
+        rng = np.random.default_rng(0)
+        relevance = rng.uniform(0.05, 0.95, size=20)
+        uids = rng.integers(0, 2**31, size=20)
+        final_order = np.argsort(dynamics.final_scores(relevance, uids))
+
+        def agreement(layer):
+            order = np.argsort(dynamics.scores_at(layer, relevance, uids))
+            return (order == final_order).mean()
+
+        assert agreement(24) >= agreement(2)

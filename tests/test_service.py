@@ -1,0 +1,150 @@
+"""Tests for the self-calibrating selection service (§4.1 deployed mode)."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import PrismConfig
+from repro.core.service import SemanticSelectionService
+from repro.data.datasets import get_dataset
+from repro.data.workloads import build_batch
+from repro.device.platforms import get_profile
+from repro.harness.runner import shared_model, shared_tokenizer
+from repro.model.zoo import QWEN3_0_6B
+
+
+@pytest.fixture(scope="module")
+def batches():
+    tokenizer = shared_tokenizer(QWEN3_0_6B)
+    queries = get_dataset("wikipedia").queries(6, 20)
+    return [build_batch(q, tokenizer, QWEN3_0_6B.max_seq_len) for q in queries]
+
+
+def make_service(**kwargs):
+    defaults = dict(
+        model=shared_model(QWEN3_0_6B),
+        profile=get_profile("nvidia_5070"),
+        config=PrismConfig(numerics=False),
+        sample_rate=0.5,
+    )
+    defaults.update(kwargs)
+    return SemanticSelectionService(**defaults)
+
+
+class TestValidation:
+    def test_bad_precision_target(self):
+        with pytest.raises(ValueError):
+            make_service(precision_target=0.0)
+
+    def test_bad_sample_rate(self):
+        with pytest.raises(ValueError):
+            make_service(sample_rate=1.5)
+
+    def test_bad_step(self):
+        with pytest.raises(ValueError):
+            make_service(step=0.0)
+
+    def test_bad_threshold_range(self):
+        with pytest.raises(ValueError):
+            make_service(min_threshold=0.5, max_threshold=0.4)
+
+
+class TestServing:
+    def test_select_returns_results(self, batches):
+        service = make_service()
+        result = service.select(batches[0], 10)
+        assert result.k == 10
+        assert service.stats.requests_served == 1
+
+    def test_sampling_follows_rate(self, batches):
+        service = make_service(sample_rate=0.5)
+        for batch in batches:
+            service.select(batch, 10)
+        assert service.stats.requests_sampled == 3  # 6 requests × 0.5
+
+    def test_full_sampling(self, batches):
+        service = make_service(sample_rate=1.0)
+        for batch in batches[:3]:
+            service.select(batch, 10)
+        assert service.pending_samples == 3
+
+    def test_served_results_match_engine_threshold(self, batches):
+        service = make_service()
+        a = service.select(batches[0], 10)
+        direct = service.engine.rerank(batches[0], 10)
+        assert set(a.top_indices.tolist()) == set(direct.top_indices.tolist())
+
+
+class TestIdleMaintenance:
+    def test_noop_without_samples(self):
+        service = make_service(sample_rate=0.5)
+        assert service.idle_maintenance() is None
+
+    def test_lowers_threshold_when_precision_holds(self, batches):
+        """Our pruning is near-lossless on Wikipedia pools, so sampled
+        precision meets the target and the controller walks down."""
+        service = make_service(sample_rate=1.0, precision_target=0.8, step=0.05)
+        start = service.threshold
+        for batch in batches[:4]:
+            service.select(batch, 10)
+        report = service.idle_maintenance()
+        assert report is not None
+        assert report.sampled_precision >= 0.8
+        assert report.new_threshold == pytest.approx(start - 0.05)
+
+    def test_raises_threshold_when_precision_falls(self, batches, monkeypatch):
+        """Inject a low sampled precision: the controller must back off
+        upward (the paper's 'raise for precision' branch)."""
+        service = make_service(sample_rate=1.0, precision_target=0.95, step=0.05)
+        for batch in batches[:2]:
+            service.select(batch, 10)
+        monkeypatch.setattr(service, "_sampled_precision", lambda: (2, 0.5))
+        start = service.threshold
+        report = service.idle_maintenance()
+        assert report.new_threshold == pytest.approx(start + 0.05)
+
+    def test_threshold_clamped_at_floor(self, batches):
+        service = make_service(
+            sample_rate=1.0, precision_target=0.5, step=0.5, min_threshold=0.02
+        )
+        for _ in range(3):
+            service.select(batches[0], 10)
+            service.idle_maintenance()
+        assert service.threshold == pytest.approx(0.02)
+
+    def test_samples_cleared_after_pass(self, batches):
+        service = make_service(sample_rate=1.0)
+        service.select(batches[0], 10)
+        service.idle_maintenance()
+        assert service.pending_samples == 0
+
+    def test_history_recorded(self, batches):
+        service = make_service(sample_rate=1.0)
+        service.select(batches[0], 10)
+        service.idle_maintenance()
+        assert service.stats.maintenance_passes == 1
+        assert len(service.stats.history) == 1
+
+    def test_maintenance_does_not_touch_serving_clock(self, batches):
+        """Ground-truth re-execution is idle-time work on shadow
+        devices — serving latency must not absorb it."""
+        service = make_service(sample_rate=1.0)
+        service.select(batches[0], 10)
+        before = service.device.clock.now
+        service.idle_maintenance()
+        assert service.device.clock.now == before
+
+
+class TestClosedLoop:
+    def test_converges_to_aggressive_operation(self, batches):
+        """Serving rounds interleaved with idle passes walk the
+        threshold down while precision holds, making later requests
+        faster than the first ones."""
+        service = make_service(sample_rate=1.0, precision_target=0.8, step=0.08)
+        first = service.select(batches[0], 10).latency_seconds
+        for round_no in range(4):
+            for batch in batches:
+                service.select(batch, 10)
+            service.idle_maintenance()
+        last = service.select(batches[0], 10).latency_seconds
+        assert service.threshold < PrismConfig().dispersion_threshold
+        assert last <= first

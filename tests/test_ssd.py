@@ -1,0 +1,143 @@
+"""Unit tests for the SSD model and its serialized I/O stream."""
+
+import pytest
+
+from repro.device.clock import VirtualClock
+from repro.device.ssd import SSDDevice, SSDModel
+
+
+@pytest.fixture
+def clock():
+    return VirtualClock()
+
+
+@pytest.fixture
+def ssd(clock):
+    # 1 GB/s read, 0.5 GB/s write, 1 ms fixed latency → easy arithmetic.
+    return SSDDevice(clock, SSDModel(read_bandwidth=1e9, write_bandwidth=0.5e9, latency=1e-3))
+
+
+class TestModel:
+    def test_read_time_formula(self):
+        model = SSDModel(read_bandwidth=1e9, write_bandwidth=1e9, latency=1e-3)
+        assert model.read_time(1_000_000) == pytest.approx(1e-3 + 1e-3)
+
+    def test_write_time_uses_write_bandwidth(self):
+        model = SSDModel(read_bandwidth=1e9, write_bandwidth=0.5e9, latency=0.0)
+        assert model.write_time(1_000_000) == pytest.approx(2e-3)
+
+    def test_zero_byte_read_costs_latency_only(self):
+        model = SSDModel(read_bandwidth=1e9, write_bandwidth=1e9, latency=5e-4)
+        assert model.read_time(0) == pytest.approx(5e-4)
+
+    def test_negative_size_rejected(self):
+        model = SSDModel(read_bandwidth=1e9, write_bandwidth=1e9)
+        with pytest.raises(ValueError):
+            model.read_time(-1)
+        with pytest.raises(ValueError):
+            model.write_time(-1)
+
+    def test_invalid_bandwidth_rejected(self):
+        with pytest.raises(ValueError):
+            SSDModel(read_bandwidth=0, write_bandwidth=1e9)
+        with pytest.raises(ValueError):
+            SSDModel(read_bandwidth=1e9, write_bandwidth=-1)
+
+    def test_negative_latency_rejected(self):
+        with pytest.raises(ValueError):
+            SSDModel(read_bandwidth=1e9, write_bandwidth=1e9, latency=-1e-3)
+
+
+class TestSynchronousIO:
+    def test_read_sync_advances_clock(self, clock, ssd):
+        ssd.read_sync("blob", 1_000_000)
+        assert clock.now == pytest.approx(2e-3)
+
+    def test_write_sync_advances_clock(self, clock, ssd):
+        ssd.write_sync("blob", 1_000_000)
+        assert clock.now == pytest.approx(3e-3)  # 1ms latency + 2ms transfer
+
+    def test_sequential_syncs_accumulate(self, clock, ssd):
+        ssd.read_sync("a", 1_000_000)
+        ssd.read_sync("b", 1_000_000)
+        assert clock.now == pytest.approx(4e-3)
+
+
+class TestAsynchronousIO:
+    def test_read_async_does_not_advance_clock(self, clock, ssd):
+        ssd.read_async("a", 10_000_000)
+        assert clock.now == 0.0
+
+    def test_wait_advances_to_completion(self, clock, ssd):
+        ssd.read_async("a", 10_000_000)  # 1ms + 10ms
+        ssd.wait("a")
+        assert clock.now == pytest.approx(11e-3)
+
+    def test_wait_is_noop_when_already_complete(self, clock, ssd):
+        ssd.read_async("a", 1_000_000)
+        clock.advance(1.0)  # compute long past completion
+        ssd.wait("a")
+        assert clock.now == pytest.approx(1.0)
+
+    def test_wait_unknown_tag_raises(self, ssd):
+        with pytest.raises(KeyError):
+            ssd.wait("ghost")
+
+    def test_wait_consumes_the_request(self, ssd):
+        ssd.read_async("a", 1000)
+        ssd.wait("a")
+        with pytest.raises(KeyError):
+            ssd.wait("a")
+
+    def test_is_pending(self, ssd):
+        ssd.read_async("a", 1000)
+        assert ssd.is_pending("a")
+        ssd.wait("a")
+        assert not ssd.is_pending("a")
+
+    def test_drain_waits_for_everything(self, clock, ssd):
+        ssd.read_async("a", 1_000_000)
+        ssd.read_async("b", 1_000_000)
+        ssd.drain()
+        assert not ssd.is_pending("a") and not ssd.is_pending("b")
+        assert clock.now == pytest.approx(4e-3)
+
+
+class TestStreamSerialization:
+    def test_requests_queue_in_issue_order(self, ssd):
+        first = ssd.read_async("a", 10_000_000)
+        second = ssd.read_async("b", 10_000_000)
+        # Second starts when first completes.
+        assert second.start_time == pytest.approx(first.complete_time)
+
+    def test_stream_idles_until_next_issue(self, clock, ssd):
+        req = ssd.read_async("a", 1_000_000)
+        clock.advance(1.0)
+        later = ssd.read_async("b", 1_000_000)
+        assert later.start_time == pytest.approx(1.0)
+        assert later.start_time > req.complete_time
+
+    def test_stream_free_at_tracks_backlog(self, ssd):
+        ssd.read_async("a", 10_000_000)
+        ssd.read_async("b", 10_000_000)
+        assert ssd.stream_free_at == pytest.approx(2 * 11e-3)
+
+    def test_sync_read_queues_behind_async(self, clock, ssd):
+        ssd.read_async("a", 10_000_000)  # completes at 11ms
+        ssd.read_sync("b", 1_000_000)  # must wait for the stream
+        assert clock.now == pytest.approx(11e-3 + 2e-3)
+
+
+class TestAccounting:
+    def test_byte_totals(self, ssd):
+        ssd.read_sync("a", 1000)
+        ssd.read_async("b", 500)
+        ssd.write_sync("c", 2000)
+        assert ssd.total_read_bytes == 1500
+        assert ssd.total_write_bytes == 2000
+
+    def test_request_log_records_everything(self, ssd):
+        ssd.read_sync("a", 1000)
+        ssd.write_async("b", 500)
+        kinds = [req.kind for req in ssd.request_log]
+        assert kinds == ["read", "write"]

@@ -1,0 +1,126 @@
+"""Unit tests for overlapped layer streaming (§4.2)."""
+
+import pytest
+
+from repro.core.streaming import LayerStreamer
+from repro.device.executor import DeviceExecutor
+from repro.device.platforms import NVIDIA_5070
+from repro.model.weights import WeightStore
+from repro.model.zoo import QWEN3_0_6B
+
+
+@pytest.fixture
+def executor():
+    return DeviceExecutor(NVIDIA_5070.create())
+
+
+@pytest.fixture
+def store():
+    return WeightStore(QWEN3_0_6B)
+
+
+@pytest.fixture
+def streamer(store, executor):
+    return LayerStreamer(store, executor)
+
+
+class TestLifecycle:
+    def test_begin_pass_prefetches_first_layers(self, streamer, executor):
+        streamer.begin_pass()
+        tags = [r.tag for r in executor.device.ssd.request_log]
+        assert any("layer000" in t for t in tags)
+        assert any("layer001" in t for t in tags)
+
+    def test_begin_pass_twice_rejected(self, streamer):
+        streamer.begin_pass()
+        with pytest.raises(RuntimeError):
+            streamer.begin_pass()
+
+    def test_acquire_before_begin_rejected(self, streamer):
+        with pytest.raises(RuntimeError):
+            streamer.acquire(0)
+
+    def test_finish_pass_releases_everything(self, streamer, executor):
+        streamer.begin_pass()
+        streamer.acquire(0)
+        streamer.finish_pass()
+        assert executor.device.memory.in_use == 0
+        assert streamer.resident_layers == set()
+
+    def test_finish_allows_new_pass(self, streamer):
+        streamer.begin_pass()
+        streamer.finish_pass()
+        streamer.begin_pass()  # no exception
+        streamer.finish_pass()
+
+    def test_lookahead_validated(self, store, executor):
+        with pytest.raises(ValueError):
+            LayerStreamer(store, executor, lookahead=0)
+
+
+class TestDoubleBuffering:
+    def test_at_most_two_layers_resident(self, streamer, executor):
+        """§4.2: one buffer computing, one prefetching — never more."""
+        streamer.begin_pass()
+        max_resident = 0
+        for layer in range(QWEN3_0_6B.num_layers):
+            streamer.acquire(layer)
+            weights_bytes = executor.device.memory.in_use_by_category("weights")
+            max_resident = max(max_resident, weights_bytes)
+            executor.compute(1e9)
+            streamer.advance(layer)
+        streamer.finish_pass()
+        assert max_resident <= 2 * streamer.store.layer_nbytes(0)
+
+    def test_advance_frees_the_layer(self, streamer, executor):
+        streamer.begin_pass()
+        streamer.acquire(0)
+        streamer.advance(0)
+        assert 0 not in streamer.resident_layers
+        assert not executor.device.memory.is_live("stream/" + streamer.store.layer_tag(0))
+
+    def test_advance_unknown_layer_is_noop(self, streamer):
+        streamer.begin_pass()
+        streamer.advance(17)  # never acquired — no exception
+        streamer.finish_pass()
+
+
+class TestOverlap:
+    def test_long_compute_hides_all_loads(self, store, executor):
+        """When every compute window exceeds the load time, the whole
+        pass stalls only on the very first layer (§3.2's overlap window)."""
+        streamer = LayerStreamer(store, executor)
+        load_time = executor.device.ssd.model.read_time(store.layer_nbytes(0))
+        streamer.begin_pass()
+        streamer.acquire(0)
+        first_stall = executor.io_stall_seconds
+        for layer in range(QWEN3_0_6B.num_layers):
+            if layer > 0:
+                streamer.acquire(layer)
+            # Compute window comfortably longer than one layer load.
+            executor.compute(2 * load_time * executor.device.compute.flops_per_second)
+            streamer.advance(layer)
+        streamer.finish_pass()
+        assert executor.io_stall_seconds == pytest.approx(first_stall)
+
+    def test_short_compute_stalls_on_io(self, store, executor):
+        """When compute windows are tiny (post-pruning), the residual
+        waits surface as I/O stalls — Figure 16's 81 ms effect."""
+        streamer = LayerStreamer(store, executor)
+        streamer.begin_pass()
+        for layer in range(8):
+            streamer.acquire(layer)
+            executor.compute(1e6)  # ~0.1 µs of compute
+            streamer.advance(layer)
+        streamer.finish_pass()
+        load_time = executor.device.ssd.model.read_time(store.layer_nbytes(0))
+        assert executor.io_stall_seconds > 4 * load_time
+
+    def test_skipping_ahead_after_early_termination(self, store, executor):
+        """Early-terminated passes clean up in-flight prefetches."""
+        streamer = LayerStreamer(store, executor)
+        streamer.begin_pass()
+        streamer.acquire(0)
+        streamer.advance(0)
+        streamer.finish_pass()  # layers 1.. may still be in flight
+        assert executor.device.memory.in_use == 0

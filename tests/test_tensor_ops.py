@@ -1,0 +1,116 @@
+"""Unit tests for the numpy transformer kernels."""
+
+import numpy as np
+import pytest
+
+from repro.model.tensor_ops import (
+    causal_mask,
+    gelu,
+    layer_norm,
+    merge_heads,
+    padding_mask,
+    rms_norm,
+    silu,
+    softmax,
+    split_heads,
+)
+
+
+class TestSoftmax:
+    def test_rows_sum_to_one(self):
+        x = np.random.default_rng(0).standard_normal((4, 7))
+        out = softmax(x)
+        assert np.allclose(out.sum(axis=-1), 1.0)
+
+    def test_nonnegative(self):
+        x = np.random.default_rng(1).standard_normal((3, 5))
+        assert (softmax(x) >= 0).all()
+
+    def test_numerically_stable_for_large_inputs(self):
+        x = np.array([[1e4, 1e4 + 1.0]])
+        out = softmax(x)
+        assert np.isfinite(out).all()
+        assert out[0, 1] > out[0, 0]
+
+    def test_handles_minus_inf_mask(self):
+        x = np.array([[0.0, -np.inf, 0.0]])
+        out = softmax(x)
+        assert out[0, 1] == 0.0
+        assert out[0, 0] == pytest.approx(0.5)
+
+    def test_invariant_to_constant_shift(self):
+        x = np.random.default_rng(2).standard_normal(6)
+        assert np.allclose(softmax(x), softmax(x + 100.0))
+
+
+class TestNorms:
+    def test_rms_norm_unit_scale(self):
+        x = np.random.default_rng(0).standard_normal((2, 3, 8))
+        out = rms_norm(x, np.ones(8))
+        rms = np.sqrt(np.mean(np.square(out), axis=-1))
+        assert np.allclose(rms, 1.0, atol=1e-3)
+
+    def test_rms_norm_weight_scales_output(self):
+        x = np.random.default_rng(0).standard_normal((2, 8))
+        assert np.allclose(rms_norm(x, 2 * np.ones(8)), 2 * rms_norm(x, np.ones(8)))
+
+    def test_layer_norm_zero_mean_unit_var(self):
+        x = np.random.default_rng(1).standard_normal((4, 16))
+        out = layer_norm(x, np.ones(16), np.zeros(16))
+        assert np.allclose(out.mean(axis=-1), 0.0, atol=1e-7)
+        assert np.allclose(out.var(axis=-1), 1.0, atol=1e-3)
+
+    def test_layer_norm_bias_shifts(self):
+        x = np.random.default_rng(2).standard_normal((4, 16))
+        out = layer_norm(x, np.ones(16), 3 * np.ones(16))
+        assert np.allclose(out.mean(axis=-1), 3.0, atol=1e-6)
+
+
+class TestActivations:
+    def test_gelu_at_zero(self):
+        assert gelu(np.array(0.0)) == pytest.approx(0.0)
+
+    def test_gelu_asymptotes(self):
+        assert gelu(np.array(10.0)) == pytest.approx(10.0, rel=1e-3)
+        assert gelu(np.array(-10.0)) == pytest.approx(0.0, abs=1e-3)
+
+    def test_silu_at_zero(self):
+        assert silu(np.array(0.0)) == pytest.approx(0.0)
+
+    def test_silu_is_x_times_sigmoid(self):
+        x = np.linspace(-4, 4, 17)
+        sigmoid = 1.0 / (1.0 + np.exp(-x))
+        assert np.allclose(silu(x), x * sigmoid)
+
+
+class TestMasks:
+    def test_causal_mask_blocks_future(self):
+        mask = causal_mask(4)
+        assert mask[0, 1] == -np.inf
+        assert mask[2, 3] == -np.inf
+
+    def test_causal_mask_allows_past_and_self(self):
+        mask = causal_mask(4)
+        assert mask[2, 2] == 0.0
+        assert mask[3, 0] == 0.0
+
+    def test_padding_mask_shape_and_values(self):
+        mask = padding_mask(np.array([2, 4]), 4)
+        assert mask.shape == (2, 1, 1, 4)
+        assert mask[0, 0, 0, 1] == 0.0
+        assert mask[0, 0, 0, 2] == -np.inf
+        assert (mask[1] == 0.0).all()
+
+
+class TestHeadReshaping:
+    def test_split_merge_roundtrip(self):
+        x = np.random.default_rng(0).standard_normal((2, 5, 12))
+        assert np.allclose(merge_heads(split_heads(x, 4)), x)
+
+    def test_split_shape(self):
+        x = np.zeros((2, 5, 12))
+        assert split_heads(x, 3).shape == (2, 3, 5, 4)
+
+    def test_indivisible_heads_rejected(self):
+        with pytest.raises(ValueError):
+            split_heads(np.zeros((1, 2, 10)), 3)

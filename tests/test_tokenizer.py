@@ -1,0 +1,123 @@
+"""Unit tests for the deterministic tokenizer."""
+
+import numpy as np
+import pytest
+
+from repro.text.tokenizer import Tokenizer
+from repro.text.vocab import Vocabulary
+
+
+@pytest.fixture
+def tokenizer():
+    return Tokenizer(Vocabulary(10_000))
+
+
+class TestEncodeText:
+    def test_same_word_same_id(self, tokenizer):
+        ids = tokenizer.encode_text("alpha beta alpha")
+        assert ids[0] == ids[2]
+        assert ids[0] != ids[1]
+
+    def test_deterministic_across_instances(self):
+        a = Tokenizer(Vocabulary(10_000)).encode_text("hello world")
+        b = Tokenizer(Vocabulary(10_000)).encode_text("hello world")
+        assert np.array_equal(a, b)
+
+    def test_empty_text(self, tokenizer):
+        assert tokenizer.encode_text("").size == 0
+
+    def test_ids_are_regular_tokens(self, tokenizer):
+        ids = tokenizer.encode_text("some words here")
+        assert (ids >= tokenizer.vocab.num_special).all()
+        assert (ids < tokenizer.vocab.size).all()
+
+
+class TestEncodeSynthetic:
+    def test_deterministic_in_seed(self, tokenizer):
+        assert np.array_equal(
+            tokenizer.encode_synthetic(42, 64), tokenizer.encode_synthetic(42, 64)
+        )
+
+    def test_different_seeds_differ(self, tokenizer):
+        a = tokenizer.encode_synthetic(1, 64)
+        b = tokenizer.encode_synthetic(2, 64)
+        assert not np.array_equal(a, b)
+
+    def test_requested_length(self, tokenizer):
+        assert tokenizer.encode_synthetic(5, 100).size == 100
+
+
+class TestBuildPair:
+    def test_layout_bos_query_sep_doc_eos(self, tokenizer):
+        vocab = tokenizer.vocab
+        query = tokenizer.encode_synthetic(1, 4)
+        doc = tokenizer.encode_synthetic(2, 6)
+        seq = tokenizer.build_pair(query, doc, 32, with_template=False)
+        assert seq[0] == vocab.BOS
+        assert seq[5] == vocab.SEP
+        assert seq[12] == vocab.EOS
+        assert (seq[13:] == vocab.PAD).all()
+        assert seq.size == 32
+
+    def test_template_precedes_query(self, tokenizer):
+        query = tokenizer.encode_synthetic(1, 4)
+        doc = tokenizer.encode_synthetic(2, 6)
+        template = tokenizer.template_ids()
+        seq = tokenizer.build_pair(query, doc, 512)
+        assert np.array_equal(seq[1 : 1 + template.size], template)
+        assert np.array_equal(seq[1 + template.size : 1 + template.size + 4], query)
+
+    def test_template_identical_across_pairs(self, tokenizer):
+        """The instruction boilerplate is the same ids for every pair —
+        the embedding cache's hottest rows."""
+        a = tokenizer.build_pair(tokenizer.encode_synthetic(1, 4), tokenizer.encode_synthetic(2, 6), 512)
+        b = tokenizer.build_pair(tokenizer.encode_synthetic(3, 4), tokenizer.encode_synthetic(4, 6), 512)
+        t = tokenizer.template_ids().size
+        assert np.array_equal(a[1 : 1 + t], b[1 : 1 + t])
+
+    def test_document_truncated_first(self, tokenizer):
+        query = tokenizer.encode_synthetic(1, 4)
+        doc = tokenizer.encode_synthetic(2, 100)
+        seq = tokenizer.build_pair(query, doc, 16, with_template=False)
+        assert seq.size == 16
+        # Query survives intact after BOS.
+        assert np.array_equal(seq[1:5], query)
+
+    def test_long_query_truncated_to_budget(self, tokenizer):
+        query = tokenizer.encode_synthetic(1, 100)
+        doc = tokenizer.encode_synthetic(2, 10)
+        seq = tokenizer.build_pair(query, doc, 16)
+        assert seq.size == 16
+
+    def test_max_len_too_small_rejected(self, tokenizer):
+        with pytest.raises(ValueError):
+            tokenizer.build_pair(np.array([5]), np.array([6]), 3)
+
+    def test_exactly_full_no_padding(self, tokenizer):
+        query = tokenizer.encode_synthetic(1, 5)
+        doc = tokenizer.encode_synthetic(2, 8)
+        seq = tokenizer.build_pair(query, doc, 16, with_template=False)
+        assert (seq != tokenizer.vocab.PAD).all()
+
+
+class TestBatching:
+    def test_batch_pairs_shape(self, tokenizer):
+        query = tokenizer.encode_synthetic(1, 8)
+        docs = [tokenizer.encode_synthetic(i, 20) for i in range(5)]
+        batch = tokenizer.batch_pairs(query, docs, 64)
+        assert batch.shape == (5, 64)
+        assert batch.dtype == np.int64
+
+    def test_attention_lengths_count_non_pad(self, tokenizer):
+        query = tokenizer.encode_synthetic(1, 4)
+        docs = [tokenizer.encode_synthetic(2, 6), tokenizer.encode_synthetic(3, 20)]
+        batch = tokenizer.batch_pairs(query, docs, 32, with_template=False)
+        lengths = tokenizer.attention_lengths(batch)
+        assert lengths[0] == 3 + 4 + 6
+        assert lengths[1] == 3 + 4 + 20
+
+    def test_lengths_capped_by_max_len(self, tokenizer):
+        query = tokenizer.encode_synthetic(1, 4)
+        docs = [tokenizer.encode_synthetic(2, 500)]
+        batch = tokenizer.batch_pairs(query, docs, 64)
+        assert tokenizer.attention_lengths(batch)[0] == 64

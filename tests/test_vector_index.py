@@ -1,0 +1,181 @@
+"""Unit tests for the flat and IVF vector indexes."""
+
+import numpy as np
+import pytest
+
+from repro.retrieval.vector_index import FlatIndex, IVFIndex, recall_at_n
+
+
+def unit(v):
+    return v / np.linalg.norm(v)
+
+
+@pytest.fixture
+def corpus_vectors():
+    rng = np.random.default_rng(0)
+    # Three well-separated directions with 20 noisy members each.
+    centers = [unit(rng.standard_normal(16)) for _ in range(3)]
+    vectors, ids = [], []
+    for c, center in enumerate(centers):
+        for i in range(20):
+            noisy = unit(center + 0.25 * rng.standard_normal(16))
+            vectors.append(noisy)
+            ids.append(c * 100 + i)
+    return ids, np.stack(vectors), centers
+
+
+class TestFlatIndex:
+    def test_exact_top_n(self, corpus_vectors):
+        ids, vectors, centers = corpus_vectors
+        index = FlatIndex(16)
+        index.add_batch(ids, vectors)
+        outcome = index.search(centers[1], top_n=5)
+        sims = vectors @ centers[1]
+        expected = [ids[i] for i in np.argsort(-sims)[:5]]
+        assert outcome.ids() == expected
+
+    def test_distances_counted(self, corpus_vectors):
+        ids, vectors, centers = corpus_vectors
+        index = FlatIndex(16)
+        index.add_batch(ids, vectors)
+        outcome = index.search(centers[0], top_n=3)
+        assert outcome.distances_computed == len(ids)
+
+    def test_empty_index(self):
+        index = FlatIndex(8)
+        outcome = index.search(np.ones(8), top_n=3)
+        assert outcome.hits == []
+
+    def test_wrong_dim_rejected(self):
+        index = FlatIndex(8)
+        with pytest.raises(ValueError):
+            index.add(0, np.ones(4))
+
+    def test_invalid_top_n(self):
+        index = FlatIndex(4)
+        index.add(0, np.ones(4))
+        with pytest.raises(ValueError):
+            index.search(np.ones(4), top_n=0)
+
+    def test_incremental_add_invalidates_cache(self):
+        index = FlatIndex(4)
+        index.add(0, np.array([1.0, 0, 0, 0]))
+        index.search(np.array([1.0, 0, 0, 0]), top_n=1)
+        index.add(1, np.array([0, 1.0, 0, 0]))
+        outcome = index.search(np.array([0, 1.0, 0, 0]), top_n=1)
+        assert outcome.ids() == [1]
+
+    def test_memory_bytes(self):
+        index = FlatIndex(16)
+        index.add(0, np.ones(16))
+        assert index.memory_bytes() == 16 * 4
+        assert len(index) == 1
+
+    def test_cost_seconds_positive(self, corpus_vectors):
+        ids, vectors, centers = corpus_vectors
+        index = FlatIndex(16)
+        index.add_batch(ids, vectors)
+        assert index.search(centers[0], top_n=3).cost_seconds() > 0
+
+
+class TestIVFIndex:
+    def test_requires_training(self):
+        index = IVFIndex(8)
+        with pytest.raises(RuntimeError):
+            index.search(np.ones(8), top_n=3)
+
+    def test_training_validations(self):
+        index = IVFIndex(8)
+        with pytest.raises(ValueError):
+            index.train([0], np.ones((1, 4)))  # wrong dim
+        with pytest.raises(ValueError):
+            index.train([0, 1], np.ones((1, 8)))  # misaligned
+        with pytest.raises(ValueError):
+            index.train([], np.zeros((0, 8)))  # empty
+
+    def test_lists_partition_corpus(self, corpus_vectors):
+        ids, vectors, _ = corpus_vectors
+        index = IVFIndex(16, num_lists=6, nprobe=2)
+        index.train(ids, vectors)
+        assert sum(index.list_sizes()) == len(ids)
+        assert index.is_trained
+
+    def test_probing_fewer_lists_computes_fewer_distances(self, corpus_vectors):
+        ids, vectors, centers = corpus_vectors
+        narrow = IVFIndex(16, num_lists=6, nprobe=1)
+        wide = IVFIndex(16, num_lists=6, nprobe=6)
+        narrow.train(ids, vectors)
+        wide.train(ids, vectors)
+        n = narrow.search(centers[0], top_n=5).distances_computed
+        w = wide.search(centers[0], top_n=5).distances_computed
+        assert n < w
+
+    def test_full_probe_matches_exact_search(self, corpus_vectors):
+        ids, vectors, centers = corpus_vectors
+        flat = FlatIndex(16)
+        flat.add_batch(ids, vectors)
+        ivf = IVFIndex(16, num_lists=6, nprobe=6)
+        ivf.train(ids, vectors)
+        exact = flat.search(centers[2], top_n=10)
+        approx = ivf.search(centers[2], top_n=10)
+        assert recall_at_n(approx, exact, 10) == 1.0
+
+    def test_recall_improves_with_nprobe(self, corpus_vectors):
+        ids, vectors, centers = corpus_vectors
+        flat = FlatIndex(16)
+        flat.add_batch(ids, vectors)
+        recalls = []
+        for nprobe in (1, 3, 6):
+            ivf = IVFIndex(16, num_lists=6, nprobe=nprobe)
+            ivf.train(ids, vectors)
+            rs = []
+            for center in centers:
+                exact = flat.search(center, top_n=10)
+                approx = ivf.search(center, top_n=10)
+                rs.append(recall_at_n(approx, exact, 10))
+            recalls.append(np.mean(rs))
+        assert recalls[0] <= recalls[1] <= recalls[2]
+        assert recalls[-1] == 1.0
+
+    def test_nprobe_capped_by_lists(self):
+        index = IVFIndex(8, num_lists=4, nprobe=10)
+        assert index.nprobe == 4
+
+    def test_memory_bytes(self, corpus_vectors):
+        ids, vectors, _ = corpus_vectors
+        index = IVFIndex(16, num_lists=4)
+        assert index.memory_bytes() == 0  # untrained
+        index.train(ids, vectors)
+        assert index.memory_bytes() > len(ids) * 16 * 4
+
+    def test_deterministic_training(self, corpus_vectors):
+        ids, vectors, centers = corpus_vectors
+        a = IVFIndex(16, num_lists=4, seed=3)
+        b = IVFIndex(16, num_lists=4, seed=3)
+        a.train(ids, vectors)
+        b.train(ids, vectors)
+        assert a.search(centers[0], 5).ids() == b.search(centers[0], 5).ids()
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            IVFIndex(0)
+        with pytest.raises(ValueError):
+            IVFIndex(8, num_lists=0)
+        with pytest.raises(ValueError):
+            IVFIndex(8, nprobe=0)
+
+
+class TestRecallAtN:
+    def test_invalid_n(self, corpus_vectors):
+        ids, vectors, centers = corpus_vectors
+        flat = FlatIndex(16)
+        flat.add_batch(ids, vectors)
+        outcome = flat.search(centers[0], top_n=5)
+        with pytest.raises(ValueError):
+            recall_at_n(outcome, outcome, 0)
+
+    def test_empty_truth_vacuous(self):
+        from repro.retrieval.vector_index import SearchOutcome
+
+        empty = SearchOutcome(hits=[], distances_computed=0)
+        assert recall_at_n(empty, empty, 5) == 1.0

@@ -1,0 +1,87 @@
+"""Unit tests for the Zipfian vocabulary model."""
+
+import numpy as np
+import pytest
+
+from repro.text.vocab import Vocabulary
+
+
+@pytest.fixture
+def vocab():
+    return Vocabulary(10_000)
+
+
+class TestValidation:
+    def test_size_must_exceed_specials(self):
+        with pytest.raises(ValueError):
+            Vocabulary(4, num_special=4)
+
+    def test_zipf_exponent_positive(self):
+        with pytest.raises(ValueError):
+            Vocabulary(100, zipf_s=0.0)
+
+    def test_special_token_ids_fixed(self, vocab):
+        assert (vocab.PAD, vocab.BOS, vocab.EOS, vocab.SEP) == (0, 1, 2, 3)
+
+
+class TestSampling:
+    def test_sampling_is_deterministic_under_seed(self, vocab):
+        a = vocab.sample(np.random.default_rng(7), 100)
+        b = vocab.sample(np.random.default_rng(7), 100)
+        assert np.array_equal(a, b)
+
+    def test_specials_never_sampled(self, vocab):
+        ids = vocab.sample(np.random.default_rng(0), 5000)
+        assert (ids >= vocab.num_special).all()
+
+    def test_ids_within_vocab(self, vocab):
+        ids = vocab.sample(np.random.default_rng(0), 5000)
+        assert (ids < vocab.size).all()
+
+    def test_zero_count(self, vocab):
+        assert vocab.sample(np.random.default_rng(0), 0).size == 0
+
+    def test_negative_count_rejected(self, vocab):
+        with pytest.raises(ValueError):
+            vocab.sample(np.random.default_rng(0), -1)
+
+    def test_distribution_is_skewed(self, vocab):
+        """Low-rank (common) tokens dominate — the §4.4 premise."""
+        ids = vocab.sample(np.random.default_rng(1), 20_000)
+        top_100_share = (ids < vocab.num_special + 100).mean()
+        assert top_100_share > 0.4  # Zipf s=1: top 100 of ~10k ≈ 53%
+
+
+class TestProbabilities:
+    def test_probabilities_sum_to_one(self, vocab):
+        total = sum(vocab.token_probability(t) for t in range(vocab.num_special, vocab.size))
+        assert total == pytest.approx(1.0)
+
+    def test_specials_have_zero_probability(self, vocab):
+        for t in range(vocab.num_special):
+            assert vocab.token_probability(t) == 0.0
+
+    def test_out_of_range_has_zero_probability(self, vocab):
+        assert vocab.token_probability(vocab.size) == 0.0
+
+    def test_probability_decreases_with_rank(self, vocab):
+        p_first = vocab.token_probability(vocab.num_special)
+        p_later = vocab.token_probability(vocab.num_special + 100)
+        assert p_first > p_later > 0
+
+
+class TestUniqueFraction:
+    def test_monotone_in_draws(self, vocab):
+        fractions = [vocab.expected_unique_fraction(n) for n in (0, 100, 1_000, 10_000)]
+        assert fractions == sorted(fractions)
+        assert fractions[0] == 0.0
+
+    def test_sparsity_premise_of_embedding_cache(self):
+        """§4.4: a reranking request touches a small vocab slice."""
+        vocab = Vocabulary(151_669)
+        # 20 docs × 512 tokens = 10,240 draws.
+        assert vocab.expected_unique_fraction(10_240) < 0.07
+
+    def test_negative_draws_rejected(self, vocab):
+        with pytest.raises(ValueError):
+            vocab.expected_unique_fraction(-5)

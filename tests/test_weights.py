@@ -1,0 +1,79 @@
+"""Unit tests for the WeightStore."""
+
+import numpy as np
+import pytest
+
+from repro.model import costs
+from repro.model.weights import WeightStore
+from repro.model.zoo import QWEN3_0_6B
+
+
+@pytest.fixture
+def store():
+    return WeightStore(QWEN3_0_6B)
+
+
+class TestBlobSizes:
+    def test_layer_nbytes_matches_costs(self, store):
+        assert store.layer_nbytes(0) == costs.layer_weight_bytes(QWEN3_0_6B)
+
+    def test_quantized_store_smaller(self):
+        fp16 = WeightStore(QWEN3_0_6B, quantized=False)
+        w4 = WeightStore(QWEN3_0_6B, quantized=True)
+        assert w4.layer_nbytes(0) < fp16.layer_nbytes(0)
+        assert w4.total_nbytes() < fp16.total_nbytes()
+
+    def test_embedding_row_nbytes(self, store):
+        assert store.embedding_row_nbytes() == QWEN3_0_6B.hidden_dim * 2
+
+    def test_layer_bounds_checked(self, store):
+        with pytest.raises(IndexError):
+            store.layer_nbytes(QWEN3_0_6B.num_layers)
+        with pytest.raises(IndexError):
+            store.layer_nbytes(-1)
+
+
+class TestTags:
+    def test_layer_tags_unique(self, store):
+        tags = {store.layer_tag(i) for i in range(QWEN3_0_6B.num_layers)}
+        assert len(tags) == QWEN3_0_6B.num_layers
+
+    def test_tags_carry_model_name(self, store):
+        assert QWEN3_0_6B.name in store.layer_tag(0)
+        assert QWEN3_0_6B.name in store.embedding_tag()
+        assert QWEN3_0_6B.name in store.classifier_tag()
+
+
+class TestNumericsMaterialisation:
+    def test_load_layer_deterministic_across_stores(self):
+        a = WeightStore(QWEN3_0_6B).load_layer(5)
+        b = WeightStore(QWEN3_0_6B).load_layer(5)
+        assert np.array_equal(a.wq, b.wq)
+
+    def test_load_layer_cached(self, store):
+        assert store.load_layer(2) is store.load_layer(2)
+
+    def test_embedding_row_deterministic(self, store):
+        assert np.array_equal(store.embedding_row(100), store.embedding_row(100))
+
+    def test_embedding_row_immutable(self, store):
+        row = store.embedding_row(50)
+        with pytest.raises(ValueError):
+            row[0] = 1.0
+
+    def test_embedding_row_bounds(self, store):
+        with pytest.raises(ValueError):
+            store.embedding_row(-1)
+        with pytest.raises(ValueError):
+            store.embedding_row(QWEN3_0_6B.vocab_size)
+
+    def test_embedding_rows_shape(self, store):
+        tokens = np.array([[1, 2], [3, 4], [5, 6]])
+        rows = store.embedding_rows(tokens)
+        assert rows.shape == (3, 2, QWEN3_0_6B.sim_hidden)
+
+    def test_embedding_rows_match_single_lookup(self, store):
+        tokens = np.array([7, 8])
+        rows = store.embedding_rows(tokens)
+        assert np.array_equal(rows[0], store.embedding_row(7))
+        assert np.array_equal(rows[1], store.embedding_row(8))

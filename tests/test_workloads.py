@@ -1,0 +1,75 @@
+"""Unit tests for workload representation and batch packing."""
+
+import numpy as np
+import pytest
+
+from repro.data.workloads import build_batch, make_query
+from repro.model.zoo import QWEN3_0_6B
+from repro.text.tokenizer import Tokenizer
+from repro.text.vocab import Vocabulary
+
+
+@pytest.fixture
+def query():
+    rng = np.random.default_rng(0)
+    labels = np.array([True, False, True, False])
+    relevance = np.array([0.9, 0.2, 0.8, 0.3])
+    return make_query(
+        rng, query_id=7, labels=labels, relevance=relevance, query_length=12, doc_length_mean=100
+    )
+
+
+class TestMakeQuery:
+    def test_candidate_count(self, query):
+        assert query.num_candidates == 4
+        assert query.num_relevant == 2
+
+    def test_fields_preserved(self, query):
+        assert np.array_equal(query.labels(), [True, False, True, False])
+        assert np.allclose(query.relevance(), [0.9, 0.2, 0.8, 0.3])
+
+    def test_uids_unique(self, query):
+        assert len(set(query.uids().tolist())) == 4
+
+    def test_lengths_positive_and_bounded(self, query):
+        for candidate in query.candidates:
+            assert 32 <= candidate.length <= 400
+
+    def test_misaligned_inputs_rejected(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            make_query(
+                rng,
+                query_id=0,
+                labels=np.array([True]),
+                relevance=np.array([0.5, 0.6]),
+                query_length=8,
+                doc_length_mean=50,
+            )
+
+
+class TestBuildBatch:
+    def test_batch_shape(self, query):
+        tokenizer = Tokenizer(Vocabulary(QWEN3_0_6B.vocab_size))
+        batch = build_batch(query, tokenizer, QWEN3_0_6B.max_seq_len)
+        assert batch.tokens.shape == (4, QWEN3_0_6B.max_seq_len)
+        assert batch.size == 4
+
+    def test_relevance_and_uids_carried_through(self, query):
+        tokenizer = Tokenizer(Vocabulary(QWEN3_0_6B.vocab_size))
+        batch = build_batch(query, tokenizer, QWEN3_0_6B.max_seq_len)
+        assert np.allclose(batch.relevance, query.relevance())
+        assert np.array_equal(batch.uids, query.uids())
+
+    def test_lengths_reflect_documents(self, query):
+        tokenizer = Tokenizer(Vocabulary(QWEN3_0_6B.vocab_size))
+        batch = build_batch(query, tokenizer, QWEN3_0_6B.max_seq_len)
+        template = tokenizer.template_ids().size
+        expected = [min(3 + template + 12 + c.length, 512) for c in query.candidates]
+        assert batch.lengths.tolist() == expected
+
+    def test_same_query_same_batch(self, query):
+        tokenizer = Tokenizer(Vocabulary(QWEN3_0_6B.vocab_size))
+        a = build_batch(query, tokenizer, 512)
+        b = build_batch(query, tokenizer, 512)
+        assert np.array_equal(a.tokens, b.tokens)

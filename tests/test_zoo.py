@@ -1,0 +1,113 @@
+"""Unit tests for the model registry (Table 1 of the paper)."""
+
+import pytest
+
+from repro.model.zoo import (
+    BGE_M3,
+    BGE_MINICPM,
+    PAPER_MODELS,
+    QWEN3_0_6B,
+    QWEN3_4B,
+    QWEN3_8B,
+    ModelConfig,
+    get_model_config,
+    list_models,
+    register_model,
+)
+
+
+class TestTable1:
+    def test_five_paper_models(self):
+        assert len(PAPER_MODELS) == 5
+
+    def test_architectures_match_table1(self):
+        assert QWEN3_0_6B.architecture == "decoder"
+        assert QWEN3_4B.architecture == "decoder"
+        assert QWEN3_8B.architecture == "decoder"
+        assert BGE_MINICPM.architecture == "decoder"
+        assert BGE_M3.architecture == "encoder"
+
+    def test_qwen_family_shares_vocab(self):
+        assert QWEN3_0_6B.vocab_size == QWEN3_4B.vocab_size == QWEN3_8B.vocab_size == 151_669
+
+    def test_layer_counts(self):
+        assert QWEN3_0_6B.num_layers == 28
+        assert BGE_MINICPM.num_layers == 40
+        assert BGE_M3.num_layers == 24
+
+    def test_qwen8b_models_overfitting(self):
+        """§6.2 attributes Qwen3-8B's inverse threshold trend to
+        over-fitting; the registry encodes it as late-layer noise."""
+        assert QWEN3_8B.semantics.late_overfit_noise > 0
+        assert QWEN3_0_6B.semantics.late_overfit_noise == 0
+
+    def test_bge_family_uses_narrow_threshold_range(self):
+        """Figure 10 sweeps 0.1–0.9 for Qwen but only ~0.05–0.4 for BGE."""
+        assert BGE_M3.threshold_range[1] <= 0.5
+        assert QWEN3_0_6B.threshold_range[1] >= 0.8
+
+
+class TestRegistry:
+    def test_lookup_by_name(self):
+        assert get_model_config("qwen3-reranker-0.6b") is QWEN3_0_6B
+
+    def test_unknown_name_raises_with_suggestions(self):
+        with pytest.raises(KeyError, match="qwen3-reranker-0.6b"):
+            get_model_config("qwen-unknown")
+
+    def test_list_models_sorted(self):
+        models = list_models()
+        assert models == sorted(models)
+        assert len(models) >= 5
+
+    def test_register_custom_model(self):
+        custom = ModelConfig(
+            name="test-tiny-reranker",
+            params_label="10M",
+            num_layers=2,
+            hidden_dim=64,
+            num_heads=4,
+            ffn_dim=128,
+            vocab_size=1000,
+            architecture="decoder",
+        )
+        register_model(custom)
+        assert get_model_config("test-tiny-reranker") is custom
+
+
+class TestValidation:
+    def _base(self, **overrides):
+        kwargs = dict(
+            name="x",
+            params_label="x",
+            num_layers=2,
+            hidden_dim=64,
+            num_heads=4,
+            ffn_dim=128,
+            vocab_size=1000,
+            architecture="decoder",
+        )
+        kwargs.update(overrides)
+        return kwargs
+
+    def test_unknown_architecture_rejected(self):
+        with pytest.raises(ValueError):
+            ModelConfig(**self._base(architecture="mamba"))
+
+    def test_heads_must_divide_hidden(self):
+        with pytest.raises(ValueError):
+            ModelConfig(**self._base(hidden_dim=65))
+
+    def test_sim_heads_must_divide_sim_hidden(self):
+        with pytest.raises(ValueError):
+            ModelConfig(**self._base(sim_hidden=50, sim_heads=3))
+
+    def test_positive_layers_and_vocab(self):
+        with pytest.raises(ValueError):
+            ModelConfig(**self._base(num_layers=0))
+        with pytest.raises(ValueError):
+            ModelConfig(**self._base(vocab_size=0))
+
+    def test_is_decoder_property(self):
+        assert QWEN3_0_6B.is_decoder
+        assert not BGE_M3.is_decoder
