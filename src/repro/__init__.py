@@ -6,12 +6,14 @@ self-contained Python library (see DESIGN.md for the substitution map):
 
 * :mod:`repro.core` — PRISM itself: monolithic forwarding with
   progressive cluster pruning, overlapped layer streaming, chunked
-  execution and embedding table caching.
+  execution and embedding table caching; plus the serving layers
+  (self-calibrating service, multi-replica fleet).
 * :mod:`repro.baselines` — HF, HF-Offload, HF-Quant comparison engines.
 * :mod:`repro.device` — the simulated edge platforms (clock, memory
   tracker, SSD, roofline compute model).
 * :mod:`repro.model` — cross-encoder transformer substrate with
   paper-scale cost accounting and reduced-width numerics.
+* :mod:`repro.text` — Zipfian vocabulary and deterministic tokenizer.
 * :mod:`repro.data` / :mod:`repro.retrieval` — the 18 evaluation
   dataset generators and the hybrid-retrieval stack.
 * :mod:`repro.apps` — the three real-world applications (RAG, agent

@@ -1,4 +1,8 @@
-"""PRISM core: monolithic forwarding and the four §4 techniques."""
+"""PRISM core: monolithic forwarding, the four §4 techniques, and the
+serving layers built on them — offline calibration
+(:class:`ThresholdCalibrator`), the single-device self-calibrating
+service (:class:`SemanticSelectionService`, DESIGN.md §3) and the
+multi-replica fleet (:class:`FleetService`, DESIGN.md §5)."""
 
 from .calibration import CalibrationResult, CalibrationStep, ThresholdCalibrator
 from .chunking import (
@@ -48,13 +52,39 @@ __all__ = [
 from .service import (  # noqa: E402  (appended export)
     MaintenanceReport,
     SampledRequest,
+    SampleStride,
     SemanticSelectionService,
     ServiceStats,
 )
 
 __all__ += [
     "MaintenanceReport",
+    "SampleStride",
     "SampledRequest",
     "SemanticSelectionService",
     "ServiceStats",
+]
+
+from .fleet import (  # noqa: E402  (appended export)
+    ROUTING_POLICIES,
+    FleetConfig,
+    FleetMaintenanceReport,
+    FleetRequest,
+    FleetService,
+    FleetStats,
+    ReplicaHandle,
+    RequestOutcome,
+    RoutingPolicy,
+)
+
+__all__ += [
+    "FleetConfig",
+    "FleetMaintenanceReport",
+    "FleetRequest",
+    "FleetService",
+    "FleetStats",
+    "ROUTING_POLICIES",
+    "ReplicaHandle",
+    "RequestOutcome",
+    "RoutingPolicy",
 ]

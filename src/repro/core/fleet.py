@@ -1,0 +1,550 @@
+"""Fleet-scale serving: sharded, batched selection across replicas (DESIGN.md §5).
+
+One :class:`~repro.core.service.SemanticSelectionService` serves one
+request at a time on one device.  Heavy traffic needs a *fleet*: N
+replicas (possibly on heterogeneous platforms) behind a shared
+admission queue.  :class:`FleetService` provides that layer on the
+simulated clock:
+
+* **Admission & batching** — requests enter a fleet-wide queue; the
+  dispatcher flushes a batch to one replica when ``max_batch`` requests
+  have accumulated or the oldest request has waited ``max_wait_ms``.
+  Batching amortises the fixed per-dispatch overhead (scheduler wakeup,
+  host↔device command submission) across the batch.
+* **Routing** — pluggable policies decide which replica takes a batch:
+  ``round_robin`` (stateless fairness), ``least_loaded`` (smallest
+  backlog of already-assigned work), and ``ewma`` (latency-aware:
+  predicted completion from an exponentially-weighted per-request
+  latency estimate, which adapts to heterogeneous replicas).
+* **Fleet statistics** — end-to-end latency percentiles (p50/p95/p99),
+  per-replica utilisation, queue-depth profile, and simulated
+  throughput.
+* **Coordinated maintenance** — an idle pass runs every replica's
+  §4.1 self-calibration step, then propagates the *median* of the
+  replica thresholds fleet-wide, so one replica's skewed sample stream
+  cannot drag its operating point away from the fleet's.
+
+Time model: every replica device keeps its own
+:class:`~repro.device.clock.VirtualClock` (replicas genuinely run in
+parallel), while the fleet owns a coordinator clock.  Dispatch aligns a
+replica's local timeline to the fleet timeline with ``advance_to`` —
+the same synchronisation primitive the compute/I-O streams use inside
+one device — so queue wait, service time and completion all live on one
+coherent simulated axis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from ..device.clock import VirtualClock
+from ..device.platforms import DeviceProfile
+from ..model.transformer import CandidateBatch, CrossEncoderModel
+from .config import PrismConfig
+from .engine import RerankResult
+from .service import MaintenanceReport, SampleStride, SemanticSelectionService
+
+
+@dataclass(frozen=True)
+class FleetConfig:
+    """Admission/batching/routing knobs for a :class:`FleetService`.
+
+    Parameters
+    ----------
+    max_batch:
+        Most requests dispatched to one replica in one batch.
+    max_wait_ms:
+        Longest a queued request may wait (simulated time) for its
+        batch to fill before the dispatcher flushes a partial batch.
+    routing:
+        Routing policy name; see :data:`ROUTING_POLICIES`.
+    dispatch_overhead_ms:
+        Fixed per-dispatch cost charged on the serving replica before
+        the batch executes — the quantity batching amortises.
+    ewma_alpha:
+        Smoothing factor of the ``ewma`` policy's per-request latency
+        estimate (higher = adapts faster).
+    """
+
+    max_batch: int = 4
+    max_wait_ms: float = 50.0
+    routing: str = "round_robin"
+    dispatch_overhead_ms: float = 2.0
+    ewma_alpha: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        if self.max_wait_ms < 0:
+            raise ValueError("max_wait_ms must be >= 0")
+        if self.routing not in ROUTING_POLICIES:
+            known = ", ".join(sorted(ROUTING_POLICIES))
+            raise ValueError(f"unknown routing policy {self.routing!r}; known: {known}")
+        if self.dispatch_overhead_ms < 0:
+            raise ValueError("dispatch_overhead_ms must be >= 0")
+        if not 0 < self.ewma_alpha <= 1:
+            raise ValueError("ewma_alpha must lie in (0, 1]")
+
+
+@dataclass
+class ReplicaHandle:
+    """One serving replica plus the coordinator's view of its state.
+
+    The fleet tracks each replica in *fleet time*; ``origin`` maps the
+    replica device clock (which already advanced during ``prepare()``)
+    onto the fleet axis so steady-state serving starts at t=0.
+    """
+
+    index: int
+    service: SemanticSelectionService
+    origin: float = 0.0
+    busy_until: float = 0.0
+    busy_seconds: float = 0.0
+    requests_served: int = 0
+    batches_served: int = 0
+    ewma_latency: float = 0.0
+
+    @property
+    def local_now(self) -> float:
+        """The replica's position on the fleet time axis."""
+        return self.service.device.clock.now - self.origin
+
+    def sync_to(self, fleet_time: float) -> None:
+        """Advance the replica's clock to a fleet-time instant."""
+        self.service.device.clock.advance_to(fleet_time + self.origin)
+
+    def backlog(self, now: float) -> float:
+        """Seconds of already-assigned work outstanding at ``now``."""
+        return max(0.0, self.busy_until - now)
+
+
+# ----------------------------------------------------------------------
+# routing policies
+# ----------------------------------------------------------------------
+class RoutingPolicy:
+    """Chooses the replica that takes the next dispatched batch."""
+
+    name = "base"
+
+    def choose(
+        self, replicas: Sequence[ReplicaHandle], now: float, batch_size: int
+    ) -> ReplicaHandle:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class RoundRobinRouting(RoutingPolicy):
+    """Stateless fairness: replicas take turns regardless of load."""
+
+    name = "round_robin"
+
+    def __init__(self) -> None:
+        self._next = 0
+
+    def choose(
+        self, replicas: Sequence[ReplicaHandle], now: float, batch_size: int
+    ) -> ReplicaHandle:
+        replica = replicas[self._next % len(replicas)]
+        self._next += 1
+        return replica
+
+
+class LeastLoadedRouting(RoutingPolicy):
+    """Smallest outstanding backlog wins (ties: fewest requests, index)."""
+
+    name = "least_loaded"
+
+    def choose(
+        self, replicas: Sequence[ReplicaHandle], now: float, batch_size: int
+    ) -> ReplicaHandle:
+        return min(
+            replicas,
+            key=lambda r: (r.backlog(now), r.requests_served, r.index),
+        )
+
+
+class EwmaRouting(RoutingPolicy):
+    """Latency-aware: minimise predicted completion time of the batch.
+
+    Predicted completion = start the replica could begin (its backlog)
+    plus its EWMA per-request latency times the batch size.  On a
+    heterogeneous fleet this learns to send less work to slow replicas,
+    which pure backlog comparison only discovers after the damage.
+    """
+
+    name = "ewma"
+
+    def choose(
+        self, replicas: Sequence[ReplicaHandle], now: float, batch_size: int
+    ) -> ReplicaHandle:
+        return min(
+            replicas,
+            key=lambda r: (
+                r.backlog(now) + r.ewma_latency * batch_size,
+                r.requests_served,
+                r.index,
+            ),
+        )
+
+
+#: name → policy factory (policies carry per-fleet state, so factories).
+ROUTING_POLICIES: dict[str, type[RoutingPolicy]] = {
+    RoundRobinRouting.name: RoundRobinRouting,
+    LeastLoadedRouting.name: LeastLoadedRouting,
+    EwmaRouting.name: EwmaRouting,
+}
+
+
+# ----------------------------------------------------------------------
+# requests, outcomes, reports
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class FleetRequest:
+    """One admitted request awaiting dispatch."""
+
+    request_id: int
+    batch: CandidateBatch
+    k: int
+    arrival: float
+
+
+@dataclass
+class RequestOutcome:
+    """Completion record of one request on the fleet time axis."""
+
+    request_id: int
+    replica: int
+    arrival: float
+    start: float
+    finish: float
+    result: RerankResult
+
+    @property
+    def queue_wait(self) -> float:
+        return self.start - self.arrival
+
+    @property
+    def latency(self) -> float:
+        """End-to-end: admission to completion (wait + dispatch + service)."""
+        return self.finish - self.arrival
+
+
+@dataclass
+class FleetMaintenanceReport:
+    """Outcome of one coordinated idle pass across the fleet."""
+
+    replica_reports: list[MaintenanceReport | None]
+    pre_consensus_thresholds: list[float]
+    consensus_threshold: float
+
+    @property
+    def replicas_adjusted(self) -> int:
+        return sum(
+            1 for report in self.replica_reports if report is not None and report.adjusted
+        )
+
+
+@dataclass
+class FleetStats:
+    """Aggregate view over the completed outcomes of a fleet."""
+
+    outcomes: list[RequestOutcome] = field(default_factory=list)
+    queue_depth_samples: list[tuple[float, int]] = field(default_factory=list)
+    utilisation: dict[int, float] = field(default_factory=dict)
+    makespan: float = 0.0
+    maintenance_rounds: int = 0
+
+    def _latencies(self) -> np.ndarray:
+        return np.array([o.latency for o in self.outcomes])
+
+    def latency_percentile(self, p: float) -> float:
+        if not self.outcomes:
+            return float("nan")
+        return float(np.percentile(self._latencies(), p))
+
+    @property
+    def p50_latency(self) -> float:
+        return self.latency_percentile(50)
+
+    @property
+    def p95_latency(self) -> float:
+        return self.latency_percentile(95)
+
+    @property
+    def p99_latency(self) -> float:
+        return self.latency_percentile(99)
+
+    @property
+    def mean_queue_wait(self) -> float:
+        if not self.outcomes:
+            return float("nan")
+        return float(np.mean([o.queue_wait for o in self.outcomes]))
+
+    @property
+    def max_queue_depth(self) -> int:
+        return max((depth for _, depth in self.queue_depth_samples), default=0)
+
+    @property
+    def throughput_rps(self) -> float:
+        """Completed requests per simulated second over the makespan."""
+        if not self.outcomes or self.makespan <= 0:
+            return float("nan")
+        return len(self.outcomes) / self.makespan
+
+
+class FleetService:
+    """Batched, sharded selection serving over N device replicas.
+
+    Parameters
+    ----------
+    model:
+        The shared reranker (weights are immutable; replicas share it).
+    profiles:
+        One :class:`DeviceProfile` per replica — heterogeneous fleets
+        pass different profiles.  Each replica gets a fresh device.
+    fleet_config:
+        Admission/batching/routing knobs (:class:`FleetConfig`).
+    config:
+        Per-replica :class:`PrismConfig` (defaults to cost-model-only).
+    **service_kwargs:
+        Forwarded to every replica's
+        :class:`~repro.core.service.SemanticSelectionService`
+        (``precision_target``, ``sample_rate``, ``step``, bounds).
+
+    Usage: :meth:`submit` requests (optionally with explicit arrival
+    times on the fleet clock), then :meth:`drain` to run the admission
+    loop to completion; :meth:`idle_maintenance` between traffic waves
+    runs the coordinated calibration pass.
+    """
+
+    def __init__(
+        self,
+        model: CrossEncoderModel,
+        profiles: Sequence[DeviceProfile],
+        fleet_config: FleetConfig | None = None,
+        config: PrismConfig | None = None,
+        **service_kwargs,
+    ) -> None:
+        if not profiles:
+            raise ValueError("need at least one replica profile")
+        self.fleet_config = fleet_config or FleetConfig()
+        self.clock = VirtualClock()
+        self._routing = ROUTING_POLICIES[self.fleet_config.routing]()
+        self.replicas: list[ReplicaHandle] = []
+        for index, profile in enumerate(profiles):
+            service = SemanticSelectionService(
+                model,
+                profile,
+                config=config,
+                **service_kwargs,
+            )
+            self.replicas.append(
+                ReplicaHandle(
+                    index=index,
+                    service=service,
+                    origin=service.device.clock.now,
+                )
+            )
+        self._stride = SampleStride(self.replicas[0].service.sample_rate)
+        self._next_request_id = 0
+        self._pending: list[FleetRequest] = []
+        self._outcomes: list[RequestOutcome] = []
+        self._queue_depth_samples: list[tuple[float, int]] = []
+        self._first_arrival: float | None = None
+        self._maintenance_rounds = 0
+
+    @classmethod
+    def homogeneous(
+        cls,
+        model: CrossEncoderModel,
+        profile: DeviceProfile,
+        num_replicas: int,
+        **kwargs,
+    ) -> "FleetService":
+        """Convenience constructor: ``num_replicas`` identical replicas."""
+        if num_replicas < 1:
+            raise ValueError("num_replicas must be >= 1")
+        return cls(model, [profile] * num_replicas, **kwargs)
+
+    # ------------------------------------------------------------------
+    # admission
+    # ------------------------------------------------------------------
+    @property
+    def num_replicas(self) -> int:
+        return len(self.replicas)
+
+    @property
+    def pending_requests(self) -> int:
+        return len(self._pending)
+
+    def submit(self, batch: CandidateBatch, k: int, at: float | None = None) -> int:
+        """Admit one request; returns its id.
+
+        ``at`` is the arrival instant on the fleet clock (defaults to
+        *now*); arrivals may be submitted out of order and are replayed
+        in arrival order by :meth:`drain`.
+        """
+        arrival = self.clock.now if at is None else float(at)
+        if arrival < self.clock.now:
+            raise ValueError(
+                f"arrival {arrival!r} lies before fleet time {self.clock.now!r}"
+            )
+        request = FleetRequest(
+            request_id=self._next_request_id, batch=batch, k=k, arrival=arrival
+        )
+        self._next_request_id += 1
+        self._pending.append(request)
+        if self._first_arrival is None or arrival < self._first_arrival:
+            self._first_arrival = arrival
+        return request.request_id
+
+    # ------------------------------------------------------------------
+    # dispatch loop
+    # ------------------------------------------------------------------
+    def drain(self) -> list[RequestOutcome]:
+        """Run the admission loop until every submitted request completes.
+
+        Returns the outcomes of the requests admitted since the last
+        drain, in completion order.  The fleet clock ends at the last
+        completion, so a subsequent traffic wave starts afterwards.
+
+        Batching semantics: a batch flushes as soon as ``max_batch``
+        requests are queued, or when the oldest queued request has
+        waited ``max_wait_ms``.  Once the arrival stream is exhausted a
+        partial batch flushes immediately — with no future arrival the
+        wait could only add latency, never depth.
+        """
+        pending = sorted(self._pending, key=lambda r: (r.arrival, r.request_id))
+        self._pending.clear()
+        max_batch = self.fleet_config.max_batch
+        max_wait = self.fleet_config.max_wait_ms * 1e-3
+        queue: list[FleetRequest] = []
+        completed: list[RequestOutcome] = []
+        now = self.clock.now
+        i = 0
+        while i < len(pending) or queue:
+            while i < len(pending) and pending[i].arrival <= now:
+                queue.append(pending[i])
+                i += 1
+                self._queue_depth_samples.append((now, len(queue)))
+            if not queue:
+                now = max(now, pending[i].arrival)
+                continue
+            if len(queue) < max_batch:
+                deadline = queue[0].arrival + max_wait
+                more = i < len(pending)
+                if more and pending[i].arrival <= deadline:
+                    # The batch can still grow before its deadline.
+                    now = max(now, pending[i].arrival)
+                    continue
+                if more and now < deadline:
+                    now = deadline
+            flush, queue = queue[:max_batch], queue[max_batch:]
+            completed.extend(self._dispatch(flush, now))
+            self._queue_depth_samples.append((now, len(queue)))
+        completed.sort(key=lambda o: (o.finish, o.request_id))
+        self._outcomes.extend(completed)
+        horizon = max([now] + [r.busy_until for r in self.replicas])
+        self.clock.advance_to(horizon)
+        return completed
+
+    def _dispatch(self, requests: list[FleetRequest], now: float) -> list[RequestOutcome]:
+        """Hand one batch to a replica; returns its outcomes."""
+        cfg = self.fleet_config
+        replica = self._routing.choose(self.replicas, now, len(requests))
+        start = max(now, replica.busy_until)
+        replica.sync_to(start)
+        clock = replica.service.device.clock
+        clock.advance(cfg.dispatch_overhead_ms * 1e-3)
+        outcomes = []
+        for request in requests:
+            result = replica.service.select(
+                request.batch, request.k, sample=self._admit_sample()
+            )
+            finish = replica.local_now
+            outcomes.append(
+                RequestOutcome(
+                    request_id=request.request_id,
+                    replica=replica.index,
+                    arrival=request.arrival,
+                    start=start,
+                    finish=finish,
+                    result=result,
+                )
+            )
+            alpha = cfg.ewma_alpha
+            if replica.requests_served + len(outcomes) == 1:
+                replica.ewma_latency = result.latency_seconds
+            else:
+                replica.ewma_latency += alpha * (
+                    result.latency_seconds - replica.ewma_latency
+                )
+        replica.busy_until = replica.local_now
+        replica.busy_seconds += replica.busy_until - start
+        replica.requests_served += len(requests)
+        replica.batches_served += 1
+        return outcomes
+
+    def _admit_sample(self) -> bool:
+        """Fleet-wide deterministic sampling stride.
+
+        The fleet, not the replica, decides which requests enter the
+        idle-check log: a per-replica stride would sample unevenly
+        whenever routing skews traffic (e.g. EWMA on a heterogeneous
+        fleet), biasing each replica's measured precision.
+        """
+        return self._stride.admit()
+
+    # ------------------------------------------------------------------
+    # coordinated maintenance
+    # ------------------------------------------------------------------
+    def idle_maintenance(self) -> FleetMaintenanceReport | None:
+        """One fleet-wide calibration round; None when nothing sampled.
+
+        Each replica first applies its own §4.1 step from its sampled
+        requests (on shadow devices — serving clocks untouched), then
+        the fleet propagates the *median* of the resulting thresholds
+        to every replica.  The median is robust to a minority of
+        replicas whose sample streams were unlucky, and keeps the fleet
+        serving one consistent operating point.
+        """
+        replica_reports = [r.service.idle_maintenance() for r in self.replicas]
+        if all(report is None for report in replica_reports):
+            return None
+        thresholds = [r.service.threshold for r in self.replicas]
+        consensus = float(np.median(thresholds))
+        for replica in self.replicas:
+            replica.service.apply_threshold(consensus)
+        self._maintenance_rounds += 1
+        return FleetMaintenanceReport(
+            replica_reports=replica_reports,
+            pre_consensus_thresholds=thresholds,
+            consensus_threshold=consensus,
+        )
+
+    @property
+    def threshold(self) -> float:
+        """The fleet's consensus threshold (replicas may drift between rounds)."""
+        return float(np.median([r.service.threshold for r in self.replicas]))
+
+    # ------------------------------------------------------------------
+    # statistics
+    # ------------------------------------------------------------------
+    def stats(self) -> FleetStats:
+        """Snapshot of fleet-wide serving statistics so far."""
+        first = self._first_arrival if self._first_arrival is not None else 0.0
+        last = max([o.finish for o in self._outcomes], default=first)
+        makespan = max(0.0, last - first)
+        utilisation = {
+            r.index: (r.busy_seconds / makespan if makespan > 0 else 0.0)
+            for r in self.replicas
+        }
+        return FleetStats(
+            outcomes=list(self._outcomes),
+            queue_depth_samples=list(self._queue_depth_samples),
+            utilisation=utilisation,
+            makespan=makespan,
+            maintenance_rounds=self._maintenance_rounds,
+        )

@@ -35,6 +35,28 @@ from .engine import PrismEngine, RerankResult
 from .metrics import top_k_overlap
 
 
+class SampleStride:
+    """Deterministic request-sampling stride.
+
+    Accumulates ``rate`` per request and trips each time the
+    accumulator crosses 1.0, so exactly ``rate`` of requests are
+    admitted with no RNG and no float drift at ``rate=1.0``.  Shared
+    by the single-device service and the fleet admission layer so the
+    two can never diverge on stride semantics.
+    """
+
+    def __init__(self, rate: float) -> None:
+        self.rate = rate
+        self.accumulator = 0.0
+
+    def admit(self) -> bool:
+        self.accumulator += self.rate
+        if self.accumulator >= 1.0:
+            self.accumulator -= 1.0
+            return True
+        return False
+
+
 @dataclass
 class SampledRequest:
     """One logged request awaiting ground-truth comparison."""
@@ -120,7 +142,7 @@ class SemanticSelectionService:
         self.engine.prepare()
         self.stats = ServiceStats()
         self._pending_samples: list[SampledRequest] = []
-        self._sample_accumulator = 0.0
+        self._stride = SampleStride(sample_rate)
 
     # ------------------------------------------------------------------
     @property
@@ -132,16 +154,36 @@ class SemanticSelectionService:
         self.engine.pruner.dispersion_threshold = value
         self.config = replace(self.config, dispersion_threshold=value)
 
+    def apply_threshold(self, value: float) -> float:
+        """Externally set the operating threshold (clamped); returns it.
+
+        This is the hook a fleet coordinator uses to propagate a
+        consensus threshold to every replica after a maintenance round
+        (DESIGN.md §5); the clamp range stays authoritative.
+        """
+        self._set_threshold(value)
+        return self.threshold
+
     # ------------------------------------------------------------------
     # serving path
     # ------------------------------------------------------------------
-    def select(self, batch: CandidateBatch, k: int) -> RerankResult:
-        """Serve one request; log it for idle checking per the rate."""
+    def select(
+        self, batch: CandidateBatch, k: int, sample: bool | None = None
+    ) -> RerankResult:
+        """Serve one request; log it for idle checking per the rate.
+
+        ``sample`` overrides the internal sampling policy for this
+        request: ``True`` forces the request into the idle-check log,
+        ``False`` keeps it out, and ``None`` (default) applies the
+        deterministic ``sample_rate`` stride.  External drivers (the
+        fleet admission layer) use the override to keep the sampled
+        stream uniform across replicas even under skewed routing.
+        """
         result = self.engine.rerank(batch, k)
         self.stats.requests_served += 1
-        self._sample_accumulator += self.sample_rate
-        if self._sample_accumulator >= 1.0:
-            self._sample_accumulator -= 1.0
+        if sample is None:
+            sample = self._stride.admit()
+        if sample:
             self.stats.requests_sampled += 1
             self._pending_samples.append(
                 SampledRequest(batch=batch, k=k, served_top=result.top_indices.copy())

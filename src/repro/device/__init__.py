@@ -2,7 +2,7 @@
 
 The paper's latency/memory claims require a native runtime and real
 edge hardware; this package substitutes a deterministic resource
-simulator (see DESIGN.md §2) that reproduces the resource arithmetic
+simulator (see DESIGN.md §1) that reproduces the resource arithmetic
 those claims rest on: compute windows, I/O overlap, and byte-accurate
 residency.
 """

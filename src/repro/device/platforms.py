@@ -39,7 +39,13 @@ class DeviceProfile:
     description: str = ""
 
     def create(self) -> "Device":
-        """Instantiate a fresh simulated device (own clock/trackers)."""
+        """Instantiate a fresh simulated device (own clock/trackers).
+
+        Each device keeps its own :class:`VirtualClock`; a coordinator
+        running several devices in parallel (the fleet layer, DESIGN.md
+        §5) aligns their timelines with ``advance_to`` synchronisation
+        points rather than sharing a clock.
+        """
         return Device(self)
 
 

@@ -1,4 +1,9 @@
-"""Experiment harness: runner, per-figure experiments, text reporting."""
+"""Experiment harness: runner, per-figure experiments, text reporting.
+
+Per-figure entry points (``fig1_pipeline`` … ``fleet_serving``) live in
+:mod:`repro.harness.experiments`; the ``python -m repro.harness.cli``
+command regenerates any of them from a shell.
+"""
 
 from .reporting import format_series, format_table, ms, pct
 from .runner import SYSTEMS, RunStats, create_engine, run_system, shared_model, shared_tokenizer

@@ -6,6 +6,7 @@ Usage::
     python -m repro.harness.cli fig16
     python -m repro.harness.cli table3 --quick
     python -m repro.harness.cli fig8 --out results/
+    python -m repro.harness.cli fleet --quick
 
 ``--quick`` shrinks workloads (fewer datasets/queries) for smoke runs;
 the full sizes match the benchmarks under ``benchmarks/``.
@@ -69,6 +70,10 @@ _EXPERIMENTS: dict[str, tuple[Callable[[], object], Callable[[], object]]] = {
     "fig16": (
         lambda: ex.fig16_ablation(),
         lambda: ex.fig16_ablation(num_candidates=20),
+    ),
+    "fleet": (
+        lambda: ex.fleet_serving(),
+        lambda: ex.fleet_serving(replica_counts=(1, 2), num_requests=8),
     ),
 }
 

@@ -22,7 +22,8 @@ from ..apps.long_context import generate_tasks as generate_lcs_tasks
 from ..apps.rag import RagPipeline, RagRunResult
 from ..core.clustering import cluster_scores
 from ..core.config import PrismConfig
-from ..core.metrics import cluster_gamma, goodman_kruskal_gamma
+from ..core.fleet import FleetConfig, FleetService
+from ..core.metrics import cluster_gamma, goodman_kruskal_gamma, precision_at_k
 from ..data.datasets import ALL_DATASETS, get_dataset
 from ..device.memory import TimelinePoint
 from ..model.zoo import (
@@ -33,9 +34,11 @@ from ..model.zoo import (
     ModelConfig,
     get_model_config,
 )
+from ..data.workloads import build_batch
+from ..device.platforms import get_profile
 from ..retrieval.corpus import SyntheticCorpus
 from .reporting import format_series, format_table, ms, pct
-from .runner import RunStats, run_system
+from .runner import RunStats, run_system, shared_model, shared_tokenizer
 
 #: Figure 8's seven compared configurations, in plot order.
 FIG8_SYSTEMS = (
@@ -839,6 +842,160 @@ class OverlapWindowResult:
             title=f"Overlap-window sweep ({self.model}, {self.platform})",
         )
         return table + f"\nin-memory HF reference: {ms(self.hf_latency)}"
+
+
+# ----------------------------------------------------------------------
+# Extension — fleet serving (DESIGN.md §5)
+# ----------------------------------------------------------------------
+@dataclass
+class FleetPoint:
+    """One fleet configuration's serving outcome."""
+
+    num_replicas: int
+    routing: str
+    max_batch: int
+    throughput_rps: float
+    speedup: float
+    p50_latency: float
+    p95_latency: float
+    p99_latency: float
+    mean_precision: float
+    mean_utilisation: float
+    max_queue_depth: int
+
+
+@dataclass
+class FleetResult:
+    """Throughput/latency scaling of the fleet layer vs. replica count."""
+
+    model: str
+    platform: str
+    num_requests: int
+    k: int
+    points: list[FleetPoint] = field(default_factory=list)
+
+    def find(self, num_replicas: int, routing: str | None = None) -> FleetPoint:
+        for point in self.points:
+            if point.num_replicas == num_replicas and (
+                routing is None or point.routing == routing
+            ):
+                return point
+        raise KeyError(f"no fleet point ({num_replicas} replicas, {routing!r})")
+
+    def render(self) -> str:
+        rows = [
+            (
+                point.num_replicas,
+                point.routing,
+                point.max_batch,
+                f"{point.throughput_rps:.2f}/s",
+                f"{point.speedup:.2f}x",
+                ms(point.p50_latency),
+                ms(point.p95_latency),
+                ms(point.p99_latency),
+                f"{point.mean_precision:.3f}",
+                pct(point.mean_utilisation),
+                point.max_queue_depth,
+            )
+            for point in self.points
+        ]
+        return format_table(
+            (
+                "replicas",
+                "routing",
+                "batch",
+                "throughput",
+                "speedup",
+                "p50",
+                "p95",
+                "p99",
+                f"P@{self.k}",
+                "mean util",
+                "max queue",
+            ),
+            rows,
+            title=f"Fleet serving scaling ({self.model}, {self.platform}, "
+            f"{self.num_requests} requests)",
+        )
+
+
+def fleet_serving(
+    model_name: str = "qwen3-reranker-0.6b",
+    platform: str = "nvidia_5070",
+    replica_counts: tuple[int, ...] = (1, 2, 4),
+    routing: str = "least_loaded",
+    max_batch: int = 4,
+    max_wait_ms: float = 20.0,
+    num_requests: int = 24,
+    num_candidates: int = 20,
+    k: int = 10,
+    dataset: str = "wikipedia",
+    arrival_interval_ms: float = 0.0,
+    dispatch_overhead_ms: float = 2.0,
+) -> FleetResult:
+    """Fleet-layer scaling study: throughput vs. replica count.
+
+    A burst (or open-loop stream, via ``arrival_interval_ms``) of
+    requests is replayed through fleets of increasing size under the
+    same batching and routing configuration.  Speedup is simulated
+    throughput relative to the first (baseline) replica count; served
+    results are deterministic, so precision stays identical across
+    fleet sizes — scaling is free of quality drift by construction.
+    """
+    model_config = get_model_config(model_name)
+    model = shared_model(model_config)
+    tokenizer = shared_tokenizer(model_config)
+    profile = get_profile(platform)
+    queries = get_dataset(dataset).queries(num_requests, num_candidates)
+    batches = [build_batch(q, tokenizer, model_config.max_seq_len) for q in queries]
+
+    result = FleetResult(
+        model=model_name, platform=platform, num_requests=num_requests, k=k
+    )
+    baseline_throughput: float | None = None
+    for num_replicas in replica_counts:
+        fleet = FleetService.homogeneous(
+            model,
+            profile,
+            num_replicas,
+            fleet_config=FleetConfig(
+                max_batch=max_batch,
+                max_wait_ms=max_wait_ms,
+                routing=routing,
+                dispatch_overhead_ms=dispatch_overhead_ms,
+            ),
+            config=PrismConfig(numerics=False),
+        )
+        for index, batch in enumerate(batches):
+            fleet.submit(batch, k, at=index * arrival_interval_ms * 1e-3)
+        outcomes = {o.request_id: o for o in fleet.drain()}
+        stats = fleet.stats()
+        precision = float(
+            np.mean(
+                [
+                    precision_at_k(outcomes[i].result.top_indices, query.labels(), k)
+                    for i, query in enumerate(queries)
+                ]
+            )
+        )
+        if baseline_throughput is None:
+            baseline_throughput = stats.throughput_rps
+        result.points.append(
+            FleetPoint(
+                num_replicas=num_replicas,
+                routing=routing,
+                max_batch=max_batch,
+                throughput_rps=stats.throughput_rps,
+                speedup=stats.throughput_rps / baseline_throughput,
+                p50_latency=stats.p50_latency,
+                p95_latency=stats.p95_latency,
+                p99_latency=stats.p99_latency,
+                mean_precision=precision,
+                mean_utilisation=float(np.mean(list(stats.utilisation.values()))),
+                max_queue_depth=stats.max_queue_depth,
+            )
+        )
+    return result
 
 
 def overlap_window_sweep(

@@ -73,6 +73,39 @@ class TestServing:
         direct = service.engine.rerank(batches[0], 10)
         assert set(a.top_indices.tolist()) == set(direct.top_indices.tolist())
 
+    def test_full_sampling_accumulator_never_drifts(self, batches):
+        """sample_rate=1.0 must log *every* request: the accumulator
+        hits exactly 1.0 each time and resets to exactly 0.0, with no
+        float residue skipping requests over a long serving run."""
+        service = make_service(sample_rate=1.0)
+        for round_no in range(5):
+            for batch in batches:
+                service.select(batch, 10)
+        assert service.stats.requests_sampled == service.stats.requests_served == 30
+        assert service._stride.accumulator == 0.0
+
+    def test_fractional_rate_stride(self, batches):
+        service = make_service(sample_rate=0.25)
+        for _ in range(2):
+            for batch in batches:
+                service.select(batch, 10)
+        assert service.stats.requests_sampled == 3  # 12 requests x 0.25
+
+    def test_forced_sampling_override(self, batches):
+        service = make_service(sample_rate=0.25)
+        service.select(batches[0], 10, sample=True)
+        service.select(batches[1], 10, sample=False)
+        assert service.stats.requests_sampled == 1
+        assert service.pending_samples == 1
+        # Forced decisions must not consume the deterministic stride.
+        assert service._stride.accumulator == 0.0
+
+    def test_apply_threshold_clamps(self):
+        service = make_service(min_threshold=0.1, max_threshold=0.5)
+        assert service.apply_threshold(0.9) == pytest.approx(0.5)
+        assert service.apply_threshold(0.01) == pytest.approx(0.1)
+        assert service.apply_threshold(0.3) == pytest.approx(0.3)
+
 
 class TestIdleMaintenance:
     def test_noop_without_samples(self):
@@ -110,6 +143,27 @@ class TestIdleMaintenance:
             service.select(batches[0], 10)
             service.idle_maintenance()
         assert service.threshold == pytest.approx(0.02)
+
+    def test_threshold_clamped_at_ceiling(self, batches, monkeypatch):
+        """A persistently failing precision target walks the threshold
+        up, but never past max_threshold."""
+        service = make_service(
+            sample_rate=1.0, precision_target=0.99, step=0.5, max_threshold=0.9
+        )
+        monkeypatch.setattr(service, "_sampled_precision", lambda: (1, 0.0))
+        for _ in range(3):
+            service.select(batches[0], 10)
+            report = service.idle_maintenance()
+        assert service.threshold == pytest.approx(0.9)
+        assert report is not None and not report.adjusted  # pinned at the bound
+
+    def test_noop_again_after_samples_consumed(self, batches):
+        """A pass clears the log; the next idle pass with nothing new
+        sampled must return None rather than re-judging stale data."""
+        service = make_service(sample_rate=1.0)
+        service.select(batches[0], 10)
+        assert service.idle_maintenance() is not None
+        assert service.idle_maintenance() is None
 
     def test_samples_cleared_after_pass(self, batches):
         service = make_service(sample_rate=1.0)
