@@ -32,7 +32,7 @@ from ..device.platforms import Device
 from ..model import costs
 from ..model.transformer import CandidateBatch, CrossEncoderModel
 from ..core.chunking import iter_chunks
-from ..core.engine import EngineBase, RerankResult
+from ..core.engine import EngineBase, RerankResult, TaskContext
 
 #: Framework-default mini-batch size (footnote 1 of the paper; reranker
 #: stacks split candidate pools into modest fixed batches to balance
@@ -72,32 +72,36 @@ class HFEngine(EngineBase):
             memory.alloc(self.store.layer_tag(layer), nbytes, CATEGORY_WEIGHTS)
 
     # ------------------------------------------------------------------
-    def _rerank_impl(self, batch: CandidateBatch, k: int) -> RerankResult:
+    def _task_impl(self, batch: CandidateBatch, k: int, ctx: TaskContext):
+        """One step per (mini-batch, layer); yields at layer boundaries."""
         cfg = self.model.config
         memory = self.device.memory
         seq_len = self._effective_seq_len(batch)
         t0, stall0 = self.executor.now, self.executor.io_stall_seconds
 
+        hidden_tag = ctx.tag("hidden")
+        inter_tag = ctx.tag("intermediates")
         all_scores = np.empty(batch.size)
         layers_executed = 0
         candidate_layers = 0
         for mini in iter_chunks(batch.size, self.batch_size):
             sub = batch.select(mini)
             hidden_bytes = mini.size * costs.hidden_state_bytes_per_candidate(cfg, seq_len)
-            memory.alloc("hidden", hidden_bytes, CATEGORY_HIDDEN)
+            memory.alloc(hidden_tag, hidden_bytes, CATEGORY_HIDDEN)
             self._charge_embedding(mini.size, seq_len)
             state = self.model.embed(sub, numerics=self.numerics)
             for layer in range(cfg.num_layers):
                 inter_bytes = mini.size * costs.intermediate_bytes_per_candidate(cfg, seq_len)
-                memory.alloc("intermediates", inter_bytes, CATEGORY_INTERMEDIATE)
+                memory.alloc(inter_tag, inter_bytes, CATEGORY_INTERMEDIATE)
                 self._charge_layer_chunk(mini.size, seq_len)
-                memory.free("intermediates")
+                memory.free(inter_tag)
                 self.model.forward_layer(state, layer)
                 layers_executed += 1
                 candidate_layers += int(mini.size)
+                yield layer  # preemption point: one layer advanced
             self._charge_classifier(int(mini.size))
             all_scores[mini] = self.model.score(state)
-            memory.free("hidden")
+            memory.free(hidden_tag)
 
         order = np.argsort(-all_scores)[:k]
         return RerankResult(

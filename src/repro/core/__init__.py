@@ -1,8 +1,9 @@
 """PRISM core: monolithic forwarding, the four §4 techniques, and the
 serving layers built on them — offline calibration
 (:class:`ThresholdCalibrator`), the single-device self-calibrating
-service (:class:`SemanticSelectionService`, DESIGN.md §3) and the
-multi-replica fleet (:class:`FleetService`, DESIGN.md §5)."""
+service (:class:`SemanticSelectionService`, DESIGN.md §3), the
+single-device concurrency layer (:class:`DeviceScheduler`, DESIGN.md
+§6) and the multi-replica fleet (:class:`FleetService`, DESIGN.md §5)."""
 
 from .calibration import CalibrationResult, CalibrationStep, ThresholdCalibrator
 from .chunking import (
@@ -15,7 +16,7 @@ from .chunking import (
 from .clustering import Clustering, cluster_scores, kmeans_1d
 from .config import PrismConfig
 from .embedding_cache import CacheLookup, EmbeddingCache
-from .engine import EngineBase, PrismEngine, PruneEvent, RerankResult
+from .engine import EngineBase, PrismEngine, PruneEvent, RerankResult, RerankTask, TaskContext
 from .metrics import cluster_gamma, goodman_kruskal_gamma, precision_at_k, top_k_overlap
 from .pruning import ProgressiveClusterPruner, PruneDecision, coefficient_of_variation
 from .streaming import LayerStreamer
@@ -36,6 +37,8 @@ __all__ = [
     "PruneDecision",
     "PruneEvent",
     "RerankResult",
+    "RerankTask",
+    "TaskContext",
     "ThresholdCalibrator",
     "choose_chunk_size",
     "cluster_gamma",
@@ -47,6 +50,30 @@ __all__ = [
     "plan_hidden_states",
     "precision_at_k",
     "top_k_overlap",
+]
+
+from .scheduler import (  # noqa: E402  (appended export)
+    LANE_BATCH,
+    LANE_INTERACTIVE,
+    SCHEDULING_POLICIES,
+    DeviceScheduler,
+    ScheduledOutcome,
+    ScheduledRequest,
+    SchedulerConfig,
+    SchedulerStats,
+    StepEvent,
+)
+
+__all__ += [
+    "DeviceScheduler",
+    "LANE_BATCH",
+    "LANE_INTERACTIVE",
+    "SCHEDULING_POLICIES",
+    "ScheduledOutcome",
+    "ScheduledRequest",
+    "SchedulerConfig",
+    "SchedulerStats",
+    "StepEvent",
 ]
 
 from .service import (  # noqa: E402  (appended export)

@@ -10,6 +10,14 @@ An engine runs against one simulated :class:`~repro.device.platforms.Device`.
 ``prepare()`` performs one-time setup (loading resident weights) and is
 timed separately from per-request ``rerank()`` latency, matching how
 the paper measures steady-state inference.
+
+Execution is *step-based* (DESIGN.md §6): ``start(batch, k)`` returns a
+resumable :class:`RerankTask` whose ``step()`` advances exactly one
+layer of work, so a :class:`~repro.core.scheduler.DeviceScheduler` can
+time-multiplex several in-flight requests on one device at layer
+boundaries.  ``rerank()`` remains the thin drive-to-completion loop, so
+a solo request executes the exact same operation sequence as before the
+refactor (bit-identical results and latencies).
 """
 
 from __future__ import annotations
@@ -63,10 +71,107 @@ class RerankResult:
     prune_events: list[PruneEvent] = field(default_factory=list)
     chunk_size: int | None = None
     terminated_early: bool = False
+    #: The ``k`` the caller asked for.  ``rerank()`` clamps ``k`` to the
+    #: candidate-pool size; this field keeps the clamp observable instead
+    #: of silent (``None`` only for results built outside the task path).
+    requested_k: int | None = None
 
     @property
     def k(self) -> int:
+        """Effective K: how many candidates were actually selected."""
         return int(self.top_indices.size)
+
+    @property
+    def k_clamped(self) -> bool:
+        """Whether the requested K exceeded the pool and was clamped."""
+        return self.requested_k is not None and self.requested_k != self.k
+
+
+@dataclass(frozen=True)
+class TaskContext:
+    """Per-request namespace for device resources.
+
+    Concurrent tasks share one device, so every transient resource a
+    request touches — memory allocations, SSD transfer tags — must be
+    namespaced per request or interleaved tasks would collide on the
+    trackers' name keyed APIs.  ``request_id`` is unique per engine.
+    """
+
+    request_id: int
+
+    @property
+    def prefix(self) -> str:
+        return f"req{self.request_id}/"
+
+    def tag(self, name: str) -> str:
+        return self.prefix + name
+
+
+class RerankTask:
+    """Resumable execution of one reranking request (DESIGN.md §6).
+
+    The task wraps an engine-specific generator that performs the
+    request's work and yields once per executed transformer layer.
+    Each :meth:`step` resumes the generator until its next layer
+    boundary, so a scheduler interleaving several tasks preempts only
+    at layer boundaries — the clock-coherent preemption points where no
+    transient chunk state is live.
+
+    Step anatomy: the request prologue (embedding stage, residency
+    planning) runs inside the *first* step, and the finalisation tail
+    (classifier over survivors, ordering, teardown) forms the *last*
+    step, so a task takes ``layers_executed + 1`` steps in total and no
+    simulated work ever happens outside a step.
+    """
+
+    def __init__(self, engine: "EngineBase", batch: CandidateBatch, k: int, requested_k: int) -> None:
+        self.engine = engine
+        self.batch = batch
+        self.k = k
+        self.requested_k = requested_k
+        self.context = TaskContext(engine._claim_request_id())
+        self._gen = engine._task_impl(batch, k, self.context)
+        self._result: RerankResult | None = None
+        self.steps_taken = 0
+
+    @property
+    def request_id(self) -> int:
+        return self.context.request_id
+
+    @property
+    def done(self) -> bool:
+        return self._result is not None
+
+    def step(self) -> bool:
+        """Advance the task by exactly one layer of work.
+
+        Returns ``True`` once the task has completed (the final step
+        runs the finalisation tail).  Stepping a completed task is an
+        error — schedulers must consult :attr:`done`.
+        """
+        if self.done:
+            raise RuntimeError("step() on a completed RerankTask")
+        try:
+            next(self._gen)
+        except StopIteration as stop:
+            result: RerankResult = stop.value
+            result.requested_k = self.requested_k
+            self._result = result
+        self.steps_taken += 1
+        return self.done
+
+    @property
+    def result(self) -> RerankResult:
+        """The finalised result; raises until the last step has run."""
+        if self._result is None:
+            raise RuntimeError("RerankTask.result before completion")
+        return self._result
+
+    def run(self) -> RerankResult:
+        """Drive the task to completion (the classic blocking pass)."""
+        while not self.done:
+            self.step()
+        return self.result
 
 
 class EngineBase:
@@ -90,6 +195,7 @@ class EngineBase:
         )
         self._prepared = False
         self.prepare_seconds = 0.0
+        self._request_counter = 0
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -106,17 +212,35 @@ class EngineBase:
         self.prepare_seconds = self.executor.now - start
         self._prepared = True
 
-    def rerank(self, batch: CandidateBatch, k: int) -> RerankResult:
+    def start(self, batch: CandidateBatch, k: int) -> RerankTask:
+        """Admit one request as a resumable :class:`RerankTask`.
+
+        No simulated work happens here — the request prologue runs
+        inside the task's first :meth:`RerankTask.step`, so a queued
+        task costs nothing until a scheduler actually runs it.  ``k``
+        is clamped to the pool size; the requested value is recorded on
+        the eventual :class:`RerankResult` (``requested_k``).
+        """
         if not self._prepared:
             raise RuntimeError(f"{self.name}: rerank() before prepare()")
         if k <= 0:
             raise ValueError("k must be positive")
-        return self._rerank_impl(batch, min(k, batch.size))
+        return RerankTask(self, batch, min(k, batch.size), requested_k=k)
+
+    def rerank(self, batch: CandidateBatch, k: int) -> RerankResult:
+        """Blocking pass: start a task and drive it to completion."""
+        return self.start(batch, k).run()
+
+    def _claim_request_id(self) -> int:
+        request_id = self._request_counter
+        self._request_counter += 1
+        return request_id
 
     def _prepare_impl(self) -> None:  # pragma: no cover - abstract
         raise NotImplementedError
 
-    def _rerank_impl(self, batch: CandidateBatch, k: int) -> RerankResult:  # pragma: no cover
+    def _task_impl(self, batch: CandidateBatch, k: int, ctx: TaskContext):  # pragma: no cover
+        """Generator performing the request; yields once per layer."""
         raise NotImplementedError
 
     # ------------------------------------------------------------------
@@ -174,7 +298,6 @@ class PrismEngine(EngineBase):
             max_clusters=self.config.max_clusters,
             exact_rank_mode=self.config.exact_rank_mode,
         )
-        self.streamer: LayerStreamer | None = None
         self.embedding_cache: EmbeddingCache | None = None
 
     # ------------------------------------------------------------------
@@ -196,16 +319,14 @@ class PrismEngine(EngineBase):
             self.executor.read_blocking("load/embedding", nbytes)
             memory.alloc("embedding-table", nbytes, CATEGORY_EMBEDDING)
 
-        if self.config.layer_streaming:
-            self.streamer = LayerStreamer(self.store, self.executor)
-        else:
+        if not self.config.layer_streaming:
             for layer in range(cfg.num_layers):
                 nbytes = self.store.layer_nbytes(layer)
                 self.executor.read_blocking(f"load/{self.store.layer_tag(layer)}", nbytes)
                 memory.alloc(self.store.layer_tag(layer), nbytes, CATEGORY_WEIGHTS)
 
     # ------------------------------------------------------------------
-    def _rerank_impl(self, batch: CandidateBatch, k: int) -> RerankResult:
+    def _task_impl(self, batch: CandidateBatch, k: int, ctx: TaskContext):
         cfg = self.model.config
         prism_cfg = self.config
         executor = self.executor
@@ -213,8 +334,13 @@ class PrismEngine(EngineBase):
         seq_len = self._effective_seq_len(batch)
         t0, stall0 = executor.now, executor.io_stall_seconds
 
-        if self.streamer is not None:
-            self.streamer.begin_pass()
+        # Weight streaming is a per-pass pipeline; each task owns its
+        # streamer (namespaced buffers) so concurrent passes can stream
+        # independently over the shared SSD stream.
+        streamer: LayerStreamer | None = None
+        if prism_cfg.layer_streaming:
+            streamer = LayerStreamer(self.store, self.executor, tag_prefix=ctx.prefix)
+            streamer.begin_pass()
 
         # ---------------- embedding stage ------------------------------
         if self.embedding_cache is not None:
@@ -242,13 +368,16 @@ class PrismEngine(EngineBase):
             prism_cfg.hidden_offload if prism_cfg.chunked_execution else "off",
             prism_cfg.hidden_memory_budget,
         )
+        hidden_tag = ctx.tag("hidden")
         ring: HiddenStateRing | None = None
         if hidden_plan.offload:
-            ring = HiddenStateRing(executor, hidden_plan, batch.size)
+            ring = HiddenStateRing(
+                executor, hidden_plan, batch.size, tag_prefix=ctx.tag("hidden-ring")
+            )
             ring.allocate()
         else:
             memory.alloc(
-                "hidden", batch.size * hidden_plan.per_candidate_bytes, CATEGORY_HIDDEN
+                hidden_tag, batch.size * hidden_plan.per_candidate_bytes, CATEGORY_HIDDEN
             )
 
         # ---------------- monolithic layer loop ------------------------
@@ -279,6 +408,7 @@ class PrismEngine(EngineBase):
                         selected_scores,
                         hidden_plan,
                         ring,
+                        hidden_tag,
                     )
                     prune_events.append(
                         PruneEvent(
@@ -298,26 +428,28 @@ class PrismEngine(EngineBase):
                 terminated_early = True
                 break
 
-            if self.streamer is not None:
-                self.streamer.acquire(layer)
+            if streamer is not None:
+                streamer.acquire(layer)
 
             if ring is not None:
                 ring.begin_layer(layer)
+            inter_tag = ctx.tag("chunk-intermediates")
             for chunk_no, chunk in enumerate(iter_chunks(int(active.size), chunk_size)):
                 if ring is not None:
                     ring.acquire(layer, chunk_no)
                 inter_bytes = chunk.size * costs.intermediate_bytes_per_candidate(cfg, seq_len)
-                memory.alloc("chunk-intermediates", inter_bytes, CATEGORY_INTERMEDIATE)
+                memory.alloc(inter_tag, inter_bytes, CATEGORY_INTERMEDIATE)
                 self._charge_layer_chunk(chunk.size, seq_len)
-                memory.free("chunk-intermediates")
+                memory.free(inter_tag)
                 if ring is not None:
                     ring.release(layer, chunk_no)
 
             self.model.forward_layer(state, layer)
-            if self.streamer is not None:
-                self.streamer.advance(layer)
+            if streamer is not None:
+                streamer.advance(layer)
             layers_executed += 1
             candidate_layers += int(active.size)
+            yield layer  # preemption point: one layer advanced
 
         # ---------------- finalisation ---------------------------------
         slots = k - len(selected_idx)
@@ -331,10 +463,12 @@ class PrismEngine(EngineBase):
         if ring is not None:
             ring.release_all()
         else:
-            memory.free("hidden")
-        if self.streamer is not None:
-            self.streamer.finish_pass()
-        self.device.ssd.drain()
+            memory.free(hidden_tag)
+        if streamer is not None:
+            streamer.finish_pass()
+        # Only this request's outstanding transfers (ring write-backs):
+        # a concurrent task's prefetches must not become our barrier.
+        self.device.ssd.drain(prefix=ctx.prefix)
 
         return RerankResult(
             top_indices=np.array(selected_idx[:k], dtype=np.int64),
@@ -372,6 +506,7 @@ class PrismEngine(EngineBase):
         selected_scores: list[float],
         hidden_plan,
         ring,
+        hidden_tag: str = "hidden",
     ) -> tuple[np.ndarray, ForwardState]:
         """Route candidates per the decision; shrink hidden residency."""
         assert state.scores is not None
@@ -388,10 +523,10 @@ class PrismEngine(EngineBase):
         new_active = active[keep]
         new_state = self._subset_state(state, keep)
         new_state.scores = state.scores[keep]
-        if ring is None and self.device.memory.is_live("hidden"):
-            self.device.memory.free("hidden")
+        if ring is None and self.device.memory.is_live(hidden_tag):
+            self.device.memory.free(hidden_tag)
             self.device.memory.alloc(
-                "hidden",
+                hidden_tag,
                 int(new_active.size) * hidden_plan.per_candidate_bytes,
                 CATEGORY_HIDDEN,
             )

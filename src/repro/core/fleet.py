@@ -45,6 +45,7 @@ from ..device.platforms import DeviceProfile
 from ..model.transformer import CandidateBatch, CrossEncoderModel
 from .config import PrismConfig
 from .engine import RerankResult
+from .scheduler import SCHEDULING_POLICIES
 from .service import MaintenanceReport, SampleStride, SemanticSelectionService
 
 
@@ -67,6 +68,16 @@ class FleetConfig:
     ewma_alpha:
         Smoothing factor of the ``ewma`` policy's per-request latency
         estimate (higher = adapts faster).
+    intra_concurrency:
+        In-flight request cap *inside* each replica (DESIGN.md §6).
+        ``1`` keeps replicas serial (a dispatched batch executes
+        request-by-request); above 1, a dispatched batch is served
+        through the replica's :class:`~repro.core.scheduler.DeviceScheduler`,
+        multiplexing its requests at layer boundaries — replica-level
+        routing composed with intra-replica concurrency.
+    intra_policy:
+        Scheduling policy of the intra-replica scheduler (only used
+        when ``intra_concurrency > 1``).
     """
 
     max_batch: int = 4
@@ -74,6 +85,8 @@ class FleetConfig:
     routing: str = "round_robin"
     dispatch_overhead_ms: float = 2.0
     ewma_alpha: float = 0.25
+    intra_concurrency: int = 1
+    intra_policy: str = "round_robin"
 
     def __post_init__(self) -> None:
         if self.max_batch < 1:
@@ -87,6 +100,13 @@ class FleetConfig:
             raise ValueError("dispatch_overhead_ms must be >= 0")
         if not 0 < self.ewma_alpha <= 1:
             raise ValueError("ewma_alpha must lie in (0, 1]")
+        if self.intra_concurrency < 1:
+            raise ValueError("intra_concurrency must be >= 1")
+        if self.intra_policy not in SCHEDULING_POLICIES:
+            known = ", ".join(SCHEDULING_POLICIES)
+            raise ValueError(
+                f"unknown intra-replica policy {self.intra_policy!r}; known: {known}"
+            )
 
 
 @dataclass
@@ -338,6 +358,7 @@ class FleetService:
                 model,
                 profile,
                 config=config,
+                max_concurrency=self.fleet_config.intra_concurrency,
                 **service_kwargs,
             )
             self.replicas.append(
@@ -451,7 +472,15 @@ class FleetService:
         return completed
 
     def _dispatch(self, requests: list[FleetRequest], now: float) -> list[RequestOutcome]:
-        """Hand one batch to a replica; returns its outcomes."""
+        """Hand one batch to a replica; returns its outcomes.
+
+        With ``intra_concurrency == 1`` the batch executes serially,
+        request by request.  Above 1, the whole batch enters the
+        replica's :class:`~repro.core.scheduler.DeviceScheduler` and
+        its requests multiplex at layer boundaries (DESIGN.md §6);
+        selections stay byte-identical either way, only completion
+        times move.
+        """
         cfg = self.fleet_config
         replica = self._routing.choose(self.replicas, now, len(requests))
         start = max(now, replica.busy_until)
@@ -459,33 +488,61 @@ class FleetService:
         clock = replica.service.device.clock
         clock.advance(cfg.dispatch_overhead_ms * 1e-3)
         outcomes = []
-        for request in requests:
-            result = replica.service.select(
-                request.batch, request.k, sample=self._admit_sample()
+        if cfg.intra_concurrency > 1:
+            scheduled = replica.service.select_concurrent(
+                [(request.batch, request.k) for request in requests],
+                samples=[self._admit_sample() for _ in requests],
+                policy=cfg.intra_policy,
             )
-            finish = replica.local_now
-            outcomes.append(
-                RequestOutcome(
-                    request_id=request.request_id,
-                    replica=replica.index,
-                    arrival=request.arrival,
-                    start=start,
-                    finish=finish,
-                    result=result,
+            by_id = {outcome.request_id: outcome for outcome in scheduled}
+            for index, request in enumerate(requests):
+                scheduled_outcome = by_id[index]
+                outcomes.append(
+                    RequestOutcome(
+                        request_id=request.request_id,
+                        replica=replica.index,
+                        arrival=request.arrival,
+                        start=start,
+                        finish=scheduled_outcome.finish - replica.origin,
+                        result=scheduled_outcome.result,
+                    )
                 )
-            )
-            alpha = cfg.ewma_alpha
-            if replica.requests_served + len(outcomes) == 1:
-                replica.ewma_latency = result.latency_seconds
-            else:
-                replica.ewma_latency += alpha * (
-                    result.latency_seconds - replica.ewma_latency
+                # Under multiplexing, result.latency_seconds spans other
+                # requests' interleaved steps; the scheduler's service
+                # time is the true per-request cost EWMA must learn.
+                self._update_ewma(replica, len(outcomes), scheduled_outcome.service_seconds)
+        else:
+            for request in requests:
+                result = replica.service.select(
+                    request.batch, request.k, sample=self._admit_sample()
                 )
+                finish = replica.local_now
+                outcomes.append(
+                    RequestOutcome(
+                        request_id=request.request_id,
+                        replica=replica.index,
+                        arrival=request.arrival,
+                        start=start,
+                        finish=finish,
+                        result=result,
+                    )
+                )
+                self._update_ewma(replica, len(outcomes), result.latency_seconds)
         replica.busy_until = replica.local_now
         replica.busy_seconds += replica.busy_until - start
         replica.requests_served += len(requests)
         replica.batches_served += 1
         return outcomes
+
+    def _update_ewma(
+        self, replica: ReplicaHandle, dispatched_so_far: int, latency_seconds: float
+    ) -> None:
+        if replica.requests_served + dispatched_so_far == 1:
+            replica.ewma_latency = latency_seconds
+        else:
+            replica.ewma_latency += self.fleet_config.ewma_alpha * (
+                latency_seconds - replica.ewma_latency
+            )
 
     def _admit_sample(self) -> bool:
         """Fleet-wide deterministic sampling stride.

@@ -1,0 +1,406 @@
+"""DeviceScheduler: concurrent multi-request serving on one device (DESIGN.md §6).
+
+One engine used to serve strictly one request at a time — `rerank()`
+held the device for the whole monolithic pass.  The step-based
+execution core (:class:`~repro.core.engine.RerankTask`) turns a pass
+into a resumable sequence of layer steps, and this module adds the
+scheduler that time-multiplexes several in-flight passes on the single
+:class:`~repro.device.clock.VirtualClock`:
+
+* **Admission** — requests are :meth:`~DeviceScheduler.submit`\\ ted
+  with arrival times on the device clock; at most ``max_concurrency``
+  tasks hold device resources at once (memory for hidden states and
+  stream buffers is per in-flight task), the rest wait in the queue.
+  One exception keeps the priority guarantee honest: under the
+  ``priority`` policy an arrival may be admitted over the cap while a
+  strictly lower-priority task is in flight, so a cap saturated by
+  batch work can still be preempted (reserve memory headroom for the
+  interactive lane accordingly).
+* **Policies** — ``fifo`` runs admitted tasks to completion in arrival
+  order (the pre-scheduler behaviour, now expressed as a policy);
+  ``round_robin`` deals each in-flight task a quantum of
+  ``quantum_layers`` steps in rotation; ``priority`` serves lanes
+  (interactive preempts batch) and preempts a lower-priority task at
+  its next layer boundary the moment a higher-priority request arrives.
+* **Clock coherence** — steps execute one at a time on the shared
+  compute stream, so every step occupies a disjoint interval of the
+  one simulated timeline; a request's end-to-end latency is simply its
+  span on that axis, and queue/service/e2e decompose exactly.
+* **Determinism** — the simulator has no hidden randomness, so the
+  schedule itself is a deterministic artifact: :meth:`trace_text`
+  renders the step sequence canonically and identical inputs produce
+  byte-identical schedules (asserted in ``tests/test_scheduler.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..model.transformer import CandidateBatch
+from .engine import EngineBase, RerankResult, RerankTask
+
+#: Priority lanes: lower number = served first.
+LANE_INTERACTIVE = 0
+LANE_BATCH = 1
+
+#: Known scheduling policies.
+SCHEDULING_POLICIES = ("fifo", "round_robin", "priority")
+
+
+@dataclass(frozen=True)
+class SchedulerConfig:
+    """Knobs for a :class:`DeviceScheduler`.
+
+    Parameters
+    ----------
+    policy:
+        One of :data:`SCHEDULING_POLICIES`.
+    quantum_layers:
+        Layer steps a task runs before the scheduler re-decides
+        (``round_robin``/``priority``; ``fifo`` ignores it).
+    max_concurrency:
+        Most tasks holding device resources at once.  Each in-flight
+        task keeps its hidden states (and stream buffers) resident, so
+        this bounds the serving memory overhead of multiplexing.  The
+        ``priority`` policy may admit a higher-priority arrival over
+        the cap to preempt in-flight batch work (overshoot bounded by
+        the number of concurrent higher-priority requests).
+    """
+
+    policy: str = "fifo"
+    quantum_layers: int = 1
+    max_concurrency: int = 4
+
+    def __post_init__(self) -> None:
+        if self.policy not in SCHEDULING_POLICIES:
+            known = ", ".join(SCHEDULING_POLICIES)
+            raise ValueError(f"unknown scheduling policy {self.policy!r}; known: {known}")
+        if self.quantum_layers < 1:
+            raise ValueError("quantum_layers must be >= 1")
+        if self.max_concurrency < 1:
+            raise ValueError("max_concurrency must be >= 1")
+
+
+@dataclass(frozen=True)
+class ScheduledRequest:
+    """One admitted request awaiting service."""
+
+    request_id: int
+    batch: CandidateBatch
+    k: int
+    arrival: float
+    priority: int = LANE_BATCH
+    sample: bool | None = None  # sampling override threaded to the service layer
+
+
+@dataclass
+class StepEvent:
+    """One executed layer step — the unit of the schedule trace."""
+
+    request_id: int
+    step_index: int  # per-task step counter
+    start: float
+    end: float
+
+
+@dataclass
+class ScheduledOutcome:
+    """Completion record of one request on the device time axis."""
+
+    request_id: int
+    priority: int
+    arrival: float
+    start: float  # first step began (service start)
+    finish: float  # last step ended
+    service_seconds: float  # time spent in this task's own steps
+    preempted: bool  # another task's step ran between this task's steps
+    result: RerankResult
+    sample: bool | None = None
+
+    @property
+    def queue_wait(self) -> float:
+        return self.start - self.arrival
+
+    @property
+    def e2e_latency(self) -> float:
+        return self.finish - self.arrival
+
+    @property
+    def preemption_seconds(self) -> float:
+        """Time the task spent preempted while in flight."""
+        return (self.finish - self.start) - self.service_seconds
+
+
+@dataclass
+class SchedulerStats:
+    """Aggregate view over a drain's completed outcomes."""
+
+    outcomes: list[ScheduledOutcome] = field(default_factory=list)
+    makespan: float = 0.0
+
+    def lane(self, priority: int) -> list[ScheduledOutcome]:
+        return [o for o in self.outcomes if o.priority == priority]
+
+    def latency_percentile(self, p: float, priority: int | None = None) -> float:
+        pool = self.outcomes if priority is None else self.lane(priority)
+        if not pool:
+            return float("nan")
+        return float(np.percentile([o.e2e_latency for o in pool], p))
+
+    def mean_queue_wait(self, priority: int | None = None) -> float:
+        pool = self.outcomes if priority is None else self.lane(priority)
+        if not pool:
+            return float("nan")
+        return float(np.mean([o.queue_wait for o in pool]))
+
+    @property
+    def throughput_rps(self) -> float:
+        if not self.outcomes or self.makespan <= 0:
+            return float("nan")
+        return len(self.outcomes) / self.makespan
+
+
+@dataclass
+class _InFlight:
+    """Scheduler-internal record of a started task."""
+
+    request: ScheduledRequest
+    task: RerankTask
+    started_order: int
+    start: float | None = None  # first step began (service start)
+    service_seconds: float = 0.0
+    last_step_end: float | None = None
+    preempted: bool = False
+
+
+class DeviceScheduler:
+    """Time-multiplexes :class:`RerankTask` steps on one engine.
+
+    The engine must already be ``prepare()``\\ d.  Typical use::
+
+        scheduler = DeviceScheduler(engine, SchedulerConfig(policy="priority"))
+        scheduler.submit(batch_a, k=10)                       # batch lane
+        scheduler.submit(batch_b, k=3, priority=LANE_INTERACTIVE, at=0.1)
+        outcomes = scheduler.drain()
+
+    ``drain()`` replays arrivals on the device clock and runs the
+    policy loop until every submitted request completes; per-request
+    selections are byte-identical to solo execution because candidate
+    scores depend only on (model seed, uid, layer), never on what else
+    shares the device (DESIGN.md §2, §6).
+    """
+
+    def __init__(self, engine: EngineBase, config: SchedulerConfig | None = None) -> None:
+        if not engine._prepared:
+            raise RuntimeError(f"{engine.name}: DeviceScheduler over an unprepared engine")
+        self.engine = engine
+        self.config = config or SchedulerConfig()
+        self.trace: list[StepEvent] = []
+        self._pending: list[ScheduledRequest] = []
+        self._outcomes: list[ScheduledOutcome] = []
+        self._next_id = 0
+        self._started_counter = 0
+        self._first_arrival: float | None = None
+        self._rr_cursor = 0
+
+    # ------------------------------------------------------------------
+    # admission
+    # ------------------------------------------------------------------
+    @property
+    def clock(self):
+        return self.engine.device.clock
+
+    @property
+    def pending_requests(self) -> int:
+        return len(self._pending)
+
+    def submit(
+        self,
+        batch: CandidateBatch,
+        k: int,
+        at: float | None = None,
+        priority: int = LANE_BATCH,
+        sample: bool | None = None,
+    ) -> int:
+        """Admit one request; returns its scheduler-local id.
+
+        ``at`` is the arrival instant on the device clock (defaults to
+        *now*).  ``priority`` selects the lane (:data:`LANE_INTERACTIVE`
+        preempts :data:`LANE_BATCH` under the ``priority`` policy).
+        """
+        arrival = self.clock.now if at is None else float(at)
+        if arrival < self.clock.now:
+            raise ValueError(
+                f"arrival {arrival!r} lies before device time {self.clock.now!r}"
+            )
+        if priority < 0:
+            raise ValueError("priority must be non-negative")
+        if k <= 0:
+            # Fail here, not mid-drain: by the time the queue pops this
+            # request, other requests may already have consumed device time.
+            raise ValueError("k must be positive")
+        request = ScheduledRequest(
+            request_id=self._next_id,
+            batch=batch,
+            k=k,
+            arrival=arrival,
+            priority=priority,
+            sample=sample,
+        )
+        self._next_id += 1
+        self._pending.append(request)
+        if self._first_arrival is None or arrival < self._first_arrival:
+            self._first_arrival = arrival
+        return request.request_id
+
+    # ------------------------------------------------------------------
+    # the policy loop
+    # ------------------------------------------------------------------
+    def drain(self) -> list[ScheduledOutcome]:
+        """Serve every submitted request; returns outcomes in completion order."""
+        pending = sorted(self._pending, key=lambda r: (r.arrival, r.request_id))
+        self._pending.clear()
+        waiting: list[ScheduledRequest] = []  # arrived, not yet holding resources
+        active: list[_InFlight] = []
+        completed: list[ScheduledOutcome] = []
+        i = 0
+
+        def admit() -> None:
+            """Move arrivals into the wait queue and start what fits.
+
+            Under the ``priority`` policy a waiter may be admitted *over*
+            ``max_concurrency`` when a strictly lower-priority task is in
+            flight — otherwise a cap saturated by batch work could never
+            be preempted and the interactive lane would queue behind
+            whole batch passes.  The overshoot is bounded by the number
+            of concurrently in-flight higher-priority requests.
+            """
+            nonlocal i
+            while i < len(pending) and pending[i].arrival <= self.clock.now:
+                waiting.append(pending[i])
+                i += 1
+            waiting.sort(key=self._wait_order)
+            while waiting:
+                request = waiting[0]
+                over_cap_preemption = self.config.policy == "priority" and any(
+                    flight.request.priority > request.priority for flight in active
+                )
+                if len(active) >= self.config.max_concurrency and not over_cap_preemption:
+                    # waiting is sorted, so nothing behind the head fits either.
+                    break
+                waiting.pop(0)
+                active.append(
+                    _InFlight(
+                        request=request,
+                        task=self.engine.start(request.batch, request.k),
+                        started_order=self._started_counter,
+                    )
+                )
+                self._started_counter += 1
+
+        while active or waiting or i < len(pending):
+            admit()  # completions free capacity; arrivals may be due
+            if not active:
+                # admit() starts waiters whenever capacity is free, so an
+                # empty active set means a future arrival is all that is left.
+                self.clock.advance_to(pending[i].arrival)
+                continue
+            flight = self._pick(active)
+            for _ in range(self.config.quantum_layers):
+                before = self.clock.now
+                if flight.start is None:
+                    flight.start = before
+                done = flight.task.step()
+                now = self.clock.now
+                flight.service_seconds += now - before
+                if flight.last_step_end is not None and before > flight.last_step_end:
+                    flight.preempted = True
+                flight.last_step_end = now
+                self.trace.append(
+                    StepEvent(
+                        request_id=flight.request.request_id,
+                        step_index=flight.task.steps_taken - 1,
+                        start=before,
+                        end=now,
+                    )
+                )
+                admit()  # the step advanced the clock; new arrivals may be due
+                if done:
+                    active.remove(flight)
+                    outcome = self._finish(flight)
+                    completed.append(outcome)
+                    # Record immediately: stats must survive a later
+                    # request failing mid-drain (e.g. OOM under load).
+                    self._outcomes.append(outcome)
+                    break
+                if self._should_preempt(flight, active):
+                    break
+
+        return completed
+
+    def _wait_order(self, request: ScheduledRequest):
+        if self.config.policy == "priority":
+            return (request.priority, request.arrival, request.request_id)
+        return (request.arrival, request.request_id)
+
+    def _pick(self, active: list[_InFlight]) -> _InFlight:
+        """Choose the in-flight task that runs the next quantum."""
+        policy = self.config.policy
+        if policy == "fifo":
+            # Run-to-completion in start order: always the oldest task.
+            return min(active, key=lambda f: f.started_order)
+        if policy == "round_robin":
+            # Deal quanta in start order, cycling.
+            ordered = sorted(active, key=lambda f: f.started_order)
+            flight = ordered[self._rr_cursor % len(ordered)]
+            self._rr_cursor += 1
+            return flight
+        # priority: best lane first; FIFO inside a lane.
+        return min(active, key=lambda f: (f.request.priority, f.started_order))
+
+    def _should_preempt(self, flight: _InFlight, active: list[_InFlight]) -> bool:
+        """After a quantum: must the running task yield the device?"""
+        if self.config.policy != "priority":
+            return False
+        return any(f.request.priority < flight.request.priority for f in active)
+
+    def _finish(self, flight: _InFlight) -> ScheduledOutcome:
+        assert flight.start is not None  # a task cannot finish without stepping
+        return ScheduledOutcome(
+            request_id=flight.request.request_id,
+            priority=flight.request.priority,
+            arrival=flight.request.arrival,
+            start=flight.start,
+            finish=self.clock.now,
+            service_seconds=flight.service_seconds,
+            preempted=flight.preempted,
+            result=flight.task.result,
+            sample=flight.request.sample,
+        )
+
+    # ------------------------------------------------------------------
+    # statistics & trace
+    # ------------------------------------------------------------------
+    def stats(self) -> SchedulerStats:
+        first = self._first_arrival if self._first_arrival is not None else 0.0
+        last = max([o.finish for o in self._outcomes], default=first)
+        return SchedulerStats(
+            outcomes=list(self._outcomes), makespan=max(0.0, last - first)
+        )
+
+    def trace_text(self) -> str:
+        """Canonical rendering of the schedule — byte-comparable.
+
+        One line per executed step: which request ran its n-th step
+        over which interval of the simulated timeline.  Two runs over
+        identical inputs must produce identical bytes (determinism is
+        an acceptance bar, not an aspiration).
+        """
+        lines = [
+            f"r{e.request_id:03d} step{e.step_index:04d} "
+            f"{e.start:.9f} -> {e.end:.9f}"
+            for e in self.trace
+        ]
+        return "\n".join(lines)

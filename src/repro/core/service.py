@@ -12,6 +12,11 @@ falls below the target, down when there is headroom.
 
 * :meth:`select` serves requests at the current threshold, logging a
   deterministic ``sample_rate`` fraction of them;
+* :meth:`select_concurrent` serves a wave of requests through the
+  step-multiplexing :class:`~repro.core.scheduler.DeviceScheduler`
+  (DESIGN.md §6): up to ``max_concurrency`` requests share the device,
+  interleaved at layer boundaries, with the same deterministic
+  :class:`SampleStride` feeding the idle-check log;
 * :meth:`idle_maintenance` models the device-idle background pass — it
   replays the logged requests unpruned on a *shadow* device (so the
   serving clock and memory are untouched), measures top-K agreement,
@@ -28,11 +33,19 @@ from dataclasses import dataclass, field, replace
 
 import numpy as np
 
+from typing import Sequence
+
 from ..device.platforms import Device, DeviceProfile
 from ..model.transformer import CandidateBatch, CrossEncoderModel
 from .config import PrismConfig
 from .engine import PrismEngine, RerankResult
 from .metrics import top_k_overlap
+from .scheduler import (
+    LANE_BATCH,
+    DeviceScheduler,
+    ScheduledOutcome,
+    SchedulerConfig,
+)
 
 
 class SampleStride:
@@ -107,6 +120,11 @@ class SemanticSelectionService:
         Threshold increment per idle pass.
     min_threshold / max_threshold:
         Clamp range for the walk.
+    max_concurrency:
+        In-flight request cap of the concurrent serving mode
+        (:meth:`select_concurrent`); ``1`` keeps the service strictly
+        serial.  Each in-flight request holds its own hidden-state and
+        stream-buffer memory, so the cap bounds serving overhead.
     """
 
     def __init__(
@@ -119,6 +137,7 @@ class SemanticSelectionService:
         step: float = 0.05,
         min_threshold: float = 0.02,
         max_threshold: float = 1.5,
+        max_concurrency: int = 1,
     ) -> None:
         if not 0 < precision_target <= 1:
             raise ValueError("precision_target must lie in (0, 1]")
@@ -128,6 +147,8 @@ class SemanticSelectionService:
             raise ValueError("step must be positive")
         if not 0 <= min_threshold < max_threshold:
             raise ValueError("need 0 <= min_threshold < max_threshold")
+        if max_concurrency < 1:
+            raise ValueError("max_concurrency must be >= 1")
         self.model = model
         self.profile = profile
         self.config = config or PrismConfig(numerics=False)
@@ -136,6 +157,7 @@ class SemanticSelectionService:
         self.step = step
         self.min_threshold = min_threshold
         self.max_threshold = max_threshold
+        self.max_concurrency = max_concurrency
 
         self.device: Device = profile.create()
         self.engine = PrismEngine(model, self.device, self.config)
@@ -143,6 +165,11 @@ class SemanticSelectionService:
         self.stats = ServiceStats()
         self._pending_samples: list[SampledRequest] = []
         self._stride = SampleStride(sample_rate)
+        #: The scheduler of the most recent :meth:`select_concurrent`
+        #: wave — its ``stats()`` (lane percentiles, queue waits,
+        #: throughput) and ``trace_text()`` stay reachable after the
+        #: wave completes.
+        self.last_scheduler: DeviceScheduler | None = None
 
     # ------------------------------------------------------------------
     @property
@@ -189,6 +216,92 @@ class SemanticSelectionService:
                 SampledRequest(batch=batch, k=k, served_top=result.top_indices.copy())
             )
         return result
+
+    def select_concurrent(
+        self,
+        requests: Sequence[tuple[CandidateBatch, int]],
+        arrivals: Sequence[float] | None = None,
+        priorities: Sequence[int] | None = None,
+        samples: Sequence[bool | None] | None = None,
+        policy: str = "round_robin",
+        quantum_layers: int = 1,
+    ) -> list[ScheduledOutcome]:
+        """Serve a wave of requests concurrently on the one device.
+
+        Requests are submitted to a :class:`DeviceScheduler` (DESIGN.md
+        §6) capped at the service's ``max_concurrency`` and driven to
+        completion; outcomes come back in completion order, carrying
+        per-request queue/service/e2e latency alongside the
+        :class:`RerankResult`.  The scheduler itself stays reachable as
+        :attr:`last_scheduler` for aggregate ``stats()`` and the
+        canonical ``trace_text()``.
+
+        Sampling semantics match :meth:`select` exactly: the decision
+        is taken per request *in submission order* through the same
+        deterministic :class:`SampleStride` (or forced through
+        ``samples`` overrides, as the fleet admission layer does), so
+        the idle-check log cannot depend on the scheduling policy.
+
+        ``arrivals`` are offsets in seconds from the call instant
+        (default: all due immediately) — the serving device's clock is
+        already deep into its own timeline after ``prepare()``, so
+        offsets are the natural interface; ``priorities`` pick
+        scheduler lanes (default: batch lane).
+        """
+        requests = list(requests)
+        if arrivals is not None and len(arrivals) != len(requests):
+            raise ValueError("arrivals must match requests")
+        if priorities is not None and len(priorities) != len(requests):
+            raise ValueError("priorities must match requests")
+        if samples is not None and len(samples) != len(requests):
+            raise ValueError("samples must match requests")
+        # Validate the whole wave before any state moves: a rejected
+        # request must not leave the deterministic sampling stride
+        # partially consumed (desynchronising every later request's
+        # sampling decision) or ``last_scheduler`` half-submitted.
+        for index, (batch, k) in enumerate(requests):
+            if k <= 0:
+                raise ValueError("k must be positive")
+            if arrivals is not None and arrivals[index] < 0:
+                raise ValueError("arrivals are offsets from now; must be >= 0")
+            if priorities is not None and priorities[index] < 0:
+                raise ValueError("priority must be non-negative")
+        scheduler = DeviceScheduler(
+            self.engine,
+            SchedulerConfig(
+                policy=policy,
+                quantum_layers=quantum_layers,
+                max_concurrency=self.max_concurrency,
+            ),
+        )
+        origin = self.device.clock.now
+        for index, (batch, k) in enumerate(requests):
+            sample = samples[index] if samples is not None else None
+            if sample is None:
+                sample = self._stride.admit()
+            scheduler.submit(
+                batch,
+                k,
+                at=origin + arrivals[index] if arrivals is not None else None,
+                priority=priorities[index] if priorities is not None else LANE_BATCH,
+                sample=sample,
+            )
+        self.last_scheduler = scheduler
+        outcomes = scheduler.drain()
+        by_id = {outcome.request_id: outcome for outcome in outcomes}
+        self.stats.requests_served += len(outcomes)
+        for index, (batch, k) in enumerate(requests):
+            outcome = by_id[index]
+            if outcome.sample:
+                self.stats.requests_sampled += 1
+                self._pending_samples.append(
+                    SampledRequest(
+                        batch=batch,
+                        k=k,
+                        served_top=outcome.result.top_indices.copy(),
+                    )
+                )
+        return outcomes
 
     # ------------------------------------------------------------------
     # idle path

@@ -29,12 +29,16 @@ class LayerStreamer:
         store: WeightStore,
         executor: DeviceExecutor,
         lookahead: int = 1,
+        tag_prefix: str = "",
     ) -> None:
         if lookahead < 1:
             raise ValueError("lookahead must be at least 1")
         self.store = store
         self.executor = executor
         self.lookahead = lookahead
+        #: Namespace for buffer/transfer tags, so several streamers (one
+        #: per in-flight request, DESIGN.md §6) can share one device.
+        self.tag_prefix = tag_prefix
         self._resident: set[int] = set()
         self._inflight: set[int] = set()
         self._started = False
@@ -89,7 +93,7 @@ class LayerStreamer:
 
     # ------------------------------------------------------------------
     def _buffer_tag(self, layer_idx: int) -> str:
-        return f"stream/{self.store.layer_tag(layer_idx)}"
+        return f"{self.tag_prefix}stream/{self.store.layer_tag(layer_idx)}"
 
     def _prefetch(self, layer_idx: int) -> None:
         nbytes = self.store.layer_nbytes(layer_idx)
@@ -105,4 +109,4 @@ class LayerStreamer:
         self._resident.add(layer_idx)
 
     def _io_tag(self, layer_idx: int) -> str:
-        return f"load/{self.store.layer_tag(layer_idx)}"
+        return f"{self.tag_prefix}load/{self.store.layer_tag(layer_idx)}"

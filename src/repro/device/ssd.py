@@ -132,10 +132,16 @@ class SSDDevice:
     def is_pending(self, tag: str) -> bool:
         return tag in self._pending
 
-    def drain(self) -> float:
-        """Wait for every outstanding request; returns the final clock time."""
+    def drain(self, prefix: str | None = None) -> float:
+        """Wait for outstanding requests; returns the final clock time.
+
+        With ``prefix``, only requests whose tag starts with it are
+        waited — how a finishing task joins its own write-backs without
+        serialising behind a concurrent task's prefetches (DESIGN.md §6).
+        """
         for tag in list(self._pending):
-            self.wait(tag)
+            if prefix is None or tag.startswith(prefix):
+                self.wait(tag)
         return self.clock.now
 
     @property

@@ -7,6 +7,7 @@ Usage::
     python -m repro.harness.cli table3 --quick
     python -m repro.harness.cli fig8 --out results/
     python -m repro.harness.cli fleet --quick
+    python -m repro.harness.cli schedule --quick
 
 ``--quick`` shrinks workloads (fewer datasets/queries) for smoke runs;
 the full sizes match the benchmarks under ``benchmarks/``.
@@ -74,6 +75,12 @@ _EXPERIMENTS: dict[str, tuple[Callable[[], object], Callable[[], object]]] = {
     "fleet": (
         lambda: ex.fleet_serving(),
         lambda: ex.fleet_serving(replica_counts=(1, 2), num_requests=8),
+    ),
+    "schedule": (
+        lambda: ex.concurrent_serving(),
+        lambda: ex.concurrent_serving(
+            num_interactive=4, num_batch=2, batch_candidates=32
+        ),
     ),
 }
 

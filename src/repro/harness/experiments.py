@@ -23,6 +23,8 @@ from ..apps.rag import RagPipeline, RagRunResult
 from ..core.clustering import cluster_scores
 from ..core.config import PrismConfig
 from ..core.fleet import FleetConfig, FleetService
+from ..core.scheduler import LANE_BATCH, LANE_INTERACTIVE
+from ..core.service import SemanticSelectionService
 from ..core.metrics import cluster_gamma, goodman_kruskal_gamma, precision_at_k
 from ..data.datasets import ALL_DATASETS, get_dataset
 from ..device.memory import TimelinePoint
@@ -993,6 +995,184 @@ def fleet_serving(
                 mean_precision=precision,
                 mean_utilisation=float(np.mean(list(stats.utilisation.values()))),
                 max_queue_depth=stats.max_queue_depth,
+            )
+        )
+    return result
+
+
+# ----------------------------------------------------------------------
+# Extension — concurrent serving on one device (DESIGN.md §6)
+# ----------------------------------------------------------------------
+@dataclass
+class ConcurrentPoint:
+    """One scheduling policy's outcome on the mixed workload."""
+
+    policy: str
+    interactive_p50: float
+    interactive_p99: float
+    batch_p50: float
+    batch_p99: float
+    mean_interactive_wait: float
+    preempted_requests: int
+    makespan: float
+    throughput_rps: float
+
+
+@dataclass
+class ConcurrentServingResult:
+    """FIFO vs round-robin vs priority lanes on one shared device.
+
+    ``selections_identical`` certifies that scheduling moved only
+    *completion times*: every request's top-K selection is identical
+    across all compared policies (and, by the determinism of the score
+    process, identical to solo execution — asserted in tests).
+    """
+
+    model: str
+    platform: str
+    num_interactive: int
+    num_batch: int
+    interactive_k: int
+    batch_k: int
+    max_concurrency: int
+    points: list[ConcurrentPoint] = field(default_factory=list)
+    selections_identical: bool = True
+
+    def find(self, policy: str) -> ConcurrentPoint:
+        for point in self.points:
+            if point.policy == policy:
+                return point
+        raise KeyError(f"no concurrent-serving point for policy {policy!r}")
+
+    def render(self) -> str:
+        rows = [
+            (
+                point.policy,
+                ms(point.interactive_p50),
+                ms(point.interactive_p99),
+                ms(point.batch_p50),
+                ms(point.batch_p99),
+                ms(point.mean_interactive_wait),
+                point.preempted_requests,
+                ms(point.makespan),
+                f"{point.throughput_rps:.2f}/s",
+            )
+            for point in self.points
+        ]
+        table = format_table(
+            (
+                "policy",
+                "int p50",
+                "int p99",
+                "batch p50",
+                "batch p99",
+                "int wait",
+                "preempted",
+                "makespan",
+                "throughput",
+            ),
+            rows,
+            title=(
+                f"Concurrent serving on one device ({self.model}, {self.platform}, "
+                f"{self.num_interactive} interactive + {self.num_batch} batch, "
+                f"concurrency {self.max_concurrency})"
+            ),
+        )
+        verdict = "yes" if self.selections_identical else "NO"
+        return table + f"\nselections identical across policies: {verdict}"
+
+
+def concurrent_serving(
+    model_name: str = "qwen3-reranker-0.6b",
+    platform: str = "nvidia_5070",
+    policies: tuple[str, ...] = ("fifo", "round_robin", "priority"),
+    num_interactive: int = 8,
+    num_batch: int = 4,
+    interactive_candidates: int = 8,
+    batch_candidates: int = 48,
+    interactive_k: int = 3,
+    batch_k: int = 10,
+    interactive_interval_ms: float = 250.0,
+    max_concurrency: int = 6,
+    quantum_layers: int = 1,
+    dataset: str = "wikipedia",
+) -> ConcurrentServingResult:
+    """Mixed interactive/batch traffic on one device, per policy.
+
+    The batch lane submits ``num_batch`` heavy requests at t=0; the
+    interactive lane trickles ``num_interactive`` light requests in at
+    ``interactive_interval_ms`` spacing while the device is busy.  The
+    same workload replays against each scheduling policy on a fresh
+    service, so policies differ *only* in how layer steps interleave:
+    priority lanes should collapse interactive tail latency while total
+    throughput stays put (the work is identical, merely reordered).
+    """
+    model_config = get_model_config(model_name)
+    model = shared_model(model_config)
+    tokenizer = shared_tokenizer(model_config)
+    spec = get_dataset(dataset)
+    batch_requests = [
+        build_batch(q, tokenizer, model_config.max_seq_len)
+        for q in spec.queries(num_batch, batch_candidates)
+    ]
+    interactive_requests = [
+        build_batch(q, tokenizer, model_config.max_seq_len)
+        for q in spec.queries(num_interactive, interactive_candidates)
+    ]
+
+    requests = [(batch, batch_k) for batch in batch_requests]
+    arrivals = [0.0] * num_batch
+    priorities = [LANE_BATCH] * num_batch
+    for index, batch in enumerate(interactive_requests):
+        requests.append((batch, interactive_k))
+        arrivals.append(index * interactive_interval_ms * 1e-3)
+        priorities.append(LANE_INTERACTIVE)
+
+    result = ConcurrentServingResult(
+        model=model_name,
+        platform=platform,
+        num_interactive=num_interactive,
+        num_batch=num_batch,
+        interactive_k=interactive_k,
+        batch_k=batch_k,
+        max_concurrency=max_concurrency,
+    )
+    reference_selections: list[tuple] | None = None
+    for policy in policies:
+        service = SemanticSelectionService(
+            model,
+            get_profile(platform),
+            config=PrismConfig(numerics=False),
+            max_concurrency=max_concurrency,
+        )
+        outcomes = service.select_concurrent(
+            requests,
+            arrivals=arrivals,
+            priorities=priorities,
+            policy=policy,
+            quantum_layers=quantum_layers,
+        )
+        selections = [
+            tuple(outcome.result.top_indices.tolist())
+            for outcome in sorted(outcomes, key=lambda o: o.request_id)
+        ]
+        if reference_selections is None:
+            reference_selections = selections
+        elif selections != reference_selections:
+            result.selections_identical = False
+
+        stats = service.last_scheduler.stats()
+        result.points.append(
+            ConcurrentPoint(
+                policy=policy,
+                interactive_p50=stats.latency_percentile(50, LANE_INTERACTIVE),
+                interactive_p99=stats.latency_percentile(99, LANE_INTERACTIVE),
+                batch_p50=stats.latency_percentile(50, LANE_BATCH),
+                batch_p99=stats.latency_percentile(99, LANE_BATCH),
+                mean_interactive_wait=stats.mean_queue_wait(LANE_INTERACTIVE),
+                preempted_requests=sum(1 for o in outcomes if o.preempted),
+                makespan=stats.makespan,
+                throughput_rps=stats.throughput_rps,
             )
         )
     return result

@@ -37,6 +37,9 @@ class TestParser:
     def test_fleet_extension_registered(self):
         assert "fleet" in _EXPERIMENTS
 
+    def test_schedule_extension_registered(self):
+        assert "schedule" in _EXPERIMENTS
+
 
 class TestExecution:
     def test_list_mode(self, capsys):

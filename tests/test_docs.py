@@ -34,7 +34,18 @@ def source_citations() -> list[tuple[str, int]]:
 
 def test_design_md_exists_with_numbered_sections():
     assert DESIGN_MD.is_file(), "DESIGN.md is missing from the repo root"
-    assert design_sections() >= {1, 2, 3, 4, 5}
+    assert design_sections() >= {1, 2, 3, 4, 5, 6}
+
+
+def test_scheduler_sources_cite_section_6():
+    """The §6 citation net is live: the step-based execution core and
+    the device scheduler must anchor their design in DESIGN.md §6."""
+    cited_by = {source for source, section in source_citations() if section == 6}
+    for module in (
+        "src/repro/core/engine.py",
+        "src/repro/core/scheduler.py",
+    ):
+        assert module in cited_by, f"{module} no longer cites DESIGN.md §6"
 
 
 def test_sources_cite_design_sections():
@@ -63,7 +74,14 @@ def test_readme_documents_tier1_verify():
     assert "PYTHONPATH=src" in readme
 
 
-def test_serving_docs_cover_all_three_modes():
+def test_serving_docs_cover_all_four_modes():
     serving = (REPO_ROOT / "docs" / "serving.md").read_text()
-    for name in ("ThresholdCalibrator", "SemanticSelectionService", "FleetService"):
+    for name in (
+        "ThresholdCalibrator",
+        "SemanticSelectionService",
+        "DeviceScheduler",
+        "FleetService",
+    ):
         assert name in serving, f"docs/serving.md no longer documents {name}"
+    for concept in ("select_concurrent", "intra_concurrency", "priority"):
+        assert concept in serving, f"docs/serving.md no longer covers {concept}"

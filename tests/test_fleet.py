@@ -265,3 +265,43 @@ class TestStats:
         assert np.isnan(stats.throughput_rps)
         assert np.isnan(stats.p50_latency)
         assert stats.max_queue_depth == 0
+
+
+class TestIntraReplicaConcurrency:
+    """Replica routing composed with the §6 intra-replica scheduler."""
+
+    def test_bad_intra_concurrency_rejected(self):
+        with pytest.raises(ValueError):
+            FleetConfig(intra_concurrency=0)
+
+    def test_bad_intra_policy_rejected(self):
+        with pytest.raises(ValueError):
+            FleetConfig(intra_concurrency=2, intra_policy="lottery")
+
+    def test_selections_identical_to_serial_fleet(self, batches):
+        serial = make_fleet(2, max_batch=3)
+        concurrent = make_fleet(2, max_batch=3, intra_concurrency=3)
+        for batch in batches:
+            serial.submit(batch, 10)
+            concurrent.submit(batch, 10)
+        serial_out = {o.request_id: o for o in serial.drain()}
+        concurrent_out = {o.request_id: o for o in concurrent.drain()}
+        assert set(serial_out) == set(concurrent_out)
+        for request_id, outcome in serial_out.items():
+            assert np.array_equal(
+                outcome.result.top_indices,
+                concurrent_out[request_id].result.top_indices,
+            )
+
+    def test_concurrent_fleet_samples_like_serial(self, batches):
+        serial = make_fleet(2, max_batch=3, sample_rate=0.5)
+        concurrent = make_fleet(2, max_batch=3, intra_concurrency=3, sample_rate=0.5)
+        for batch in batches:
+            serial.submit(batch, 10)
+            concurrent.submit(batch, 10)
+        serial.drain()
+        concurrent.drain()
+        def pending(fleet):
+            return sum(r.service.pending_samples for r in fleet.replicas)
+
+        assert pending(concurrent) == pending(serial) == 3
