@@ -3,13 +3,28 @@
 Every benchmark regenerates one of the paper's tables/figures, asserts
 its qualitative shape, and writes the rendered text artifact to
 ``benchmarks/results/`` so EXPERIMENTS.md can reference the numbers.
+
+Serving benchmarks additionally record machine-readable metrics as
+``benchmarks/results/BENCH_<name>.json`` (throughput, tail latency,
+SSD traffic), so the performance trajectory is diffable across PRs
+instead of living only in prose tables.
+
+``BENCH_QUICK=1`` shrinks the serving-bench workloads to smoke size
+(used by the CI benchmark job).  The assertion bars themselves are
+unchanged — the qualitative shapes hold at both sizes — and the JSON
+artifact records which size produced it via its ``quick`` field.
 """
 
+import json
+import os
 from pathlib import Path
 
 import pytest
 
 RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Smoke-size switch for the serving benches (CI benchmark job).
+BENCH_QUICK = os.environ.get("BENCH_QUICK", "") == "1"
 
 
 @pytest.fixture(scope="session")
@@ -25,6 +40,23 @@ def record_artifact(results_dir):
     def _record(name: str, text: str) -> Path:
         path = results_dir / f"{name}.txt"
         path.write_text(text + "\n")
+        return path
+
+    return _record
+
+
+@pytest.fixture
+def record_metrics(results_dir):
+    """Write one bench's key numbers to benchmarks/results/BENCH_<name>.json.
+
+    Values must be JSON-serialisable scalars or nested dicts/lists of
+    them.  Keys are sorted so the artifact diffs cleanly across PRs.
+    """
+
+    def _record(name: str, metrics: dict) -> Path:
+        path = results_dir / f"BENCH_{name}.json"
+        payload = dict(metrics, quick=BENCH_QUICK)
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
         return path
 
     return _record

@@ -9,23 +9,44 @@ and, because candidate scores are independent of scheduling, every
 request's selection stays byte-identical across policies.
 """
 
-from conftest import run_once
+from conftest import BENCH_QUICK, run_once
 
 from repro.harness.experiments import concurrent_serving
 
 POLICIES = ("fifo", "round_robin", "priority")
+NUM_INTERACTIVE = 4 if BENCH_QUICK else 8
+NUM_BATCH = 2 if BENCH_QUICK else 4
+MAX_CONCURRENCY = 3 if BENCH_QUICK else 6
 
 
-def test_priority_lanes_cut_interactive_tail(benchmark, record_artifact):
+def test_priority_lanes_cut_interactive_tail(benchmark, record_artifact, record_metrics):
     result = run_once(
         benchmark,
         concurrent_serving,
         policies=POLICIES,
-        num_interactive=8,
-        num_batch=4,
-        max_concurrency=6,
+        num_interactive=NUM_INTERACTIVE,
+        num_batch=NUM_BATCH,
+        max_concurrency=MAX_CONCURRENCY,
     )
     record_artifact("concurrent_serving", result.render())
+    record_metrics(
+        "concurrent_serving",
+        {
+            "num_interactive": NUM_INTERACTIVE,
+            "num_batch": NUM_BATCH,
+            "policies": {
+                point.policy: {
+                    "throughput_rps": point.throughput_rps,
+                    "interactive_p99_s": point.interactive_p99,
+                    "batch_p99_s": point.batch_p99,
+                    "makespan_s": point.makespan,
+                    "fused_occupancy": point.fused_occupancy,
+                    "ssd_saved_bytes": point.ssd_saved_bytes,
+                }
+                for point in result.points
+            },
+        },
+    )
 
     fifo = result.find("fifo")
     priority = result.find("priority")

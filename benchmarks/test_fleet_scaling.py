@@ -16,7 +16,7 @@ REPLICA_COUNTS = (1, 2, 4)
 BATCH_SIZES = (1, 4, 8)
 
 
-def test_fleet_replica_scaling(benchmark, record_artifact):
+def test_fleet_replica_scaling(benchmark, record_artifact, record_metrics):
     result = run_once(
         benchmark,
         fleet_serving,
@@ -25,6 +25,21 @@ def test_fleet_replica_scaling(benchmark, record_artifact):
         max_batch=4,
     )
     record_artifact("fleet_scaling", result.render())
+    record_metrics(
+        "fleet_scaling",
+        {
+            "num_requests": 24,
+            "replicas": {
+                str(point.num_replicas): {
+                    "throughput_rps": point.throughput_rps,
+                    "speedup": point.speedup,
+                    "p99_latency_s": point.p99_latency,
+                    "mean_utilisation": point.mean_utilisation,
+                }
+                for point in result.points
+            },
+        },
+    )
 
     baseline = result.find(1)
     quad = result.find(4)

@@ -19,7 +19,7 @@ from .embedding_cache import CacheLookup, EmbeddingCache
 from .engine import EngineBase, PrismEngine, PruneEvent, RerankResult, RerankTask, TaskContext
 from .metrics import cluster_gamma, goodman_kruskal_gamma, precision_at_k, top_k_overlap
 from .pruning import ProgressiveClusterPruner, PruneDecision, coefficient_of_variation
-from .streaming import LayerStreamer
+from .streaming import LayerStreamer, PlanePass, PlaneStats, WeightPlane
 
 __all__ = [
     "CacheLookup",
@@ -31,6 +31,8 @@ __all__ = [
     "HiddenPlan",
     "HiddenStateRing",
     "LayerStreamer",
+    "PlanePass",
+    "PlaneStats",
     "PrismConfig",
     "PrismEngine",
     "ProgressiveClusterPruner",
@@ -40,6 +42,7 @@ __all__ = [
     "RerankTask",
     "TaskContext",
     "ThresholdCalibrator",
+    "WeightPlane",
     "choose_chunk_size",
     "cluster_gamma",
     "cluster_scores",

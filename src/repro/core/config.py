@@ -49,6 +49,13 @@ class PrismConfig:
 
     # --- overlapped layer streaming (§4.2) ---
     layer_streaming: bool = True
+    #: Share one refcounted weight plane across concurrent passes
+    #: (DESIGN.md §7): the first in-flight request to need a layer
+    #: triggers its SSD read, the rest attach for free.  Requires
+    #: ``layer_streaming``; ignored without it.  Off by default — solo
+    #: serving gains nothing and the plane's residency window grows
+    #: with inter-request skew.
+    shared_weight_plane: bool = False
 
     # --- embedding table caching (§4.4) ---
     embedding_cache: bool = True

@@ -43,7 +43,7 @@ from .chunking import HiddenStateRing, choose_chunk_size, iter_chunks, plan_hidd
 from .config import PrismConfig
 from .embedding_cache import EmbeddingCache
 from .pruning import ProgressiveClusterPruner, PruneDecision
-from .streaming import LayerStreamer
+from .streaming import LayerStreamer, PlanePass, WeightPlane
 
 
 @dataclass
@@ -95,9 +95,17 @@ class TaskContext:
     request touches — memory allocations, SSD transfer tags — must be
     namespaced per request or interleaved tasks would collide on the
     trackers' name keyed APIs.  ``request_id`` is unique per engine.
+
+    ``plane_pass`` is the request's cursor into the engine's shared
+    :class:`~repro.core.streaming.WeightPlane` (DESIGN.md §7), or
+    ``None`` when the engine streams weights privately per request.  It
+    is claimed at admission — before the first step — so the plane
+    knows every admitted pass still needs layer 0 and cannot free a
+    shared buffer under a not-yet-started task's feet.
     """
 
     request_id: int
+    plane_pass: PlanePass | None = None
 
     @property
     def prefix(self) -> str:
@@ -129,7 +137,7 @@ class RerankTask:
         self.batch = batch
         self.k = k
         self.requested_k = requested_k
-        self.context = TaskContext(engine._claim_request_id())
+        self.context = TaskContext(engine._claim_request_id(), engine._open_plane_pass())
         self._gen = engine._task_impl(batch, k, self.context)
         self._result: RerankResult | None = None
         self.steps_taken = 0
@@ -173,6 +181,22 @@ class RerankTask:
             self.step()
         return self.result
 
+    def close(self) -> None:
+        """Abandon an unfinished task, releasing its shared resources.
+
+        Closing the generator runs the pass's cleanup for tasks that
+        already started; for a task that was admitted but never stepped
+        the generator body never ran, so the plane pass claimed at
+        construction is released explicitly — otherwise an abandoned
+        task would pin the weight plane's reap floor at layer 0
+        forever.  Idempotent; a no-op on completed tasks.
+        """
+        if self.done:
+            return
+        self._gen.close()
+        if self.context.plane_pass is not None:
+            self.context.plane_pass.fail_pass()
+
 
 class EngineBase:
     """Shared plumbing for all engines."""
@@ -196,6 +220,9 @@ class EngineBase:
         self._prepared = False
         self.prepare_seconds = 0.0
         self._request_counter = 0
+        #: Shared weight plane (DESIGN.md §7); engines that stream
+        #: privately per request leave it ``None``.
+        self.weight_plane: WeightPlane | None = None
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -235,6 +262,17 @@ class EngineBase:
         request_id = self._request_counter
         self._request_counter += 1
         return request_id
+
+    def _open_plane_pass(self) -> PlanePass | None:
+        """Claim a cursor into the shared weight plane, if one exists.
+
+        Called at task admission; registration performs no simulated
+        work (no allocation, no clock movement), so a queued task still
+        costs nothing until its first step.
+        """
+        if self.weight_plane is None:
+            return None
+        return self.weight_plane.open_pass()
 
     def _prepare_impl(self) -> None:  # pragma: no cover - abstract
         raise NotImplementedError
@@ -306,6 +344,9 @@ class PrismEngine(EngineBase):
         memory = self.device.memory
         memory.alloc("classifier", self.store.classifier_nbytes(), CATEGORY_WEIGHTS)
 
+        if self.config.layer_streaming and self.config.shared_weight_plane:
+            self.weight_plane = WeightPlane(self.store, self.executor)
+
         if self.config.embedding_cache:
             capacity = max(1, int(cfg.vocab_size * self.config.embedding_cache_fraction))
             self.embedding_cache = EmbeddingCache(
@@ -327,20 +368,41 @@ class PrismEngine(EngineBase):
 
     # ------------------------------------------------------------------
     def _task_impl(self, batch: CandidateBatch, k: int, ctx: TaskContext):
+        # Weight streaming is per-pass: either a private streamer
+        # (namespaced buffers, streams independent of other requests)
+        # or a refcounted cursor into the engine's shared WeightPlane
+        # (DESIGN.md §7), under which N in-flight requests read each
+        # layer from the SSD once instead of N times.
+        streamer: LayerStreamer | PlanePass | None = None
+        if self.config.layer_streaming:
+            streamer = ctx.plane_pass or LayerStreamer(
+                self.store, self.executor, tag_prefix=ctx.prefix
+            )
+            streamer.begin_pass()
+        try:
+            result = yield from self._pass_impl(batch, k, ctx, streamer)
+        except BaseException:
+            # A failing pass (OOM under load, a cancelled generator)
+            # must drop its plane refcounts, or shared buffers would
+            # stay pinned for every surviving request.
+            if streamer is not None:
+                streamer.fail_pass()
+            raise
+        return result
+
+    def _pass_impl(
+        self,
+        batch: CandidateBatch,
+        k: int,
+        ctx: TaskContext,
+        streamer: LayerStreamer | PlanePass | None,
+    ):
         cfg = self.model.config
         prism_cfg = self.config
         executor = self.executor
         memory = self.device.memory
         seq_len = self._effective_seq_len(batch)
         t0, stall0 = executor.now, executor.io_stall_seconds
-
-        # Weight streaming is a per-pass pipeline; each task owns its
-        # streamer (namespaced buffers) so concurrent passes can stream
-        # independently over the shared SSD stream.
-        streamer: LayerStreamer | None = None
-        if prism_cfg.layer_streaming:
-            streamer = LayerStreamer(self.store, self.executor, tag_prefix=ctx.prefix)
-            streamer.begin_pass()
 
         # ---------------- embedding stage ------------------------------
         if self.embedding_cache is not None:

@@ -77,7 +77,16 @@ class FleetConfig:
         routing composed with intra-replica concurrency.
     intra_policy:
         Scheduling policy of the intra-replica scheduler (only used
-        when ``intra_concurrency > 1``).
+        when ``intra_concurrency > 1``); ``fusion`` gang-schedules a
+        dispatched batch layer by layer.
+    shared_weight_plane:
+        Serve every replica from a refcounted shared weight plane
+        (DESIGN.md §7): the requests of a dispatched batch read each
+        layer from the replica's SSD once instead of once per request.
+        Meaningful with ``intra_concurrency > 1``.
+    max_skew:
+        Group-join bound of the ``fusion`` intra-replica policy
+        (seconds); see :class:`~repro.core.scheduler.SchedulerConfig`.
     """
 
     max_batch: int = 4
@@ -87,6 +96,8 @@ class FleetConfig:
     ewma_alpha: float = 0.25
     intra_concurrency: int = 1
     intra_policy: str = "round_robin"
+    shared_weight_plane: bool = False
+    max_skew: float = 0.0
 
     def __post_init__(self) -> None:
         if self.max_batch < 1:
@@ -107,6 +118,8 @@ class FleetConfig:
             raise ValueError(
                 f"unknown intra-replica policy {self.intra_policy!r}; known: {known}"
             )
+        if self.max_skew < 0:
+            raise ValueError("max_skew must be >= 0")
 
 
 @dataclass
@@ -359,6 +372,7 @@ class FleetService:
                 profile,
                 config=config,
                 max_concurrency=self.fleet_config.intra_concurrency,
+                shared_weights=self.fleet_config.shared_weight_plane,
                 **service_kwargs,
             )
             self.replicas.append(
@@ -493,6 +507,7 @@ class FleetService:
                 [(request.batch, request.k) for request in requests],
                 samples=[self._admit_sample() for _ in requests],
                 policy=cfg.intra_policy,
+                max_skew=cfg.max_skew,
             )
             by_id = {outcome.request_id: outcome for outcome in scheduled}
             for index, request in enumerate(requests):

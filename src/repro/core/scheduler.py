@@ -46,7 +46,7 @@ LANE_INTERACTIVE = 0
 LANE_BATCH = 1
 
 #: Known scheduling policies.
-SCHEDULING_POLICIES = ("fifo", "round_robin", "priority")
+SCHEDULING_POLICIES = ("fifo", "round_robin", "priority", "fusion")
 
 
 @dataclass(frozen=True)
@@ -59,7 +59,8 @@ class SchedulerConfig:
         One of :data:`SCHEDULING_POLICIES`.
     quantum_layers:
         Layer steps a task runs before the scheduler re-decides
-        (``round_robin``/``priority``; ``fifo`` ignores it).
+        (``round_robin``/``priority``; ``fifo`` ignores it, ``fusion``
+        always re-decides after one step to keep the gang in lockstep).
     max_concurrency:
         Most tasks holding device resources at once.  Each in-flight
         task keeps its hidden states (and stream buffers) resident, so
@@ -67,11 +68,20 @@ class SchedulerConfig:
         ``priority`` policy may admit a higher-priority arrival over
         the cap to preempt in-flight batch work (overshoot bounded by
         the number of concurrent higher-priority requests).
+    max_skew:
+        ``fusion`` only: the longest (simulated seconds) an arrival may
+        be held back to join a *fresh* fused group at layer 0 rather
+        than start skewed behind a group already deep into its sweep.
+        ``0.0`` admits arrivals immediately (they catch up and fuse
+        from wherever the plane stands); larger values trade admission
+        latency for fused-sweep purity and a bounded shared-buffer
+        residency window (DESIGN.md §7).
     """
 
     policy: str = "fifo"
     quantum_layers: int = 1
     max_concurrency: int = 4
+    max_skew: float = 0.0
 
     def __post_init__(self) -> None:
         if self.policy not in SCHEDULING_POLICIES:
@@ -81,6 +91,8 @@ class SchedulerConfig:
             raise ValueError("quantum_layers must be >= 1")
         if self.max_concurrency < 1:
             raise ValueError("max_concurrency must be >= 1")
+        if self.max_skew < 0:
+            raise ValueError("max_skew must be >= 0")
 
 
 @dataclass(frozen=True)
@@ -290,6 +302,8 @@ class DeviceScheduler:
                 if len(active) >= self.config.max_concurrency and not over_cap_preemption:
                     # waiting is sorted, so nothing behind the head fits either.
                     break
+                if self.config.policy == "fusion" and self._fusion_hold(request, active):
+                    break
                 waiting.pop(0)
                 active.append(
                     _InFlight(
@@ -300,43 +314,52 @@ class DeviceScheduler:
                 )
                 self._started_counter += 1
 
-        while active or waiting or i < len(pending):
-            admit()  # completions free capacity; arrivals may be due
-            if not active:
-                # admit() starts waiters whenever capacity is free, so an
-                # empty active set means a future arrival is all that is left.
-                self.clock.advance_to(pending[i].arrival)
-                continue
-            flight = self._pick(active)
-            for _ in range(self.config.quantum_layers):
-                before = self.clock.now
-                if flight.start is None:
-                    flight.start = before
-                done = flight.task.step()
-                now = self.clock.now
-                flight.service_seconds += now - before
-                if flight.last_step_end is not None and before > flight.last_step_end:
-                    flight.preempted = True
-                flight.last_step_end = now
-                self.trace.append(
-                    StepEvent(
-                        request_id=flight.request.request_id,
-                        step_index=flight.task.steps_taken - 1,
-                        start=before,
-                        end=now,
+        try:
+            while active or waiting or i < len(pending):
+                admit()  # completions free capacity; arrivals may be due
+                if not active:
+                    # admit() starts waiters whenever capacity is free, so an
+                    # empty active set means a future arrival is all that is left.
+                    self.clock.advance_to(pending[i].arrival)
+                    continue
+                flight = self._pick(active)
+                for _ in range(self.config.quantum_layers):
+                    before = self.clock.now
+                    if flight.start is None:
+                        flight.start = before
+                    done = flight.task.step()
+                    now = self.clock.now
+                    flight.service_seconds += now - before
+                    if flight.last_step_end is not None and before > flight.last_step_end:
+                        flight.preempted = True
+                    flight.last_step_end = now
+                    self.trace.append(
+                        StepEvent(
+                            request_id=flight.request.request_id,
+                            step_index=flight.task.steps_taken - 1,
+                            start=before,
+                            end=now,
+                        )
                     )
-                )
-                admit()  # the step advanced the clock; new arrivals may be due
-                if done:
-                    active.remove(flight)
-                    outcome = self._finish(flight)
-                    completed.append(outcome)
-                    # Record immediately: stats must survive a later
-                    # request failing mid-drain (e.g. OOM under load).
-                    self._outcomes.append(outcome)
-                    break
-                if self._should_preempt(flight, active):
-                    break
+                    admit()  # the step advanced the clock; new arrivals may be due
+                    if done:
+                        active.remove(flight)
+                        outcome = self._finish(flight)
+                        completed.append(outcome)
+                        # Record immediately: stats must survive a later
+                        # request failing mid-drain (e.g. OOM under load).
+                        self._outcomes.append(outcome)
+                        break
+                    if self._should_preempt(flight, active):
+                        break
+        except BaseException:
+            # One request failing (OOM under load) abandons the rest of
+            # the drain: close the survivors so admitted-but-unfinished
+            # tasks release shared resources (a never-stepped task would
+            # otherwise pin the weight plane's reap floor forever).
+            for flight in active:
+                flight.task.close()
+            raise
 
         return completed
 
@@ -344,6 +367,22 @@ class DeviceScheduler:
         if self.config.policy == "priority":
             return (request.priority, request.arrival, request.request_id)
         return (request.arrival, request.request_id)
+
+    def _fusion_hold(self, request: ScheduledRequest, active: list[_InFlight]) -> bool:
+        """Should a fusion arrival wait for a fresh group at layer 0?
+
+        A group that has not stepped yet can still be joined losslessly;
+        one already deep into its sweep cannot (layers behind its
+        frontier are gone from the weight plane).  The arrival is held
+        back — for at most ``max_skew`` simulated seconds — hoping the
+        running group drains first; past the bound it is admitted
+        anyway and catches up skewed.
+        """
+        if not active:
+            return False
+        if max(flight.task.steps_taken for flight in active) == 0:
+            return False  # the group has not stepped yet — join it losslessly
+        return (self.clock.now - request.arrival) < self.config.max_skew
 
     def _pick(self, active: list[_InFlight]) -> _InFlight:
         """Choose the in-flight task that runs the next quantum."""
@@ -357,11 +396,20 @@ class DeviceScheduler:
             flight = ordered[self._rr_cursor % len(ordered)]
             self._rr_cursor += 1
             return flight
+        if policy == "fusion":
+            # Gang lockstep: always the task furthest behind, so every
+            # in-flight task crosses each layer boundary back-to-back
+            # and one plane fetch serves the whole group (DESIGN.md §7).
+            return min(active, key=lambda f: (f.task.steps_taken, f.started_order))
         # priority: best lane first; FIFO inside a lane.
         return min(active, key=lambda f: (f.request.priority, f.started_order))
 
     def _should_preempt(self, flight: _InFlight, active: list[_InFlight]) -> bool:
         """After a quantum: must the running task yield the device?"""
+        if self.config.policy == "fusion":
+            # Re-decide after every step: lockstep order is a property
+            # of the whole gang, not of the task that just ran.
+            return True
         if self.config.policy != "priority":
             return False
         return any(f.request.priority < flight.request.priority for f in active)
@@ -389,6 +437,31 @@ class DeviceScheduler:
         return SchedulerStats(
             outcomes=list(self._outcomes), makespan=max(0.0, last - first)
         )
+
+    def fused_group_sizes(self) -> list[int]:
+        """Sizes of the back-to-back same-layer step groups in the trace.
+
+        A *fused group* is a maximal run of consecutive steps sharing
+        one step index — the signature of several tasks crossing the
+        same layer boundary back-to-back (one weight fetch through the
+        shared plane, per-task compute charged in sequence).  FIFO
+        yields groups of 1; a perfect gang of N yields groups of N.
+        """
+        sizes: list[int] = []
+        current_index: int | None = None
+        for event in self.trace:
+            if current_index is not None and event.step_index == current_index:
+                sizes[-1] += 1
+            else:
+                sizes.append(1)
+                current_index = event.step_index
+        return sizes
+
+    @property
+    def mean_fused_occupancy(self) -> float:
+        """Mean fused-group size over the executed schedule."""
+        sizes = self.fused_group_sizes()
+        return float(np.mean(sizes)) if sizes else 0.0
 
     def trace_text(self) -> str:
         """Canonical rendering of the schedule — byte-comparable.

@@ -29,6 +29,7 @@ offline search of :class:`~repro.core.calibration.ThresholdCalibrator`.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field, replace
 
 import numpy as np
@@ -125,6 +126,12 @@ class SemanticSelectionService:
         (:meth:`select_concurrent`); ``1`` keeps the service strictly
         serial.  Each in-flight request holds its own hidden-state and
         stream-buffer memory, so the cap bounds serving overhead.
+    shared_weights:
+        Serve concurrent requests from one refcounted weight plane
+        (DESIGN.md §7) instead of per-request streamers: N in-flight
+        same-model requests read each layer from the SSD once.  Pairs
+        naturally with the ``fusion`` scheduling policy; solo requests
+        stay bit-identical either way.
     """
 
     def __init__(
@@ -138,6 +145,7 @@ class SemanticSelectionService:
         min_threshold: float = 0.02,
         max_threshold: float = 1.5,
         max_concurrency: int = 1,
+        shared_weights: bool = False,
     ) -> None:
         if not 0 < precision_target <= 1:
             raise ValueError("precision_target must lie in (0, 1]")
@@ -152,6 +160,8 @@ class SemanticSelectionService:
         self.model = model
         self.profile = profile
         self.config = config or PrismConfig(numerics=False)
+        if shared_weights:
+            self.config = replace(self.config, shared_weight_plane=True)
         self.precision_target = precision_target
         self.sample_rate = sample_rate
         self.step = step
@@ -225,6 +235,7 @@ class SemanticSelectionService:
         samples: Sequence[bool | None] | None = None,
         policy: str = "round_robin",
         quantum_layers: int = 1,
+        max_skew: float = 0.0,
     ) -> list[ScheduledOutcome]:
         """Serve a wave of requests concurrently on the one device.
 
@@ -246,7 +257,8 @@ class SemanticSelectionService:
         (default: all due immediately) — the serving device's clock is
         already deep into its own timeline after ``prepare()``, so
         offsets are the natural interface; ``priorities`` pick
-        scheduler lanes (default: batch lane).
+        scheduler lanes (default: batch lane); ``max_skew`` threads
+        through to the ``fusion`` policy's group-join bound.
         """
         requests = list(requests)
         if arrivals is not None and len(arrivals) != len(requests):
@@ -266,12 +278,27 @@ class SemanticSelectionService:
                 raise ValueError("arrivals are offsets from now; must be >= 0")
             if priorities is not None and priorities[index] < 0:
                 raise ValueError("priority must be non-negative")
+        if self.engine.weight_plane is not None and policy == "fifo" and len(requests) > 1:
+            # Run-to-completion over the plane keeps every admitted
+            # task's frontier at layer 0 while the first runs, so
+            # nothing can be reaped: the sweep caches the whole model
+            # in memory.  Legitimate on big-RAM devices, but silent
+            # OOM bait on the 8 GiB profiles — make it a choice.
+            warnings.warn(
+                "shared weight plane with the run-to-completion 'fifo' policy keeps "
+                "every swept layer resident until the last admitted task passes it "
+                "(whole-model residency); use 'fusion' or 'round_robin' to keep the "
+                "double-buffered streaming window (DESIGN.md §7)",
+                RuntimeWarning,
+                stacklevel=2,
+            )
         scheduler = DeviceScheduler(
             self.engine,
             SchedulerConfig(
                 policy=policy,
                 quantum_layers=quantum_layers,
                 max_concurrency=self.max_concurrency,
+                max_skew=max_skew,
             ),
         )
         origin = self.device.clock.now

@@ -1,4 +1,4 @@
-"""Overlapped layer streaming (§4.2).
+"""Overlapped layer streaming (§4.2) and the shared weight plane (DESIGN.md §7).
 
 Throughout inference only two weight buffers exist: while layer *i*
 computes out of one buffer, layer *i+1* prefetches from the SSD into
@@ -9,12 +9,22 @@ the active batch the window can fall short, and the residual wait is
 surfaced through the executor's stall accounting (the 81 ms overhead in
 Figure 16 is exactly that number).
 
-``LayerStreamer`` owns buffer lifecycle and the prefetch schedule; the
-engine calls :meth:`acquire` before computing a layer and
-:meth:`advance` after.
+``LayerStreamer`` owns buffer lifecycle and the prefetch schedule for
+*one* pass; the engine calls :meth:`acquire` before computing a layer
+and :meth:`advance` after.
+
+``WeightPlane`` is the multi-request generalisation (DESIGN.md §7): one
+refcounted, double-buffered set of layer buffers shared by every
+in-flight pass on the device.  The first pass to need a layer triggers
+the SSD read; later passes *attach* to the already-resident (or
+in-flight) buffer for free, and the buffer is freed once every active
+pass has advanced past the layer.  Concurrency then amortises — instead
+of multiplying — the SSD weight traffic the paper optimises away.
 """
 
 from __future__ import annotations
+
+from dataclasses import dataclass, field
 
 from ..device.executor import DeviceExecutor
 from ..device.memory import CATEGORY_WEIGHTS
@@ -62,16 +72,20 @@ class LayerStreamer:
 
     def acquire(self, layer_idx: int) -> None:
         """Block until ``layer_idx``'s weights are resident; keep the
-        pipeline primed by prefetching the next lookahead layer."""
+        pipeline primed by refilling the full lookahead window."""
         if not self._started:
             raise RuntimeError("acquire before begin_pass")
         if layer_idx not in self._resident:
             if layer_idx not in self._inflight:
                 self._prefetch(layer_idx)
             self._wait(layer_idx)
-        nxt = layer_idx + self.lookahead
-        if nxt < self.num_layers and nxt not in self._resident and nxt not in self._inflight:
-            self._prefetch(nxt)
+        # Refill the *entire* lookahead window, not just its far edge:
+        # after an on-demand miss the near slots are empty too, and
+        # topping up one slot would leave a lookahead>1 pipeline running
+        # at depth 1 for the rest of the pass.
+        for nxt in range(layer_idx + 1, min(layer_idx + 1 + self.lookahead, self.num_layers)):
+            if nxt not in self._resident and nxt not in self._inflight:
+                self._prefetch(nxt)
 
     def advance(self, layer_idx: int) -> None:
         """Layer finished computing: release its buffer immediately."""
@@ -81,11 +95,16 @@ class LayerStreamer:
 
     def finish_pass(self) -> None:
         """Tear down after the pass (early-terminated passes included)."""
-        for layer in list(self._inflight):
+        for layer in sorted(self._inflight):
             self._wait(layer)
-        for layer in list(self._resident):
+        for layer in sorted(self._resident):
             self.advance(layer)
         self._started = False
+
+    def fail_pass(self) -> None:
+        """Tear down after a mid-pass failure; tolerant of any state."""
+        if self._started:
+            self.finish_pass()
 
     @property
     def resident_layers(self) -> set[int]:
@@ -107,6 +126,229 @@ class LayerStreamer:
         self.executor.wait_io(self._io_tag(layer_idx))
         self._inflight.discard(layer_idx)
         self._resident.add(layer_idx)
+
+    def _io_tag(self, layer_idx: int) -> str:
+        return f"{self.tag_prefix}load/{self.store.layer_tag(layer_idx)}"
+
+
+# ----------------------------------------------------------------------
+# Shared weight plane (DESIGN.md §7)
+# ----------------------------------------------------------------------
+@dataclass
+class PlaneStats:
+    """Hit/traffic accounting of one :class:`WeightPlane`."""
+
+    fetches: int = 0  # SSD reads actually issued
+    attaches: int = 0  # acquires served from another pass's fetch
+    fetched_bytes: int = 0  # bytes read from the SSD
+    saved_bytes: int = 0  # redundant bytes *not* read thanks to sharing
+    per_layer_fetches: dict[int, int] = field(default_factory=dict)
+    per_layer_attaches: dict[int, int] = field(default_factory=dict)
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.fetches + self.attaches
+        return self.attaches / total if total else 0.0
+
+
+class PlanePass:
+    """One pass's cursor into a :class:`WeightPlane`.
+
+    Implements the per-pass protocol of :class:`LayerStreamer`
+    (``begin_pass`` / ``acquire`` / ``advance`` / ``finish_pass``) so
+    the engine's layer loop is agnostic to whether it streams privately
+    or shares the plane.  ``frontier`` is the next layer index this
+    pass may still acquire — the plane frees a layer only once *every*
+    open pass's frontier has moved past it.
+    """
+
+    def __init__(self, plane: "WeightPlane") -> None:
+        self.plane = plane
+        self.frontier = 0  # next layer this pass may acquire
+        self.held: set[int] = set()  # acquired, not yet advanced
+        self.open = True
+        self._started = False
+
+    def begin_pass(self) -> None:
+        if self._started:
+            raise RuntimeError("begin_pass called twice without finish")
+        if not self.open:
+            raise RuntimeError("begin_pass on a closed PlanePass")
+        self._started = True
+        self.plane._begin(self)
+
+    def acquire(self, layer_idx: int) -> None:
+        if not self._started:
+            raise RuntimeError("acquire before begin_pass")
+        self.plane._acquire(self, layer_idx)
+        self.frontier = max(self.frontier, layer_idx)
+        self.held.add(layer_idx)
+
+    def advance(self, layer_idx: int) -> None:
+        if layer_idx in self.held:
+            self.held.discard(layer_idx)
+            self.frontier = max(self.frontier, layer_idx + 1)
+            self.plane._release(layer_idx)
+
+    def finish_pass(self) -> None:
+        for layer in sorted(self.held):
+            self.advance(layer)
+        self._started = False
+        if self.open:
+            self.open = False
+            self.plane._close(self)
+
+    def fail_pass(self) -> None:
+        """Release every held refcount after a mid-pass failure."""
+        if self.open:
+            self.finish_pass()
+
+
+class WeightPlane:
+    """Refcounted, shared layer-weight buffers for one device (DESIGN.md §7).
+
+    One plane serves every concurrent pass of one engine.  Buffers are
+    keyed by layer index and live outside any request's ``req{n}/``
+    namespace: the first acquirer triggers the SSD read, later
+    acquirers attach for free, and the buffer is freed once no pass
+    holds it *and* every open pass has advanced past the layer (the
+    refcount-plus-frontier discipline that makes back-to-back fused
+    steps share one fetch).  The residency window therefore grows with
+    the skew between the slowest and fastest open pass — the fusion
+    policy's ``max_skew`` knob exists to bound exactly that.
+
+    A solo pass through the plane issues the identical prefetch/wait/
+    free sequence as a private :class:`LayerStreamer`, so solo results
+    stay bit-identical (asserted in ``tests/test_weight_plane.py``).
+    """
+
+    def __init__(
+        self,
+        store: WeightStore,
+        executor: DeviceExecutor,
+        lookahead: int = 1,
+        tag_prefix: str = "plane/",
+    ) -> None:
+        if lookahead < 1:
+            raise ValueError("lookahead must be at least 1")
+        self.store = store
+        self.executor = executor
+        self.lookahead = lookahead
+        self.tag_prefix = tag_prefix
+        self._resident: set[int] = set()
+        self._inflight: set[int] = set()
+        self._refcount: dict[int, int] = {}
+        self._fetch_owner: dict[int, PlanePass] = {}
+        self._passes: list[PlanePass] = []
+        self.stats = PlaneStats()
+
+    @property
+    def num_layers(self) -> int:
+        return self.store.config.num_layers
+
+    @property
+    def open_passes(self) -> int:
+        return len(self._passes)
+
+    @property
+    def resident_layers(self) -> set[int]:
+        return set(self._resident)
+
+    def refcount(self, layer_idx: int) -> int:
+        return self._refcount.get(layer_idx, 0)
+
+    def open_pass(self) -> PlanePass:
+        """Register a pass on the plane (no simulated work happens here).
+
+        Registration is separate from ``begin_pass`` so a scheduler can
+        admit several tasks before any of them steps: the plane then
+        knows every admitted pass still needs layer 0 and will not free
+        it under the first finisher's feet.
+        """
+        plane_pass = PlanePass(self)
+        self._passes.append(plane_pass)
+        return plane_pass
+
+    # ------------------------------------------------------------------
+    # pass-facing internals
+    # ------------------------------------------------------------------
+    def _begin(self, plane_pass: PlanePass) -> None:
+        for layer in range(min(1 + self.lookahead, self.num_layers)):
+            if layer not in self._resident and layer not in self._inflight:
+                self._prefetch(plane_pass, layer)
+
+    def _acquire(self, plane_pass: PlanePass, layer_idx: int) -> None:
+        nbytes = self.store.layer_nbytes(layer_idx)
+        if layer_idx in self._resident or layer_idx in self._inflight:
+            if self._fetch_owner.get(layer_idx) is not plane_pass:
+                self.stats.attaches += 1
+                self.stats.saved_bytes += nbytes
+                per_layer = self.stats.per_layer_attaches
+                per_layer[layer_idx] = per_layer.get(layer_idx, 0) + 1
+        else:
+            self._prefetch(plane_pass, layer_idx)
+        if layer_idx in self._inflight:
+            self._wait(layer_idx)
+        self._refcount[layer_idx] = self._refcount.get(layer_idx, 0) + 1
+        # Refill the full lookahead window (same discipline as
+        # LayerStreamer.acquire), fetching only what nobody has yet.
+        for nxt in range(layer_idx + 1, min(layer_idx + 1 + self.lookahead, self.num_layers)):
+            if nxt not in self._resident and nxt not in self._inflight:
+                self._prefetch(plane_pass, nxt)
+
+    def _release(self, layer_idx: int) -> None:
+        count = self._refcount.get(layer_idx, 0)
+        if count <= 0:
+            raise RuntimeError(f"release of unheld plane layer {layer_idx}")
+        self._refcount[layer_idx] = count - 1
+        self._reap()
+
+    def _close(self, plane_pass: PlanePass) -> None:
+        self._passes.remove(plane_pass)
+        self._reap()
+        if not self._passes:
+            # Last pass out: join in-flight prefetches and free what is
+            # left so the device ends the wave with no stream buffers —
+            # the plane analogue of LayerStreamer.finish_pass.
+            for layer in sorted(self._inflight):
+                self._wait(layer)
+            self._reap()
+
+    # ------------------------------------------------------------------
+    def _min_frontier(self) -> int:
+        """The lowest layer any open pass may still acquire."""
+        if not self._passes:
+            return self.num_layers
+        return min(p.frontier for p in self._passes)
+
+    def _reap(self) -> None:
+        """Free resident buffers nobody holds or can still need."""
+        floor = self._min_frontier()
+        for layer in sorted(self._resident):
+            if self._refcount.get(layer, 0) == 0 and layer < floor:
+                self.executor.device.memory.free(self._buffer_tag(layer))
+                self._resident.discard(layer)
+                self._fetch_owner.pop(layer, None)
+                self._refcount.pop(layer, None)
+
+    def _prefetch(self, plane_pass: PlanePass, layer_idx: int) -> None:
+        nbytes = self.store.layer_nbytes(layer_idx)
+        self.executor.device.memory.alloc(self._buffer_tag(layer_idx), nbytes, CATEGORY_WEIGHTS)
+        self.executor.prefetch(self._io_tag(layer_idx), nbytes)
+        self._inflight.add(layer_idx)
+        self._fetch_owner[layer_idx] = plane_pass
+        self.stats.fetches += 1
+        self.stats.fetched_bytes += nbytes
+        per_layer = self.stats.per_layer_fetches
+        per_layer[layer_idx] = per_layer.get(layer_idx, 0) + 1
+
+    def _wait(self, layer_idx: int) -> None:
+        self.executor.wait_io(self._io_tag(layer_idx))
+        self._inflight.discard(layer_idx)
+        self._resident.add(layer_idx)
+
+    def _buffer_tag(self, layer_idx: int) -> str:
+        return f"{self.tag_prefix}stream/{self.store.layer_tag(layer_idx)}"
 
     def _io_tag(self, layer_idx: int) -> str:
         return f"{self.tag_prefix}load/{self.store.layer_tag(layer_idx)}"

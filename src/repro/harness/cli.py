@@ -8,6 +8,7 @@ Usage::
     python -m repro.harness.cli fig8 --out results/
     python -m repro.harness.cli fleet --quick
     python -m repro.harness.cli schedule --quick
+    python -m repro.harness.cli shared_weights --quick
 
 ``--quick`` shrinks workloads (fewer datasets/queries) for smoke runs;
 the full sizes match the benchmarks under ``benchmarks/``.
@@ -81,6 +82,10 @@ _EXPERIMENTS: dict[str, tuple[Callable[[], object], Callable[[], object]]] = {
         lambda: ex.concurrent_serving(
             num_interactive=4, num_batch=2, batch_candidates=32
         ),
+    ),
+    "shared_weights": (
+        lambda: ex.shared_weights_serving(),
+        lambda: ex.shared_weights_serving(num_requests=3, num_candidates=4),
     ),
 }
 

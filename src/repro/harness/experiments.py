@@ -1016,6 +1016,12 @@ class ConcurrentPoint:
     preempted_requests: int
     makespan: float
     throughput_rps: float
+    #: Mean size of back-to-back same-layer step groups (DESIGN.md §7);
+    #: 1.0 for run-to-completion schedules, ~N for a fused gang of N.
+    fused_occupancy: float = 1.0
+    #: Redundant SSD weight bytes the shared plane avoided reading
+    #: (0 when the policy serves from per-request streamers).
+    ssd_saved_bytes: int = 0
 
 
 @dataclass
@@ -1056,6 +1062,8 @@ class ConcurrentServingResult:
                 point.preempted_requests,
                 ms(point.makespan),
                 f"{point.throughput_rps:.2f}/s",
+                f"{point.fused_occupancy:.2f}",
+                f"{point.ssd_saved_bytes / 2**20:.0f}MiB",
             )
             for point in self.points
         ]
@@ -1070,6 +1078,8 @@ class ConcurrentServingResult:
                 "preempted",
                 "makespan",
                 "throughput",
+                "fused occ",
+                "ssd saved",
             ),
             rows,
             title=(
@@ -1085,7 +1095,7 @@ class ConcurrentServingResult:
 def concurrent_serving(
     model_name: str = "qwen3-reranker-0.6b",
     platform: str = "nvidia_5070",
-    policies: tuple[str, ...] = ("fifo", "round_robin", "priority"),
+    policies: tuple[str, ...] = ("fifo", "round_robin", "priority", "fusion"),
     num_interactive: int = 8,
     num_batch: int = 4,
     interactive_candidates: int = 8,
@@ -1106,6 +1116,9 @@ def concurrent_serving(
     service, so policies differ *only* in how layer steps interleave:
     priority lanes should collapse interactive tail latency while total
     throughput stays put (the work is identical, merely reordered).
+    The ``fusion`` policy serves from the shared weight plane
+    (DESIGN.md §7), so its point also reports how many redundant SSD
+    bytes the plane saved and how full its fused groups ran.
     """
     model_config = get_model_config(model_name)
     model = shared_model(model_config)
@@ -1144,6 +1157,7 @@ def concurrent_serving(
             get_profile(platform),
             config=PrismConfig(numerics=False),
             max_concurrency=max_concurrency,
+            shared_weights=policy == "fusion",
         )
         outcomes = service.select_concurrent(
             requests,
@@ -1162,6 +1176,7 @@ def concurrent_serving(
             result.selections_identical = False
 
         stats = service.last_scheduler.stats()
+        plane = service.engine.weight_plane
         result.points.append(
             ConcurrentPoint(
                 policy=policy,
@@ -1173,6 +1188,208 @@ def concurrent_serving(
                 preempted_requests=sum(1 for o in outcomes if o.preempted),
                 makespan=stats.makespan,
                 throughput_rps=stats.throughput_rps,
+                fused_occupancy=service.last_scheduler.mean_fused_occupancy,
+                ssd_saved_bytes=plane.stats.saved_bytes if plane is not None else 0,
+            )
+        )
+    return result
+
+
+# ----------------------------------------------------------------------
+# Extension — shared weight plane + layer fusion (DESIGN.md §7)
+# ----------------------------------------------------------------------
+@dataclass
+class SharedWeightsPoint:
+    """One serving mode's outcome on the same-model burst."""
+
+    mode: str
+    policy: str
+    shared: bool
+    throughput_rps: float
+    speedup: float
+    p50_latency: float
+    p99_latency: float
+    makespan: float
+    weight_bytes: int  # SSD layer-weight bytes read during the wave
+    bytes_vs_solo: float  # weight_bytes / deepest solo pass
+    saved_bytes: int  # redundant bytes the plane avoided
+    fused_occupancy: float
+
+
+@dataclass
+class SharedWeightsResult:
+    """Private streamers vs the shared weight plane under concurrency.
+
+    ``solo_weight_bytes`` is the SSD weight traffic of the *deepest*
+    request served alone — the floor a perfectly fused sweep can reach.
+    ``selections_identical`` certifies the plane and the fusion policy
+    moved only completion times and SSD traffic, never selections.
+    """
+
+    model: str
+    platform: str
+    num_requests: int
+    num_candidates: int
+    k: int
+    solo_weight_bytes: int = 0
+    points: list[SharedWeightsPoint] = field(default_factory=list)
+    selections_identical: bool = True
+
+    def find(self, mode: str) -> SharedWeightsPoint:
+        for point in self.points:
+            if point.mode == mode:
+                return point
+        raise KeyError(f"no shared-weights point for mode {mode!r}")
+
+    def render(self) -> str:
+        rows = [
+            (
+                point.mode,
+                point.policy,
+                "plane" if point.shared else "private",
+                f"{point.throughput_rps:.2f}/s",
+                f"{point.speedup:.2f}x",
+                ms(point.p50_latency),
+                ms(point.p99_latency),
+                ms(point.makespan),
+                f"{point.weight_bytes / 2**20:.0f}MiB",
+                f"{point.bytes_vs_solo:.2f}x",
+                f"{point.saved_bytes / 2**20:.0f}MiB",
+                f"{point.fused_occupancy:.2f}",
+            )
+            for point in self.points
+        ]
+        table = format_table(
+            (
+                "mode",
+                "policy",
+                "weights",
+                "throughput",
+                "speedup",
+                "p50",
+                "p99",
+                "makespan",
+                "ssd read",
+                "vs solo",
+                "ssd saved",
+                "fused occ",
+            ),
+            rows,
+            title=(
+                f"Shared weight plane ({self.model}, {self.platform}, "
+                f"{self.num_requests} concurrent requests x {self.num_candidates} "
+                f"candidates, solo sweep {self.solo_weight_bytes / 2**20:.0f}MiB)"
+            ),
+        )
+        verdict = "yes" if self.selections_identical else "NO"
+        return table + f"\nselections identical across modes: {verdict}"
+
+
+def _layer_weight_bytes(service: SemanticSelectionService, mark: int) -> int:
+    """SSD layer-weight bytes read since request-log position ``mark``."""
+    log = service.device.ssd.request_log
+    return sum(
+        request.nbytes
+        for request in log[mark:]
+        if request.kind == "read" and "load/" in request.tag and "/layer" in request.tag
+    )
+
+
+def shared_weights_serving(
+    model_name: str = "qwen3-reranker-0.6b",
+    platform: str = "nvidia_5070",
+    num_requests: int = 4,
+    num_candidates: int = 6,
+    k: int = 3,
+    dataset: str = "quora",
+    modes: tuple[tuple[str, str, bool], ...] = (
+        ("fifo", "fifo", False),
+        ("round_robin", "round_robin", False),
+        ("rr+plane", "round_robin", True),
+        ("fusion", "fusion", True),
+    ),
+) -> SharedWeightsResult:
+    """N same-model requests: private streamers vs the shared plane.
+
+    Under per-request streamers (PR 2 behaviour) N concurrent requests
+    read each layer's weights from the SSD N times and the serialized
+    I/O stream becomes the bottleneck the paper worked to hide.  The
+    shared weight plane (DESIGN.md §7) fetches each layer once per
+    fused sweep; the ``fusion`` policy gang-steps the group so the
+    attach window never closes.  The workload is deliberately
+    SSD-bound (small candidate pools, short documents) — the regime
+    where concurrency *multiplies* streaming cost without the plane.
+
+    Each mode replays the identical burst on a fresh service; the solo
+    baseline serves the same requests one at a time to measure the
+    per-pass SSD floor.
+    """
+    model_config = get_model_config(model_name)
+    model = shared_model(model_config)
+    tokenizer = shared_tokenizer(model_config)
+    queries = get_dataset(dataset).queries(num_requests, num_candidates)
+    requests = [
+        (build_batch(q, tokenizer, model_config.max_seq_len), k) for q in queries
+    ]
+
+    def make_service(shared: bool, max_concurrency: int) -> SemanticSelectionService:
+        return SemanticSelectionService(
+            model,
+            get_profile(platform),
+            config=PrismConfig(numerics=False),
+            max_concurrency=max_concurrency,
+            shared_weights=shared,
+        )
+
+    result = SharedWeightsResult(
+        model=model_name,
+        platform=platform,
+        num_requests=num_requests,
+        num_candidates=num_candidates,
+        k=k,
+    )
+
+    # Solo floor: the deepest request's one-at-a-time weight traffic.
+    solo = make_service(shared=False, max_concurrency=1)
+    solo_bytes = []
+    reference_selections = []
+    for batch, k_req in requests:
+        mark = len(solo.device.ssd.request_log)
+        solo_result = solo.select(batch, k_req, sample=False)
+        solo_bytes.append(_layer_weight_bytes(solo, mark))
+        reference_selections.append(tuple(solo_result.top_indices.tolist()))
+    result.solo_weight_bytes = max(solo_bytes)
+
+    baseline_throughput: float | None = None
+    for mode, policy, shared in modes:
+        service = make_service(shared=shared, max_concurrency=num_requests)
+        mark = len(service.device.ssd.request_log)
+        outcomes = service.select_concurrent(requests, policy=policy)
+        selections = [
+            tuple(outcome.result.top_indices.tolist())
+            for outcome in sorted(outcomes, key=lambda o: o.request_id)
+        ]
+        if selections != reference_selections:
+            result.selections_identical = False
+        stats = service.last_scheduler.stats()
+        if baseline_throughput is None:
+            baseline_throughput = stats.throughput_rps
+        weight_bytes = _layer_weight_bytes(service, mark)
+        plane = service.engine.weight_plane
+        result.points.append(
+            SharedWeightsPoint(
+                mode=mode,
+                policy=policy,
+                shared=shared,
+                throughput_rps=stats.throughput_rps,
+                speedup=stats.throughput_rps / baseline_throughput,
+                p50_latency=stats.latency_percentile(50),
+                p99_latency=stats.latency_percentile(99),
+                makespan=stats.makespan,
+                weight_bytes=weight_bytes,
+                bytes_vs_solo=weight_bytes / result.solo_weight_bytes,
+                saved_bytes=plane.stats.saved_bytes if plane is not None else 0,
+                fused_occupancy=service.last_scheduler.mean_fused_occupancy,
             )
         )
     return result

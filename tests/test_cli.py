@@ -40,6 +40,9 @@ class TestParser:
     def test_schedule_extension_registered(self):
         assert "schedule" in _EXPERIMENTS
 
+    def test_shared_weights_extension_registered(self):
+        assert "shared_weights" in _EXPERIMENTS
+
 
 class TestExecution:
     def test_list_mode(self, capsys):

@@ -34,7 +34,7 @@ def source_citations() -> list[tuple[str, int]]:
 
 def test_design_md_exists_with_numbered_sections():
     assert DESIGN_MD.is_file(), "DESIGN.md is missing from the repo root"
-    assert design_sections() >= {1, 2, 3, 4, 5, 6}
+    assert design_sections() >= {1, 2, 3, 4, 5, 6, 7}
 
 
 def test_scheduler_sources_cite_section_6():
@@ -46,6 +46,15 @@ def test_scheduler_sources_cite_section_6():
         "src/repro/core/scheduler.py",
     ):
         assert module in cited_by, f"{module} no longer cites DESIGN.md §6"
+
+
+def test_weight_plane_sources_cite_section_7():
+    """The §7 citation net is live: the shared weight plane must anchor
+    its refcount/fusion design in DESIGN.md §7."""
+    cited_by = {source for source, section in source_citations() if section == 7}
+    assert "src/repro/core/streaming.py" in cited_by, (
+        "src/repro/core/streaming.py no longer cites DESIGN.md §7"
+    )
 
 
 def test_sources_cite_design_sections():
@@ -83,5 +92,13 @@ def test_serving_docs_cover_all_four_modes():
         "FleetService",
     ):
         assert name in serving, f"docs/serving.md no longer documents {name}"
-    for concept in ("select_concurrent", "intra_concurrency", "priority"):
+    for concept in (
+        "select_concurrent",
+        "intra_concurrency",
+        "priority",
+        "WeightPlane",
+        "shared_weights",
+        "fusion",
+        "max_skew",
+    ):
         assert concept in serving, f"docs/serving.md no longer covers {concept}"

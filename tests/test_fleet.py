@@ -56,6 +56,10 @@ class TestConfigValidation:
         with pytest.raises(ValueError):
             FleetConfig(dispatch_overhead_ms=-0.1)
 
+    def test_bad_max_skew(self):
+        with pytest.raises(ValueError):
+            FleetConfig(max_skew=-1.0)
+
     def test_bad_ewma_alpha(self):
         with pytest.raises(ValueError):
             FleetConfig(ewma_alpha=0.0)
@@ -292,6 +296,33 @@ class TestIntraReplicaConcurrency:
                 outcome.result.top_indices,
                 concurrent_out[request_id].result.top_indices,
             )
+
+    def test_shared_plane_fleet_matches_serial_selections(self, batches):
+        """The §7 plane composes with routing: a fused fleet serves the
+        exact selections of a serial one while replicas amortise SSD
+        weight reads across each dispatched batch."""
+        serial = make_fleet(2, max_batch=3)
+        fused = make_fleet(
+            2,
+            max_batch=3,
+            intra_concurrency=3,
+            intra_policy="fusion",
+            shared_weight_plane=True,
+        )
+        for batch in batches:
+            serial.submit(batch, 10)
+            fused.submit(batch, 10)
+        serial_out = {o.request_id: o for o in serial.drain()}
+        fused_out = {o.request_id: o for o in fused.drain()}
+        for request_id, outcome in serial_out.items():
+            assert np.array_equal(
+                outcome.result.top_indices,
+                fused_out[request_id].result.top_indices,
+            )
+        planes = [r.service.engine.weight_plane for r in fused.replicas]
+        assert all(plane is not None for plane in planes)
+        assert sum(plane.stats.attaches for plane in planes) > 0
+        assert all(r.service.engine.weight_plane is None for r in serial.replicas)
 
     def test_concurrent_fleet_samples_like_serial(self, batches):
         serial = make_fleet(2, max_batch=3, sample_rate=0.5)

@@ -152,6 +152,10 @@ class TestConfigValidation:
         with pytest.raises(ValueError):
             SchedulerConfig(max_concurrency=0)
 
+    def test_bad_max_skew(self):
+        with pytest.raises(ValueError):
+            SchedulerConfig(policy="fusion", max_skew=-0.1)
+
     def test_past_arrival_rejected(self):
         engine = make_prism()
         scheduler = DeviceScheduler(engine)
@@ -200,7 +204,7 @@ def _mixed_workload(engine, policy, quantum_layers=1, max_concurrency=4):
 
 
 class TestDeterminism:
-    @pytest.mark.parametrize("policy", ("fifo", "round_robin", "priority"))
+    @pytest.mark.parametrize("policy", ("fifo", "round_robin", "priority", "fusion"))
     def test_byte_identical_schedules(self, policy):
         """Identical inputs must produce byte-identical schedule traces."""
         first = _mixed_workload(make_prism(), policy)
@@ -292,6 +296,60 @@ class TestPolicies:
         assert interactive.finish < max(prio_out[0].finish, prio_out[1].finish)
         # And a batch task was genuinely preempted mid-pass.
         assert any(prio_out[i].preempted for i in (0, 1))
+
+    def test_fusion_gang_steps_in_lockstep(self):
+        """Fusion steps the whole gang across each layer boundary
+        back-to-back: the trace shows fused groups the size of the gang."""
+        engine = make_prism()
+        scheduler = DeviceScheduler(
+            engine, SchedulerConfig(policy="fusion", max_concurrency=3)
+        )
+        for idx in range(3):
+            scheduler.submit(make_batch(num_candidates=10, query_idx=idx), 4)
+        scheduler.drain()
+        sizes = scheduler.fused_group_sizes()
+        assert max(sizes) == 3
+        # Most boundaries are crossed by the full gang (tasks only drop
+        # out near the end as pruning terminates them at different layers).
+        assert scheduler.mean_fused_occupancy > 2.0
+
+    def test_fifo_occupancy_is_one(self):
+        scheduler = _mixed_workload(make_prism(), "fifo")
+        scheduler.drain()
+        assert scheduler.mean_fused_occupancy == 1.0
+
+    def test_fusion_max_skew_holds_arrival_for_fresh_group(self):
+        """With a generous max_skew, a mid-sweep arrival waits for the
+        running group to drain; with zero skew it is admitted at once."""
+
+        def run(max_skew):
+            engine = make_prism()
+            scheduler = DeviceScheduler(
+                engine,
+                SchedulerConfig(
+                    policy="fusion", max_concurrency=4, max_skew=max_skew
+                ),
+            )
+            now = engine.device.clock.now
+            for idx in range(2):
+                scheduler.submit(make_batch(num_candidates=12, query_idx=idx), 5, at=now)
+            late = scheduler.submit(
+                make_batch(num_candidates=6, query_idx=2), 3, at=now + 0.02
+            )
+            outcomes = {o.request_id: o for o in scheduler.drain()}
+            return outcomes, late
+
+        held, late = run(max_skew=60.0)
+        group_finish = max(held[i].finish for i in (0, 1))
+        assert held[late].start >= group_finish  # waited for a fresh group
+
+        eager, late = run(max_skew=0.0)
+        group_finish = max(eager[i].finish for i in (0, 1))
+        assert eager[late].start < group_finish  # admitted mid-sweep
+        # Either way the late request's selection is identical.
+        assert np.array_equal(
+            held[late].result.top_indices, eager[late].result.top_indices
+        )
 
     def test_latency_decomposition(self):
         scheduler = _mixed_workload(make_prism(), "priority")

@@ -85,6 +85,75 @@ class TestDoubleBuffering:
         streamer.finish_pass()
 
 
+class TestLookaheadRefill:
+    def test_miss_refills_full_window(self, store, executor):
+        """After an on-demand miss the *whole* lookahead window must be
+        re-primed — topping up one slot would leave a lookahead>1
+        pipeline running at depth 1 for the rest of the pass."""
+        streamer = LayerStreamer(store, executor, lookahead=2)
+        streamer.begin_pass()  # layers 0..2 in flight
+        streamer.acquire(5)  # miss: nothing near layer 5 was prefetched
+        window = streamer.resident_layers | streamer._inflight
+        assert {6, 7} <= window, f"window not refilled after miss: {window}"
+
+    def test_steady_state_depth_preserved(self, store, executor):
+        """In steady state the refill is a no-op beyond the far edge:
+        exactly lookahead layers stay ahead of the compute frontier."""
+        streamer = LayerStreamer(store, executor, lookahead=2)
+        streamer.begin_pass()
+        for layer in range(6):
+            streamer.acquire(layer)
+            ahead = {
+                la
+                for la in (streamer.resident_layers | streamer._inflight)
+                if la > layer
+            }
+            assert ahead == {layer + 1, layer + 2}
+            streamer.advance(layer)
+        streamer.finish_pass()
+
+
+class TestTightMemoryBudget:
+    """LayerStreamer against a hard MemoryTracker budget: the §4.2
+    promise is that streaming needs only ~two layer buffers."""
+
+    def test_full_pass_fits_in_two_buffers(self, store, executor):
+        executor.device.memory.budget_bytes = int(2.2 * store.layer_nbytes(0))
+        streamer = LayerStreamer(store, executor)
+        streamer.begin_pass()
+        for layer in range(QWEN3_0_6B.num_layers):
+            streamer.acquire(layer)
+            executor.compute(1e9)
+            streamer.advance(layer)
+        streamer.finish_pass()
+        assert executor.device.memory.in_use == 0
+
+    def test_budget_below_double_buffer_raises(self, store, executor):
+        from repro.device.memory import OutOfMemoryError
+
+        executor.device.memory.budget_bytes = int(1.5 * store.layer_nbytes(0))
+        streamer = LayerStreamer(store, executor)
+        with pytest.raises(OutOfMemoryError):
+            streamer.begin_pass()
+
+    def test_oom_mid_pass_leaves_accounting_consistent(self, store, executor):
+        """An OOM on a refill prefetch must not corrupt the tracker:
+        fail_pass tears the pipeline down to zero bytes."""
+        from repro.device.memory import OutOfMemoryError
+
+        memory = executor.device.memory
+        streamer = LayerStreamer(store, executor)
+        streamer.begin_pass()  # layers 0 and 1 committed
+        streamer.acquire(0)
+        # The budget collapses under concurrent load mid-pass.
+        memory.budget_bytes = int(1.5 * store.layer_nbytes(0))
+        streamer.advance(0)
+        with pytest.raises(OutOfMemoryError):
+            streamer.acquire(1)  # the refill of layer 2 cannot fit
+        streamer.fail_pass()
+        assert memory.in_use == 0
+
+
 class TestOverlap:
     def test_long_compute_hides_all_loads(self, store, executor):
         """When every compute window exceeds the load time, the whole
