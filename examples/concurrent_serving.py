@@ -13,6 +13,7 @@ byte-identical.
 Run:  python examples/concurrent_serving.py
 """
 
+from repro.core.api import DeviceServer, SelectionRequest, serve_all
 from repro.core.config import PrismConfig
 from repro.core.scheduler import LANE_BATCH, LANE_INTERACTIVE
 from repro.core.service import SemanticSelectionService
@@ -40,9 +41,21 @@ def main() -> None:
         for q in spec.queries(NUM_INTERACTIVE, num_candidates=8)
     ]
 
-    requests = [(batch, 10) for batch in heavy] + [(batch, 3) for batch in light]
-    arrivals = [0.0] * NUM_BATCH + [0.3 * i for i in range(NUM_INTERACTIVE)]
-    priorities = [LANE_BATCH] * NUM_BATCH + [LANE_INTERACTIVE] * NUM_INTERACTIVE
+    requests = [
+        SelectionRequest(
+            batch=batch, k=10, request_id=i, priority=LANE_BATCH, arrival=0.0
+        )
+        for i, batch in enumerate(heavy)
+    ] + [
+        SelectionRequest(
+            batch=batch,
+            k=3,
+            request_id=NUM_BATCH + i,
+            priority=LANE_INTERACTIVE,
+            arrival=0.3 * i,
+        )
+        for i, batch in enumerate(light)
+    ]
 
     rows = []
     selections = {}
@@ -53,24 +66,25 @@ def main() -> None:
             config=PrismConfig(numerics=False),
             max_concurrency=5,
         )
-        outcomes = service.select_concurrent(
-            requests, arrivals=arrivals, priorities=priorities, policy=policy
-        )
+        responses = serve_all(DeviceServer(service, policy=policy), requests)
         selections[policy] = [
-            tuple(o.result.top_indices.tolist())
-            for o in sorted(outcomes, key=lambda o: o.request_id)
+            tuple(r.result.top_indices.tolist())
+            for r in sorted(responses, key=lambda r: r.request_id)
         ]
         interactive = sorted(
-            o.e2e_latency for o in outcomes if o.priority == LANE_INTERACTIVE
+            r.e2e_seconds for r in responses if r.lane == LANE_INTERACTIVE
         )
-        batch_lane = sorted(o.e2e_latency for o in outcomes if o.priority == LANE_BATCH)
+        batch_lane = sorted(r.e2e_seconds for r in responses if r.lane == LANE_BATCH)
+        preempted = sum(
+            1 for o in service.last_scheduler.stats().outcomes if o.preempted
+        )
         rows.append(
             (
                 policy,
                 ms(interactive[len(interactive) // 2]),
                 ms(interactive[-1]),
                 ms(batch_lane[-1]),
-                sum(1 for o in outcomes if o.preempted),
+                preempted,
             )
         )
 

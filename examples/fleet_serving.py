@@ -11,6 +11,7 @@ that propagates the median self-calibrated threshold fleet-wide.
 Run:  python examples/fleet_serving.py
 """
 
+from repro.core.api import FleetServer, SelectionRequest, serve_all
 from repro.core.config import PrismConfig
 from repro.core.fleet import ROUTING_POLICIES, FleetConfig, FleetService
 from repro.data import get_dataset
@@ -45,9 +46,15 @@ def main() -> None:
             config=PrismConfig(numerics=False),
             sample_rate=0.5,
         )
-        for index, batch in enumerate(batches):
-            fleet.submit(batch, 10, at=index * ARRIVAL_INTERVAL_S)
-        fleet.drain()
+        serve_all(
+            FleetServer(fleet),
+            [
+                SelectionRequest(
+                    batch=batch, k=10, request_id=index, arrival=index * ARRIVAL_INTERVAL_S
+                )
+                for index, batch in enumerate(batches)
+            ],
+        )
         stats = fleet.stats()
         per_replica = "/".join(
             str(replica.requests_served) for replica in fleet.replicas

@@ -26,6 +26,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..core.api import EngineServer, SelectionRequest
 from ..device.memory import CATEGORY_OTHER, MiB, TimelinePoint
 from ..device.platforms import get_profile
 from ..harness.runner import create_engine, shared_model, shared_tokenizer
@@ -203,6 +204,7 @@ class AgentMemoryApp:
         self.device = get_profile(platform).create()
 
         self.engine = None
+        self.server: EngineServer | None = None
         if system != "disable":
             model = shared_model(model_config)
             # The accept decision below compares the winner's *score*
@@ -227,6 +229,7 @@ class AgentMemoryApp:
                 numerics=False,
             )
             self.engine.prepare()
+            self.server = EngineServer(self.engine)
             self.tokenizer = shared_tokenizer(model_config)
             self.device.memory.alloc("agent/memory-store", MEMORY_STORE_BYTES, CATEGORY_OTHER)
             self._signature_index = BM25Index()
@@ -317,7 +320,7 @@ class AgentMemoryApp:
 
     def _rerank_memory(self, ids: np.ndarray, relevance: np.ndarray, task: AgentTask):
         """Run the reranker over the memory pool; returns (top uid, score)."""
-        assert self.engine is not None
+        assert self.server is not None
         signature_ids = self.tokenizer.encode_text(" ".join(task.signature))
         # Each candidate is a serialized trajectory (action history +
         # UI-state summary), a few hundred tokens long.
@@ -332,7 +335,9 @@ class AgentMemoryApp:
             relevance=relevance,
             uids=ids + 1_000_000,  # offset into a uid space distinct from docs
         )
-        result = self.engine.rerank(batch, k=1)
+        request = SelectionRequest(batch=batch, k=1, metadata={"task_id": task.task_id})
+        result = self.server.submit(request).result().result
+        assert result is not None  # no deadline/cancel on the app path
         top_pos = int(result.top_indices[0])
         return int(ids[top_pos]), float(result.top_scores[0]), result.latency_seconds
 

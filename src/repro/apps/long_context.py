@@ -25,6 +25,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..core.api import EngineServer, SelectionRequest
 from ..device.memory import MiB, TimelinePoint
 from ..device.platforms import get_profile
 from ..harness.runner import create_engine, shared_model, shared_tokenizer
@@ -177,12 +178,14 @@ class LongContextApp:
         self.device = get_profile(platform).create()
 
         self.engine = None
+        self.server: EngineServer | None = None
         if system != "baseline":
             model = shared_model(model_config)
             self.engine = create_engine(
                 system, model, self.device, threshold=threshold, numerics=False
             )
             self.engine.prepare()
+            self.server = EngineServer(self.engine)
             self.tokenizer = shared_tokenizer(model_config)
             executor = self.engine.executor
         else:
@@ -242,10 +245,13 @@ class LongContextApp:
             needed_tokens = len(task.needed) * task.segment_tokens
             irrelevant = max(0, prompt_tokens - needed_tokens - task.question_tokens)
         else:
+            assert self.server is not None
             batch = self._segment_batch(task)
             k = min(self.k_segments, task.num_segments)
             t0 = clock.now
-            result = self.engine.rerank(batch, k)
+            request = SelectionRequest(batch=batch, k=k, metadata={"task_id": task.task_id})
+            result = self.server.submit(request).result().result
+            assert result is not None  # no deadline/cancel on the app path
             rerank_seconds = clock.now - t0
             selected = {int(i) for i in result.top_indices}
             coverage = self._coverage(selected, task.needed)

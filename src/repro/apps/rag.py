@@ -26,6 +26,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..core.api import EngineServer, SelectionRequest
 from ..core.metrics import precision_at_k
 from ..device.memory import CATEGORY_OTHER, MiB, TimelinePoint
 from ..device.platforms import get_profile
@@ -151,6 +152,7 @@ class RagPipeline:
             system, self.model, self.device, threshold=threshold, numerics=False
         )
         self.engine.prepare()
+        self.server = EngineServer(self.engine)
         self.generator = RemoteLLM(generator, self.engine.executor, server=server)
 
         # Index residency (built offline; resident at query time).
@@ -182,7 +184,12 @@ class RagPipeline:
         # --- reranking ---------------------------------------------------
         batch = self.retriever.build_batch(pool, self.tokenizer, self.model_config.max_seq_len)
         k = min(self.k, pool.size)
-        result = self.engine.rerank(batch, k)
+        request = SelectionRequest(
+            batch=batch, k=k, metadata={"query_id": query.query_id}
+        )
+        response = self.server.submit(request).result()
+        result = response.result
+        assert result is not None  # no deadline/cancel on the app path
         t_rerank = clock.now
 
         # --- generation (remote first token) ----------------------------

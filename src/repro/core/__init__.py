@@ -3,7 +3,10 @@ serving layers built on them — offline calibration
 (:class:`ThresholdCalibrator`), the single-device self-calibrating
 service (:class:`SemanticSelectionService`, DESIGN.md §3), the
 single-device concurrency layer (:class:`DeviceScheduler`, DESIGN.md
-§6) and the multi-replica fleet (:class:`FleetService`, DESIGN.md §5)."""
+§6), the multi-replica fleet (:class:`FleetService`, DESIGN.md §5),
+and the unified request-centric serving API
+(:class:`SelectionRequest`/:class:`SelectionResponse` + the
+:class:`Server` adapters, DESIGN.md §8)."""
 
 from .calibration import CalibrationResult, CalibrationStep, ThresholdCalibrator
 from .chunking import (
@@ -60,6 +63,7 @@ from .scheduler import (  # noqa: E402  (appended export)
     LANE_INTERACTIVE,
     SCHEDULING_POLICIES,
     DeviceScheduler,
+    DroppedRequest,
     ScheduledOutcome,
     ScheduledRequest,
     SchedulerConfig,
@@ -69,6 +73,7 @@ from .scheduler import (  # noqa: E402  (appended export)
 
 __all__ += [
     "DeviceScheduler",
+    "DroppedRequest",
     "LANE_BATCH",
     "LANE_INTERACTIVE",
     "SCHEDULING_POLICIES",
@@ -80,6 +85,7 @@ __all__ += [
 ]
 
 from .service import (  # noqa: E402  (appended export)
+    DeviceWave,
     MaintenanceReport,
     SampledRequest,
     SampleStride,
@@ -88,6 +94,7 @@ from .service import (  # noqa: E402  (appended export)
 )
 
 __all__ += [
+    "DeviceWave",
     "MaintenanceReport",
     "SampleStride",
     "SampledRequest",
@@ -117,4 +124,38 @@ __all__ += [
     "ReplicaHandle",
     "RequestOutcome",
     "RoutingPolicy",
+]
+
+# The unified request-centric serving API (DESIGN.md §8) imports the
+# tiers above, so it is appended last.
+from .api import (  # noqa: E402  (appended export)
+    REQUEST_CANCELLED,
+    REQUEST_OK,
+    REQUEST_SHED,
+    REQUEST_STATUSES,
+    DeviceServer,
+    EngineServer,
+    FleetServer,
+    RequestHandle,
+    SelectionRequest,
+    SelectionResponse,
+    Server,
+    ServerBase,
+    serve_all,
+)
+
+__all__ += [
+    "DeviceServer",
+    "EngineServer",
+    "FleetServer",
+    "REQUEST_CANCELLED",
+    "REQUEST_OK",
+    "REQUEST_SHED",
+    "REQUEST_STATUSES",
+    "RequestHandle",
+    "SelectionRequest",
+    "SelectionResponse",
+    "Server",
+    "ServerBase",
+    "serve_all",
 ]

@@ -135,7 +135,7 @@ class ThresholdCalibrator:
             self.model, device, replace(config, pruning_enabled=False, numerics=False)
         )
         engine.prepare()
-        return engine.rerank(batch, k).top_indices
+        return engine.start(batch, k).run().top_indices
 
     def _sampled_precision(
         self,
@@ -151,6 +151,6 @@ class ThresholdCalibrator:
         engine.prepare()
         overlaps = []
         for batch, truth in zip(batches, ground_truth):
-            result = engine.rerank(batch, k)
+            result = engine.start(batch, k).run()
             overlaps.append(top_k_overlap(result.top_indices, truth, k))
         return float(np.mean(overlaps))

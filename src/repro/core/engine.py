@@ -22,6 +22,7 @@ refactor (bit-identical results and latencies).
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -175,9 +176,20 @@ class RerankTask:
             raise RuntimeError("RerankTask.result before completion")
         return self._result
 
-    def run(self) -> RerankResult:
-        """Drive the task to completion (the classic blocking pass)."""
+    def run(self, cancel_at: float | None = None) -> RerankResult | None:
+        """Drive the task to completion (the classic blocking pass).
+
+        ``cancel_at`` (absolute device-clock time) cancels the pass at
+        its next layer boundary: the task is closed — releasing any
+        shared weight-plane refcounts (DESIGN.md §8) — and ``None`` is
+        returned.  Without a cancellation instant the result is always
+        a :class:`RerankResult`.
+        """
+        clock = self.engine.device.clock
         while not self.done:
+            if cancel_at is not None and clock.now >= cancel_at:
+                self.close()
+                return None
             self.step()
         return self.result
 
@@ -255,8 +267,26 @@ class EngineBase:
         return RerankTask(self, batch, min(k, batch.size), requested_k=k)
 
     def rerank(self, batch: CandidateBatch, k: int) -> RerankResult:
-        """Blocking pass: start a task and drive it to completion."""
-        return self.start(batch, k).run()
+        """Deprecated: blocking pass over one request.
+
+        Legacy shim for the request-centric API (DESIGN.md §8): it
+        wraps the arguments in a :class:`~repro.core.api.SelectionRequest`
+        and serves it through an :class:`~repro.core.api.EngineServer`.
+        Migrate per ``docs/api.md``; the step API (:meth:`start` /
+        :meth:`RerankTask.run`) remains the non-deprecated low-level
+        execution path.
+        """
+        warnings.warn(
+            "EngineBase.rerank() is deprecated; submit a SelectionRequest "
+            "through repro.core.api.EngineServer (see docs/api.md)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        from .api import EngineServer, SelectionRequest
+
+        response = EngineServer(self).submit(SelectionRequest(batch=batch, k=k)).result()
+        assert response.result is not None  # no deadline, no cancel → always ok
+        return response.result
 
     def _claim_request_id(self) -> int:
         request_id = self._request_counter

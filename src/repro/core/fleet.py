@@ -35,6 +35,7 @@ coherent simulated axis.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Sequence
 
@@ -45,7 +46,7 @@ from ..device.platforms import DeviceProfile
 from ..model.transformer import CandidateBatch, CrossEncoderModel
 from .config import PrismConfig
 from .engine import RerankResult
-from .scheduler import SCHEDULING_POLICIES
+from .scheduler import LANE_BATCH, SCHEDULING_POLICIES, DroppedRequest
 from .service import MaintenanceReport, SampleStride, SemanticSelectionService
 
 
@@ -235,24 +236,54 @@ ROUTING_POLICIES: dict[str, type[RoutingPolicy]] = {
 # ----------------------------------------------------------------------
 @dataclass(frozen=True)
 class FleetRequest:
-    """One admitted request awaiting dispatch."""
+    """One admitted request awaiting dispatch.
+
+    ``client_id`` is the caller's correlation id (the
+    :class:`~repro.core.api.SelectionRequest` id on the unified API),
+    carried end-to-end into :class:`RequestOutcome`.  ``deadline`` and
+    ``cancel_at`` are absolute instants on the *fleet* clock; a
+    request whose deadline passes before it can start is shed at
+    dispatch, never reaching a replica (DESIGN.md §8).
+    """
 
     request_id: int
     batch: CandidateBatch
     k: int
     arrival: float
+    priority: int = LANE_BATCH
+    deadline: float | None = None
+    cancel_at: float | None = None
+    client_id: str | int | None = None
+    sample: bool | None = None
 
 
 @dataclass
 class RequestOutcome:
-    """Completion record of one request on the fleet time axis."""
+    """Completion record of one request on the fleet time axis.
+
+    Carries the request's identity end-to-end: the fleet-local
+    ``request_id`` returned by ``submit``, and the caller's
+    ``client_id`` when one was supplied — so an outcome can always be
+    correlated back to the request that produced it.
+    """
 
     request_id: int
     replica: int
     arrival: float
-    start: float
+    start: float  # the batch's dispatch instant (shared by the whole batch)
     finish: float
     result: RerankResult
+    client_id: str | int | None = None
+    lane: int = LANE_BATCH
+    deadline: float | None = None
+    #: When this request's own service began on the replica (fleet
+    #: time).  ``start`` is the *batch* dispatch instant; in a serially
+    #: served batch the later requests start well after it.
+    service_start: float | None = None
+    #: Time spent in this request's own execution (excludes the queue,
+    #: the dispatch overhead, and — under intra-replica multiplexing —
+    #: other requests' interleaved steps).
+    service_seconds: float | None = None
 
     @property
     def queue_wait(self) -> float:
@@ -262,6 +293,13 @@ class RequestOutcome:
     def latency(self) -> float:
         """End-to-end: admission to completion (wait + dispatch + service)."""
         return self.finish - self.arrival
+
+    @property
+    def deadline_met(self) -> bool | None:
+        """Completed by the deadline?  ``None`` when none was set."""
+        if self.deadline is None:
+            return None
+        return self.finish <= self.deadline
 
 
 @dataclass
@@ -385,6 +423,7 @@ class FleetService:
         self._stride = SampleStride(self.replicas[0].service.sample_rate)
         self._next_request_id = 0
         self._pending: list[FleetRequest] = []
+        self._dropped: list[DroppedRequest] = []
         self._outcomes: list[RequestOutcome] = []
         self._queue_depth_samples: list[tuple[float, int]] = []
         self._first_arrival: float | None = None
@@ -414,20 +453,73 @@ class FleetService:
     def pending_requests(self) -> int:
         return len(self._pending)
 
-    def submit(self, batch: CandidateBatch, k: int, at: float | None = None) -> int:
-        """Admit one request; returns its id.
+    @property
+    def dropped_requests(self) -> list[DroppedRequest]:
+        """Requests shed or cancelled instead of served, in drop order.
 
-        ``at`` is the arrival instant on the fleet clock (defaults to
-        *now*); arrivals may be submitted out of order and are replayed
-        in arrival order by :meth:`drain`.
+        Times are on the fleet clock; ``client_id`` carries the
+        caller's correlation id when one was supplied.
+        """
+        return self._dropped
+
+    def submit(self, batch: CandidateBatch, k: int, at: float | None = None) -> int:
+        """Deprecated: admit one request; returns its fleet-local id.
+
+        Legacy shim over :meth:`submit_request` — the request-centric
+        path is a :class:`~repro.core.api.SelectionRequest` submitted
+        through :class:`~repro.core.api.FleetServer` (DESIGN.md §8,
+        ``docs/api.md``).  ``at`` is the arrival instant on the fleet
+        clock (defaults to *now*).
+        """
+        warnings.warn(
+            "FleetService.submit() is deprecated; submit a SelectionRequest "
+            "through repro.core.api.FleetServer (see docs/api.md)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.submit_request(batch, k, at=at)
+
+    def submit_request(
+        self,
+        batch: CandidateBatch,
+        k: int,
+        *,
+        at: float | None = None,
+        priority: int = LANE_BATCH,
+        deadline: float | None = None,
+        cancel_at: float | None = None,
+        client_id: str | int | None = None,
+        sample: bool | None = None,
+    ) -> int:
+        """Admit one request with full intent; returns its fleet id.
+
+        ``at``, ``deadline`` and ``cancel_at`` are absolute instants on
+        the fleet clock (``at=None`` means *now*); arrivals may be
+        submitted out of order and are replayed in arrival order by
+        :meth:`drain`.  ``client_id`` is echoed on the outcome, and
+        ``sample`` overrides the fleet-wide sampling stride.
         """
         arrival = self.clock.now if at is None else float(at)
         if arrival < self.clock.now:
             raise ValueError(
                 f"arrival {arrival!r} lies before fleet time {self.clock.now!r}"
             )
+        if k <= 0:
+            raise ValueError("k must be positive")
+        if priority < 0:
+            raise ValueError("priority must be non-negative")
+        if deadline is not None and deadline <= arrival:
+            raise ValueError("deadline must lie after the request's arrival")
         request = FleetRequest(
-            request_id=self._next_request_id, batch=batch, k=k, arrival=arrival
+            request_id=self._next_request_id,
+            batch=batch,
+            k=k,
+            arrival=arrival,
+            priority=priority,
+            deadline=deadline,
+            cancel_at=cancel_at,
+            client_id=client_id,
+            sample=sample,
         )
         self._next_request_id += 1
         self._pending.append(request)
@@ -503,34 +595,25 @@ class FleetService:
         clock.advance(cfg.dispatch_overhead_ms * 1e-3)
         outcomes = []
         if cfg.intra_concurrency > 1:
-            scheduled = replica.service.select_concurrent(
-                [(request.batch, request.k) for request in requests],
-                samples=[self._admit_sample() for _ in requests],
-                policy=cfg.intra_policy,
-                max_skew=cfg.max_skew,
-            )
-            by_id = {outcome.request_id: outcome for outcome in scheduled}
-            for index, request in enumerate(requests):
-                scheduled_outcome = by_id[index]
-                outcomes.append(
-                    RequestOutcome(
-                        request_id=request.request_id,
-                        replica=replica.index,
-                        arrival=request.arrival,
-                        start=start,
-                        finish=scheduled_outcome.finish - replica.origin,
-                        result=scheduled_outcome.result,
-                    )
-                )
-                # Under multiplexing, result.latency_seconds spans other
-                # requests' interleaved steps; the scheduler's service
-                # time is the true per-request cost EWMA must learn.
-                self._update_ewma(replica, len(outcomes), scheduled_outcome.service_seconds)
+            outcomes = self._dispatch_concurrent(requests, replica, start)
         else:
             for request in requests:
-                result = replica.service.select(
-                    request.batch, request.k, sample=self._admit_sample()
+                local_now = replica.local_now
+                if self._drop_due(request, local_now):
+                    continue
+                result = replica.service._serve_solo(
+                    request.batch,
+                    request.k,
+                    sample=self._request_sample(request),
+                    cancel_at=(
+                        request.cancel_at + replica.origin
+                        if request.cancel_at is not None
+                        else None
+                    ),
                 )
+                if result is None:  # cancelled mid-pass on the replica
+                    self._drop(request, "cancelled", replica.local_now)
+                    continue
                 finish = replica.local_now
                 outcomes.append(
                     RequestOutcome(
@@ -540,14 +623,125 @@ class FleetService:
                         start=start,
                         finish=finish,
                         result=result,
+                        client_id=request.client_id,
+                        lane=request.priority,
+                        deadline=request.deadline,
+                        service_start=local_now,
+                        service_seconds=finish - local_now,
                     )
                 )
                 self._update_ewma(replica, len(outcomes), result.latency_seconds)
         replica.busy_until = replica.local_now
         replica.busy_seconds += replica.busy_until - start
-        replica.requests_served += len(requests)
+        replica.requests_served += len(outcomes)
         replica.batches_served += 1
         return outcomes
+
+    def _dispatch_concurrent(
+        self, requests: list[FleetRequest], replica: ReplicaHandle, start: float
+    ) -> list[RequestOutcome]:
+        """Serve one dispatched batch through the replica's scheduler.
+
+        Fleet-clock intent (deadlines, cancellations) is rebased onto
+        the replica's wave origin as relative offsets; requests whose
+        deadline already passed are shed here, before the wave, so the
+        scheduler never sees an expired deadline.
+        """
+        from .api import SelectionRequest
+
+        cfg = self.fleet_config
+        origin_fleet = replica.local_now  # wave origin on the fleet axis
+        wave_inputs: list[tuple[FleetRequest, SelectionRequest, float | None]] = []
+        for request in requests:
+            if self._drop_due(request, origin_fleet):
+                continue
+            cancel = (
+                request.cancel_at - origin_fleet if request.cancel_at is not None else None
+            )
+            wave_inputs.append(
+                (
+                    request,
+                    SelectionRequest(
+                        batch=request.batch,
+                        k=request.k,
+                        request_id=request.request_id,
+                        priority=request.priority,
+                        deadline=(
+                            request.deadline - origin_fleet
+                            if request.deadline is not None
+                            else None
+                        ),
+                        sample=self._request_sample(request),
+                    ),
+                    max(0.0, cancel) if cancel is not None else None,
+                )
+            )
+        if not wave_inputs:
+            return []
+        wave = replica.service.serve_requests(
+            [selection for _, selection, _ in wave_inputs],
+            policy=cfg.intra_policy,
+            max_skew=cfg.max_skew,
+            cancels=[cancel for _, _, cancel in wave_inputs],
+        )
+        outcomes = []
+        by_scheduler_id = {
+            scheduler_id: request
+            for scheduler_id, (request, _, _) in zip(wave.request_ids, wave_inputs)
+        }
+        for scheduled_outcome in wave.outcomes:
+            request = by_scheduler_id[scheduled_outcome.request_id]
+            outcomes.append(
+                RequestOutcome(
+                    request_id=request.request_id,
+                    replica=replica.index,
+                    arrival=request.arrival,
+                    start=start,
+                    finish=scheduled_outcome.finish - replica.origin,
+                    result=scheduled_outcome.result,
+                    client_id=request.client_id,
+                    lane=request.priority,
+                    deadline=request.deadline,
+                    service_start=scheduled_outcome.start - replica.origin,
+                    service_seconds=scheduled_outcome.service_seconds,
+                )
+            )
+            # Under multiplexing, result.latency_seconds spans other
+            # requests' interleaved steps; the scheduler's service
+            # time is the true per-request cost EWMA must learn.
+            self._update_ewma(replica, len(outcomes), scheduled_outcome.service_seconds)
+        for drop in wave.dropped:
+            request = by_scheduler_id[drop.request_id]
+            self._drop(request, drop.reason, drop.at - replica.origin)
+        return outcomes
+
+    def _request_sample(self, request: FleetRequest) -> bool:
+        return request.sample if request.sample is not None else self._admit_sample()
+
+    def _drop_due(self, request: FleetRequest, fleet_now: float) -> bool:
+        """Drop a request whose cancel/deadline is already due; True if dropped."""
+        if request.cancel_at is not None and request.cancel_at <= fleet_now:
+            self._drop(request, "cancelled", fleet_now)
+            return True
+        if request.deadline is not None and fleet_now >= request.deadline:
+            # Shed: the request can no longer start in time, so it
+            # never reaches the replica's engine (DESIGN.md §8).
+            self._drop(request, "shed", fleet_now)
+            return True
+        return False
+
+    def _drop(self, request: FleetRequest, reason: str, at: float) -> None:
+        self._dropped.append(
+            DroppedRequest(
+                request_id=request.request_id,
+                priority=request.priority,
+                arrival=request.arrival,
+                at=at,
+                reason=reason,
+                deadline=request.deadline,
+                client_id=request.client_id,
+            )
+        )
 
     def _update_ewma(
         self, replica: ReplicaHandle, dispatched_so_far: int, latency_seconds: float

@@ -34,6 +34,7 @@ scheduler that time-multiplexes several in-flight passes on the single
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -76,12 +77,20 @@ class SchedulerConfig:
         from wherever the plane stands); larger values trade admission
         latency for fused-sweep purity and a bounded shared-buffer
         residency window (DESIGN.md §7).
+    edf:
+        Earliest-deadline-first admission ordering (DESIGN.md §8):
+        requests carrying a deadline are started before later-deadline
+        (or deadline-less) ones — inside each priority lane under the
+        ``priority`` policy, globally otherwise.  Orthogonal to the
+        in-flight policy: EDF decides *who starts next*, the policy
+        decides *whose quantum runs*.
     """
 
     policy: str = "fifo"
     quantum_layers: int = 1
     max_concurrency: int = 4
     max_skew: float = 0.0
+    edf: bool = False
 
     def __post_init__(self) -> None:
         if self.policy not in SCHEDULING_POLICIES:
@@ -105,6 +114,33 @@ class ScheduledRequest:
     arrival: float
     priority: int = LANE_BATCH
     sample: bool | None = None  # sampling override threaded to the service layer
+    #: Absolute device-clock instant the request must complete by; a
+    #: request that has not *started* by its deadline is shed at
+    #: admission and never reaches the engine (DESIGN.md §8).
+    deadline: float | None = None
+    #: Absolute device-clock instant at which the request is cancelled:
+    #: dropped at admission if still waiting, closed at its next layer
+    #: boundary (releasing weight-plane refcounts) if in flight.
+    cancel_at: float | None = None
+
+
+@dataclass
+class DroppedRequest:
+    """One request the scheduler dropped instead of completing.
+
+    ``reason`` is ``"shed"`` (deadline-aware admission) or
+    ``"cancelled"`` (caller intent); ``at`` is the drop instant on the
+    device clock.  ``client_id`` carries the caller's correlation id on
+    tiers that have one (the fleet layer reuses this record type).
+    """
+
+    request_id: int
+    priority: int
+    arrival: float
+    at: float
+    reason: str
+    deadline: float | None = None
+    client_id: str | int | None = None
 
 
 @dataclass
@@ -130,6 +166,7 @@ class ScheduledOutcome:
     preempted: bool  # another task's step ran between this task's steps
     result: RerankResult
     sample: bool | None = None
+    deadline: float | None = None  # absolute device-clock deadline, if any
 
     @property
     def queue_wait(self) -> float:
@@ -138,6 +175,13 @@ class ScheduledOutcome:
     @property
     def e2e_latency(self) -> float:
         return self.finish - self.arrival
+
+    @property
+    def deadline_met(self) -> bool | None:
+        """Completed by the deadline?  ``None`` when none was set."""
+        if self.deadline is None:
+            return None
+        return self.finish <= self.deadline
 
     @property
     def preemption_seconds(self) -> float:
@@ -210,6 +254,9 @@ class DeviceScheduler:
         self.engine = engine
         self.config = config or SchedulerConfig()
         self.trace: list[StepEvent] = []
+        #: Requests dropped instead of completed (shed / cancelled),
+        #: in drop order; see :class:`DroppedRequest`.
+        self.dropped: list[DroppedRequest] = []
         self._pending: list[ScheduledRequest] = []
         self._outcomes: list[ScheduledOutcome] = []
         self._next_id = 0
@@ -236,13 +283,39 @@ class DeviceScheduler:
         priority: int = LANE_BATCH,
         sample: bool | None = None,
     ) -> int:
-        """Admit one request; returns its scheduler-local id.
+        """Deprecated: admit one request; returns its scheduler-local id.
 
-        ``at`` is the arrival instant on the device clock (defaults to
-        *now*).  ``priority`` selects the lane (:data:`LANE_INTERACTIVE`
-        preempts :data:`LANE_BATCH` under the ``priority`` policy).
+        Legacy shim over :meth:`submit_request` — the request-centric
+        path is a :class:`~repro.core.api.SelectionRequest` submitted
+        through :class:`~repro.core.api.DeviceServer` (DESIGN.md §8,
+        ``docs/api.md``).  ``at`` is the arrival instant on the device
+        clock (defaults to *now*); ``priority`` selects the lane.
         """
-        arrival = self.clock.now if at is None else float(at)
+        warnings.warn(
+            "DeviceScheduler.submit() is deprecated; submit a SelectionRequest "
+            "through repro.core.api.DeviceServer (see docs/api.md)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.submit_request(batch, k, arrival=at, priority=priority, sample=sample)
+
+    def submit_request(
+        self,
+        batch: CandidateBatch,
+        k: int,
+        *,
+        arrival: float | None = None,
+        priority: int = LANE_BATCH,
+        sample: bool | None = None,
+        deadline: float | None = None,
+        cancel_at: float | None = None,
+    ) -> int:
+        """Admit one request with full intent; returns its scheduler id.
+
+        ``arrival``, ``deadline`` and ``cancel_at`` are absolute
+        instants on the device clock (``arrival=None`` means *now*).
+        """
+        arrival = self.clock.now if arrival is None else float(arrival)
         if arrival < self.clock.now:
             raise ValueError(
                 f"arrival {arrival!r} lies before device time {self.clock.now!r}"
@@ -253,6 +326,8 @@ class DeviceScheduler:
             # Fail here, not mid-drain: by the time the queue pops this
             # request, other requests may already have consumed device time.
             raise ValueError("k must be positive")
+        if deadline is not None and deadline <= arrival:
+            raise ValueError("deadline must lie after the request's arrival")
         request = ScheduledRequest(
             request_id=self._next_id,
             batch=batch,
@@ -260,6 +335,8 @@ class DeviceScheduler:
             arrival=arrival,
             priority=priority,
             sample=sample,
+            deadline=deadline,
+            cancel_at=cancel_at,
         )
         self._next_id += 1
         self._pending.append(request)
@@ -296,6 +373,18 @@ class DeviceScheduler:
             waiting.sort(key=self._wait_order)
             while waiting:
                 request = waiting[0]
+                # Intent checks precede capacity checks, so a doomed
+                # request at the head can never wedge the queue.
+                if request.cancel_at is not None and request.cancel_at <= self.clock.now:
+                    waiting.pop(0)
+                    self._drop(request, "cancelled")
+                    continue
+                if request.deadline is not None and self.clock.now >= request.deadline:
+                    # Shed: it cannot start before its deadline, so it
+                    # never reaches the engine (DESIGN.md §8).
+                    waiting.pop(0)
+                    self._drop(request, "shed")
+                    continue
                 over_cap_preemption = self.config.policy == "priority" and any(
                     flight.request.priority > request.priority for flight in active
                 )
@@ -314,10 +403,32 @@ class DeviceScheduler:
                 )
                 self._started_counter += 1
 
+        def reap_cancelled() -> None:
+            """Close in-flight tasks whose cancellation instant passed.
+
+            A mid-pass cancel lands at the task's next layer boundary —
+            :meth:`RerankTask.close` runs the pass teardown, so shared
+            weight-plane refcounts are released immediately, not when
+            the drain ends (DESIGN.md §8).
+            """
+            for flight in list(active):
+                cancel_at = flight.request.cancel_at
+                if cancel_at is not None and self.clock.now >= cancel_at:
+                    flight.task.close()
+                    active.remove(flight)
+                    self._drop(flight.request, "cancelled")
+
         try:
             while active or waiting or i < len(pending):
                 admit()  # completions free capacity; arrivals may be due
+                reap_cancelled()
                 if not active:
+                    if waiting or i >= len(pending):
+                        # Drops may have emptied the in-flight set while
+                        # waiters still queue; re-admit before advancing.
+                        if waiting:
+                            continue
+                        break
                     # admit() starts waiters whenever capacity is free, so an
                     # empty active set means a future arrival is all that is left.
                     self.clock.advance_to(pending[i].arrival)
@@ -350,6 +461,9 @@ class DeviceScheduler:
                         # request failing mid-drain (e.g. OOM under load).
                         self._outcomes.append(outcome)
                         break
+                    reap_cancelled()
+                    if flight not in active:
+                        break  # this task was cancelled at the boundary
                     if self._should_preempt(flight, active):
                         break
         except BaseException:
@@ -364,9 +478,26 @@ class DeviceScheduler:
         return completed
 
     def _wait_order(self, request: ScheduledRequest):
+        deadline = request.deadline if request.deadline is not None else float("inf")
         if self.config.policy == "priority":
+            if self.config.edf:
+                return (request.priority, deadline, request.arrival, request.request_id)
             return (request.priority, request.arrival, request.request_id)
+        if self.config.edf:
+            return (deadline, request.arrival, request.request_id)
         return (request.arrival, request.request_id)
+
+    def _drop(self, request: ScheduledRequest, reason: str) -> None:
+        self.dropped.append(
+            DroppedRequest(
+                request_id=request.request_id,
+                priority=request.priority,
+                arrival=request.arrival,
+                at=self.clock.now,
+                reason=reason,
+                deadline=request.deadline,
+            )
+        )
 
     def _fusion_hold(self, request: ScheduledRequest, active: list[_InFlight]) -> bool:
         """Should a fusion arrival wait for a fresh group at layer 0?
@@ -426,6 +557,7 @@ class DeviceScheduler:
             preempted=flight.preempted,
             result=flight.task.result,
             sample=flight.request.sample,
+            deadline=flight.request.deadline,
         )
 
     # ------------------------------------------------------------------
@@ -462,6 +594,24 @@ class DeviceScheduler:
         """Mean fused-group size over the executed schedule."""
         sizes = self.fused_group_sizes()
         return float(np.mean(sizes)) if sizes else 0.0
+
+    def fused_group_ids(self) -> dict[int, int]:
+        """Map each request to the fused group its first step joined.
+
+        Group ids index the runs counted by :meth:`fused_group_sizes`;
+        requests sharing an id entered the schedule back-to-back at the
+        same layer boundary.  Provenance for
+        :class:`~repro.core.api.SelectionResponse`.
+        """
+        groups: dict[int, int] = {}
+        group_id = -1
+        current_index: int | None = None
+        for event in self.trace:
+            if current_index is None or event.step_index != current_index:
+                group_id += 1
+                current_index = event.step_index
+            groups.setdefault(event.request_id, group_id)
+        return groups
 
     def trace_text(self) -> str:
         """Canonical rendering of the schedule — byte-comparable.

@@ -34,7 +34,7 @@ from dataclasses import dataclass, field, replace
 
 import numpy as np
 
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
 from ..device.platforms import Device, DeviceProfile
 from ..model.transformer import CandidateBatch, CrossEncoderModel
@@ -44,9 +44,13 @@ from .metrics import top_k_overlap
 from .scheduler import (
     LANE_BATCH,
     DeviceScheduler,
+    DroppedRequest,
     ScheduledOutcome,
     SchedulerConfig,
 )
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (api imports service)
+    from .api import SelectionRequest
 
 
 class SampleStride:
@@ -98,8 +102,28 @@ class MaintenanceReport:
 class ServiceStats:
     requests_served: int = 0
     requests_sampled: int = 0
+    requests_dropped: int = 0  # shed or cancelled before completing
     maintenance_passes: int = 0
     history: list[MaintenanceReport] = field(default_factory=list)
+
+
+@dataclass
+class DeviceWave:
+    """Internal record of one scheduler-driven serving wave.
+
+    Produced by :meth:`SemanticSelectionService.serve_requests`; the
+    :class:`~repro.core.api.DeviceServer` adapter turns it into
+    :class:`~repro.core.api.SelectionResponse`\\ s, and the legacy
+    ``select_concurrent`` shim returns its ``outcomes`` directly.
+    ``request_ids`` aligns with the wave's input order, mapping each
+    input to its scheduler-local id.
+    """
+
+    outcomes: list[ScheduledOutcome]
+    dropped: list[DroppedRequest]
+    scheduler: DeviceScheduler
+    origin: float
+    request_ids: list[int]
 
 
 class SemanticSelectionService:
@@ -207,7 +231,12 @@ class SemanticSelectionService:
     def select(
         self, batch: CandidateBatch, k: int, sample: bool | None = None
     ) -> RerankResult:
-        """Serve one request; log it for idle checking per the rate.
+        """Deprecated: serve one request; log it for idle checking.
+
+        Legacy shim over the request-centric API (DESIGN.md §8): wrap
+        the arguments in a :class:`~repro.core.api.SelectionRequest`
+        and submit through :class:`~repro.core.api.DeviceServer`
+        instead (``docs/api.md`` maps every call site).
 
         ``sample`` overrides the internal sampling policy for this
         request: ``True`` forces the request into the idle-check log,
@@ -216,7 +245,38 @@ class SemanticSelectionService:
         fleet admission layer) use the override to keep the sampled
         stream uniform across replicas even under skewed routing.
         """
-        result = self.engine.rerank(batch, k)
+        warnings.warn(
+            "SemanticSelectionService.select() is deprecated; submit a "
+            "SelectionRequest through repro.core.api.DeviceServer (see docs/api.md)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        if k <= 0:
+            raise ValueError("k must be positive")
+        result = self._serve_solo(batch, k, sample=sample)
+        assert result is not None  # no cancellation on the legacy path
+        return result
+
+    def _serve_solo(
+        self,
+        batch: CandidateBatch,
+        k: int,
+        sample: bool | None = None,
+        cancel_at: float | None = None,
+    ) -> RerankResult | None:
+        """Serve one request to completion on the serving engine.
+
+        The internal solo path shared by the legacy ``select`` shim and
+        the fleet's serial dispatch.  ``cancel_at`` (absolute device
+        time) cancels the pass at its next layer boundary — the task is
+        closed (releasing any weight-plane refcounts) and ``None`` is
+        returned; cancelled requests are neither counted as served nor
+        logged for idle checking.
+        """
+        result = self.engine.start(batch, k).run(cancel_at=cancel_at)
+        if result is None:
+            self.stats.requests_dropped += 1
+            return None
         self.stats.requests_served += 1
         if sample is None:
             sample = self._stride.admit()
@@ -237,29 +297,30 @@ class SemanticSelectionService:
         quantum_layers: int = 1,
         max_skew: float = 0.0,
     ) -> list[ScheduledOutcome]:
-        """Serve a wave of requests concurrently on the one device.
+        """Deprecated: serve a wave of requests concurrently.
 
-        Requests are submitted to a :class:`DeviceScheduler` (DESIGN.md
-        §6) capped at the service's ``max_concurrency`` and driven to
-        completion; outcomes come back in completion order, carrying
-        per-request queue/service/e2e latency alongside the
-        :class:`RerankResult`.  The scheduler itself stays reachable as
-        :attr:`last_scheduler` for aggregate ``stats()`` and the
-        canonical ``trace_text()``.
-
-        Sampling semantics match :meth:`select` exactly: the decision
-        is taken per request *in submission order* through the same
-        deterministic :class:`SampleStride` (or forced through
-        ``samples`` overrides, as the fleet admission layer does), so
-        the idle-check log cannot depend on the scheduling policy.
+        Legacy shim over :meth:`serve_requests` — it zips the parallel
+        argument sequences into :class:`~repro.core.api.SelectionRequest`
+        objects and returns the wave's raw
+        :class:`~repro.core.scheduler.ScheduledOutcome`\\ s.  Migrate to
+        :class:`~repro.core.api.DeviceServer` (``docs/api.md``).
 
         ``arrivals`` are offsets in seconds from the call instant
-        (default: all due immediately) — the serving device's clock is
-        already deep into its own timeline after ``prepare()``, so
-        offsets are the natural interface; ``priorities`` pick
-        scheduler lanes (default: batch lane); ``max_skew`` threads
-        through to the ``fusion`` policy's group-join bound.
+        (default: all due immediately); ``priorities`` pick scheduler
+        lanes (default: batch lane); ``max_skew`` threads through to
+        the ``fusion`` policy's group-join bound.  Sampling semantics
+        match :meth:`select`: decided per request in submission order
+        through the deterministic :class:`SampleStride` (or forced via
+        ``samples``), so the idle-check log cannot depend on policy.
         """
+        warnings.warn(
+            "SemanticSelectionService.select_concurrent() is deprecated; submit "
+            "SelectionRequests through repro.core.api.DeviceServer (see docs/api.md)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        from .api import SelectionRequest
+
         requests = list(requests)
         if arrivals is not None and len(arrivals) != len(requests):
             raise ValueError("arrivals must match requests")
@@ -267,17 +328,59 @@ class SemanticSelectionService:
             raise ValueError("priorities must match requests")
         if samples is not None and len(samples) != len(requests):
             raise ValueError("samples must match requests")
-        # Validate the whole wave before any state moves: a rejected
-        # request must not leave the deterministic sampling stride
-        # partially consumed (desynchronising every later request's
-        # sampling decision) or ``last_scheduler`` half-submitted.
-        for index, (batch, k) in enumerate(requests):
-            if k <= 0:
-                raise ValueError("k must be positive")
-            if arrivals is not None and arrivals[index] < 0:
-                raise ValueError("arrivals are offsets from now; must be >= 0")
-            if priorities is not None and priorities[index] < 0:
-                raise ValueError("priority must be non-negative")
+        # Construct (and thereby validate) the whole wave before any
+        # state moves — SelectionRequest.__post_init__ enforces the
+        # same bounds the parallel-sequence API documented.
+        wave_requests = [
+            SelectionRequest(
+                batch=batch,
+                k=k,
+                request_id=index,
+                arrival=arrivals[index] if arrivals is not None else None,
+                priority=priorities[index] if priorities is not None else LANE_BATCH,
+                sample=samples[index] if samples is not None else None,
+            )
+            for index, (batch, k) in enumerate(requests)
+        ]
+        wave = self.serve_requests(
+            wave_requests,
+            policy=policy,
+            quantum_layers=quantum_layers,
+            max_skew=max_skew,
+        )
+        return wave.outcomes
+
+    def serve_requests(
+        self,
+        requests: "Sequence[SelectionRequest]",
+        *,
+        policy: str = "round_robin",
+        quantum_layers: int = 1,
+        max_skew: float = 0.0,
+        edf: bool = False,
+        cancels: Sequence[float | None] | None = None,
+    ) -> DeviceWave:
+        """Serve one wave of :class:`~repro.core.api.SelectionRequest`\\ s.
+
+        The request-centric serving core (DESIGN.md §8): requests are
+        submitted to a :class:`DeviceScheduler` (DESIGN.md §6) capped
+        at the service's ``max_concurrency`` and driven to completion.
+        Request ``arrival``/``deadline`` offsets are resolved against
+        the call instant; ``cancels`` (aligned with ``requests``) adds
+        per-request cancellation offsets on the same axis.  Deadline
+        shedding and cancellation happen in the scheduler — a shed
+        request never reaches the engine, and a mid-pass cancel closes
+        its task at the next layer boundary.
+
+        Sampling is decided per request *in submission order* through
+        the deterministic :class:`SampleStride` (or the request's
+        ``sample`` override); only completed requests enter the
+        idle-check log.  The scheduler stays reachable as
+        :attr:`last_scheduler` for ``stats()`` and ``trace_text()``.
+        """
+        requests = list(requests)
+        if cancels is not None and len(cancels) != len(requests):
+            raise ValueError("cancels must match requests")
         if self.engine.weight_plane is not None and policy == "fifo" and len(requests) > 1:
             # Run-to-completion over the plane keeps every admitted
             # task's frontier at layer 0 while the first runs, so
@@ -299,36 +402,53 @@ class SemanticSelectionService:
                 quantum_layers=quantum_layers,
                 max_concurrency=self.max_concurrency,
                 max_skew=max_skew,
+                edf=edf,
             ),
         )
         origin = self.device.clock.now
-        for index, (batch, k) in enumerate(requests):
-            sample = samples[index] if samples is not None else None
+        request_ids: list[int] = []
+        for index, request in enumerate(requests):
+            sample = request.sample
             if sample is None:
                 sample = self._stride.admit()
-            scheduler.submit(
-                batch,
-                k,
-                at=origin + arrivals[index] if arrivals is not None else None,
-                priority=priorities[index] if priorities is not None else LANE_BATCH,
-                sample=sample,
+            arrival = origin + request.arrival_offset
+            cancel = cancels[index] if cancels is not None else None
+            request_ids.append(
+                scheduler.submit_request(
+                    request.batch,
+                    request.k,
+                    arrival=arrival,
+                    priority=request.priority,
+                    sample=sample,
+                    deadline=(
+                        arrival + request.deadline if request.deadline is not None else None
+                    ),
+                    cancel_at=origin + cancel if cancel is not None else None,
+                )
             )
         self.last_scheduler = scheduler
         outcomes = scheduler.drain()
         by_id = {outcome.request_id: outcome for outcome in outcomes}
         self.stats.requests_served += len(outcomes)
-        for index, (batch, k) in enumerate(requests):
-            outcome = by_id[index]
-            if outcome.sample:
+        self.stats.requests_dropped += len(scheduler.dropped)
+        for index, request in enumerate(requests):
+            outcome = by_id.get(request_ids[index])
+            if outcome is not None and outcome.sample:
                 self.stats.requests_sampled += 1
                 self._pending_samples.append(
                     SampledRequest(
-                        batch=batch,
-                        k=k,
+                        batch=request.batch,
+                        k=request.k,
                         served_top=outcome.result.top_indices.copy(),
                     )
                 )
-        return outcomes
+        return DeviceWave(
+            outcomes=outcomes,
+            dropped=list(scheduler.dropped),
+            scheduler=scheduler,
+            origin=origin,
+            request_ids=request_ids,
+        )
 
     # ------------------------------------------------------------------
     # idle path
@@ -340,7 +460,7 @@ class SemanticSelectionService:
             self.model, shadow, replace(self.config, pruning_enabled=False)
         )
         engine.prepare()
-        return engine.rerank(sample.batch, sample.k).top_indices
+        return engine.start(sample.batch, sample.k).run().top_indices
 
     def _sampled_precision(self) -> tuple[int, float]:
         overlaps = [

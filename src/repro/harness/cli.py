@@ -9,14 +9,32 @@ Usage::
     python -m repro.harness.cli fleet --quick
     python -m repro.harness.cli schedule --quick
     python -m repro.harness.cli shared_weights --quick
+    python -m repro.harness.cli deadline --quick
+    python -m repro.harness.cli serve requests.json --tier fleet
 
 ``--quick`` shrinks workloads (fewer datasets/queries) for smoke runs;
 the full sizes match the benchmarks under ``benchmarks/``.
+
+The ``serve`` subcommand replays a JSON request file through any
+serving tier (``--tier engine|device|fleet``) via the unified request
+API (DESIGN.md §8) and prints each request's
+:class:`~repro.core.api.SelectionResponse` provenance.  The file holds
+a list of request objects::
+
+    [{"id": "q0", "k": 3, "num_candidates": 8},
+     {"id": "q1", "k": 3, "num_candidates": 8,
+      "priority": 0, "arrival": 0.1, "deadline": 0.5}]
+
+Optional per-request fields: ``priority`` (0 = interactive, 1 =
+batch), ``arrival`` (offset seconds), ``deadline`` (seconds after
+arrival), ``cancel_at`` (offset seconds — exercises cancellation),
+``dataset`` (workload generator, default wikipedia).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 from pathlib import Path
@@ -87,6 +105,10 @@ _EXPERIMENTS: dict[str, tuple[Callable[[], object], Callable[[], object]]] = {
         lambda: ex.shared_weights_serving(),
         lambda: ex.shared_weights_serving(num_requests=3, num_candidates=4),
     ),
+    "deadline": (
+        lambda: ex.deadline_serving(),
+        lambda: ex.deadline_serving(num_requests=6, num_candidates=8),
+    ),
 }
 
 
@@ -109,6 +131,144 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def build_serve_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.harness.cli serve",
+        description="Replay a JSON request file through one serving tier "
+        "(the unified request API, DESIGN.md §8).",
+    )
+    parser.add_argument("requests", type=Path, help="JSON file with a list of requests")
+    parser.add_argument(
+        "--tier",
+        choices=("engine", "device", "fleet"),
+        default="device",
+        help="which Server adapter serves the requests",
+    )
+    parser.add_argument(
+        "--model", default="qwen3-reranker-0.6b", help="reranker model name"
+    )
+    parser.add_argument("--platform", default="nvidia_5070", help="device profile")
+    parser.add_argument(
+        "--policy", default="round_robin", help="device-tier scheduling policy"
+    )
+    parser.add_argument(
+        "--edf", action="store_true", help="earliest-deadline-first admission (device tier)"
+    )
+    parser.add_argument(
+        "--concurrency", type=int, default=4, help="device-tier in-flight request cap"
+    )
+    parser.add_argument(
+        "--replicas", type=int, default=2, help="fleet-tier replica count"
+    )
+    return parser
+
+
+def _build_server(args: argparse.Namespace):
+    """Construct the requested tier's Server adapter."""
+    from ..core.api import DeviceServer, EngineServer, FleetServer
+    from ..core.config import PrismConfig
+    from ..core.fleet import FleetService
+    from ..core.service import SemanticSelectionService
+    from ..device.platforms import get_profile
+    from ..model.zoo import get_model_config
+    from .runner import create_engine, shared_model
+
+    model_config = get_model_config(args.model)
+    model = shared_model(model_config)
+    profile = get_profile(args.platform)
+    if args.tier == "engine":
+        engine = create_engine("prism", model, profile.create(), numerics=False)
+        engine.prepare()
+        return EngineServer(engine), model_config
+    if args.tier == "device":
+        service = SemanticSelectionService(
+            model,
+            profile,
+            config=PrismConfig(numerics=False),
+            max_concurrency=args.concurrency,
+        )
+        return DeviceServer(service, policy=args.policy, edf=args.edf), model_config
+    fleet = FleetService.homogeneous(
+        model, profile, args.replicas, config=PrismConfig(numerics=False)
+    )
+    return FleetServer(fleet), model_config
+
+
+def run_serve(argv: list[str]) -> int:
+    """The ``serve`` subcommand: replay requests, print provenance."""
+    from ..core.api import SelectionRequest
+    from ..data.datasets import get_dataset
+    from ..data.workloads import build_batch
+    from .reporting import format_table, ms
+    from .runner import shared_tokenizer
+
+    args = build_serve_parser().parse_args(argv)
+    entries = json.loads(args.requests.read_text())
+    if not isinstance(entries, list) or not entries:
+        raise SystemExit("request file must hold a non-empty JSON list")
+
+    server, model_config = _build_server(args)
+    tokenizer = shared_tokenizer(model_config)
+    handles = []
+    for index, entry in enumerate(entries):
+        spec = get_dataset(entry.get("dataset", "wikipedia"))
+        num_candidates = int(entry.get("num_candidates", 8))
+        query = spec.queries(index + 1, num_candidates)[index]
+        batch = build_batch(query, tokenizer, model_config.max_seq_len)
+        request = SelectionRequest(
+            batch=batch,
+            k=int(entry.get("k", 3)),
+            request_id=entry.get("id", f"q{index}"),
+            priority=int(entry.get("priority", 1)),
+            arrival=entry.get("arrival"),
+            deadline=entry.get("deadline"),
+        )
+        handle = server.submit(request)
+        if entry.get("cancel_at") is not None:
+            handle.cancel(at=float(entry["cancel_at"]))
+        handles.append(handle)
+    responses = server.drain()
+
+    rows = [
+        (
+            response.request_id,
+            response.status,
+            response.tier,
+            response.lane,
+            "-" if response.replica is None else response.replica,
+            response.policy or "-",
+            "-" if response.fused_group is None else response.fused_group,
+            "-" if response.threshold is None else f"{response.threshold:.2f}",
+            ms(response.queue_seconds),
+            ms(response.e2e_seconds),
+            {True: "met", False: "MISSED", None: "-"}[response.deadline_met],
+            "-" if response.result is None else str(response.result.top_indices.tolist()),
+        )
+        for response in responses
+    ]
+    print(
+        format_table(
+            (
+                "request",
+                "status",
+                "tier",
+                "lane",
+                "replica",
+                "policy",
+                "group",
+                "thresh",
+                "queue",
+                "e2e",
+                "deadline",
+                "top-k",
+            ),
+            rows,
+            title=f"SelectionResponse provenance ({args.tier} tier)",
+        )
+    )
+    return 0
+
+
 def run_one(name: str, quick: bool, out: Path | None) -> str:
     full, small = _EXPERIMENTS[name]
     start = time.perf_counter()
@@ -122,6 +282,9 @@ def run_one(name: str, quick: bool, out: Path | None) -> str:
 
 
 def main(argv: list[str] | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    if argv and argv[0] == "serve":
+        return run_serve(argv[1:])
     args = build_parser().parse_args(argv)
     if args.experiment == "list":
         for name in sorted(_EXPERIMENTS):

@@ -20,6 +20,7 @@ from ..apps.agent_memory import AgentMemoryApp, AgentRunResult
 from ..apps.long_context import LongContextApp, LongContextRunResult
 from ..apps.long_context import generate_tasks as generate_lcs_tasks
 from ..apps.rag import RagPipeline, RagRunResult
+from ..core.api import DeviceServer, FleetServer, SelectionRequest, serve_all
 from ..core.clustering import cluster_scores
 from ..core.config import PrismConfig
 from ..core.fleet import FleetConfig, FleetService
@@ -968,14 +969,25 @@ def fleet_serving(
             ),
             config=PrismConfig(numerics=False),
         )
-        for index, batch in enumerate(batches):
-            fleet.submit(batch, k, at=index * arrival_interval_ms * 1e-3)
-        outcomes = {o.request_id: o for o in fleet.drain()}
+        server = FleetServer(fleet)
+        responses = serve_all(
+            server,
+            [
+                SelectionRequest(
+                    batch=batch,
+                    k=k,
+                    request_id=index,
+                    arrival=index * arrival_interval_ms * 1e-3,
+                )
+                for index, batch in enumerate(batches)
+            ],
+        )
+        by_id = {response.request_id: response for response in responses}
         stats = fleet.stats()
         precision = float(
             np.mean(
                 [
-                    precision_at_k(outcomes[i].result.top_indices, query.labels(), k)
+                    precision_at_k(by_id[i].result.top_indices, query.labels(), k)
                     for i, query in enumerate(queries)
                 ]
             )
@@ -1133,13 +1145,22 @@ def concurrent_serving(
         for q in spec.queries(num_interactive, interactive_candidates)
     ]
 
-    requests = [(batch, batch_k) for batch in batch_requests]
-    arrivals = [0.0] * num_batch
-    priorities = [LANE_BATCH] * num_batch
+    wave: list[SelectionRequest] = [
+        SelectionRequest(
+            batch=batch, k=batch_k, request_id=index, priority=LANE_BATCH, arrival=0.0
+        )
+        for index, batch in enumerate(batch_requests)
+    ]
     for index, batch in enumerate(interactive_requests):
-        requests.append((batch, interactive_k))
-        arrivals.append(index * interactive_interval_ms * 1e-3)
-        priorities.append(LANE_INTERACTIVE)
+        wave.append(
+            SelectionRequest(
+                batch=batch,
+                k=interactive_k,
+                request_id=num_batch + index,
+                priority=LANE_INTERACTIVE,
+                arrival=index * interactive_interval_ms * 1e-3,
+            )
+        )
 
     result = ConcurrentServingResult(
         model=model_name,
@@ -1159,16 +1180,12 @@ def concurrent_serving(
             max_concurrency=max_concurrency,
             shared_weights=policy == "fusion",
         )
-        outcomes = service.select_concurrent(
-            requests,
-            arrivals=arrivals,
-            priorities=priorities,
-            policy=policy,
-            quantum_layers=quantum_layers,
+        responses = serve_all(
+            DeviceServer(service, policy=policy, quantum_layers=quantum_layers), wave
         )
         selections = [
-            tuple(outcome.result.top_indices.tolist())
-            for outcome in sorted(outcomes, key=lambda o: o.request_id)
+            tuple(response.result.top_indices.tolist())
+            for response in sorted(responses, key=lambda r: r.request_id)
         ]
         if reference_selections is None:
             reference_selections = selections
@@ -1185,7 +1202,7 @@ def concurrent_serving(
                 batch_p50=stats.latency_percentile(50, LANE_BATCH),
                 batch_p99=stats.latency_percentile(99, LANE_BATCH),
                 mean_interactive_wait=stats.mean_queue_wait(LANE_INTERACTIVE),
-                preempted_requests=sum(1 for o in outcomes if o.preempted),
+                preempted_requests=sum(1 for o in stats.outcomes if o.preempted),
                 makespan=stats.makespan,
                 throughput_rps=stats.throughput_rps,
                 fused_occupancy=service.last_scheduler.mean_fused_occupancy,
@@ -1351,23 +1368,32 @@ def shared_weights_serving(
 
     # Solo floor: the deepest request's one-at-a-time weight traffic.
     solo = make_service(shared=False, max_concurrency=1)
+    solo_server = DeviceServer(solo, policy="fifo")
     solo_bytes = []
     reference_selections = []
-    for batch, k_req in requests:
+    for index, (batch, k_req) in enumerate(requests):
         mark = len(solo.device.ssd.request_log)
-        solo_result = solo.select(batch, k_req, sample=False)
+        solo_response = solo_server.submit(
+            SelectionRequest(batch=batch, k=k_req, request_id=index, sample=False)
+        ).result()
         solo_bytes.append(_layer_weight_bytes(solo, mark))
-        reference_selections.append(tuple(solo_result.top_indices.tolist()))
+        reference_selections.append(tuple(solo_response.result.top_indices.tolist()))
     result.solo_weight_bytes = max(solo_bytes)
 
     baseline_throughput: float | None = None
     for mode, policy, shared in modes:
         service = make_service(shared=shared, max_concurrency=num_requests)
         mark = len(service.device.ssd.request_log)
-        outcomes = service.select_concurrent(requests, policy=policy)
+        responses = serve_all(
+            DeviceServer(service, policy=policy),
+            [
+                SelectionRequest(batch=batch, k=k_req, request_id=index)
+                for index, (batch, k_req) in enumerate(requests)
+            ],
+        )
         selections = [
-            tuple(outcome.result.top_indices.tolist())
-            for outcome in sorted(outcomes, key=lambda o: o.request_id)
+            tuple(response.result.top_indices.tolist())
+            for response in sorted(responses, key=lambda r: r.request_id)
         ]
         if selections != reference_selections:
             result.selections_identical = False
@@ -1390,6 +1416,162 @@ def shared_weights_serving(
                 bytes_vs_solo=weight_bytes / result.solo_weight_bytes,
                 saved_bytes=plane.stats.saved_bytes if plane is not None else 0,
                 fused_occupancy=service.last_scheduler.mean_fused_occupancy,
+            )
+        )
+    return result
+
+
+# ----------------------------------------------------------------------
+# Extension — deadline-aware serving (DESIGN.md §8)
+# ----------------------------------------------------------------------
+@dataclass
+class DeadlinePoint:
+    """One admission-ordering mode's outcome on the overloaded burst."""
+
+    mode: str  # "fifo" | "edf"
+    completed: int
+    shed: int
+    deadlines_met: int
+    hit_rate: float  # deadlines met / submitted
+    p99_latency: float  # over completed requests
+    makespan: float
+
+
+@dataclass
+class DeadlineServingResult:
+    """Deadline hit-rate under overload: EDF vs FIFO admission.
+
+    A burst of same-size requests arrives at t=0 with *decreasing*
+    slack in submission order (the last-submitted request has the
+    tightest deadline).  FIFO admission serves in submission order, so
+    tight-deadline requests queue behind loose ones and miss (or are
+    shed at admission once they can no longer start in time); EDF
+    admission (``SchedulerConfig(edf=True)``) starts the tightest
+    deadline first.  Selections never change — deadline ordering moves
+    *when* requests run and which ones are shed, never what a served
+    request computes.
+    """
+
+    model: str
+    platform: str
+    num_requests: int
+    k: int
+    probe_latency: float  # one request's solo service time (the unit of slack)
+    points: list[DeadlinePoint] = field(default_factory=list)
+
+    def find(self, mode: str) -> DeadlinePoint:
+        for point in self.points:
+            if point.mode == mode:
+                return point
+        raise KeyError(f"no deadline-serving point for mode {mode!r}")
+
+    def render(self) -> str:
+        rows = [
+            (
+                point.mode,
+                point.completed,
+                point.shed,
+                point.deadlines_met,
+                pct(point.hit_rate),
+                ms(point.p99_latency),
+                ms(point.makespan),
+            )
+            for point in self.points
+        ]
+        return format_table(
+            ("admission", "completed", "shed", "met", "hit rate", "p99", "makespan"),
+            rows,
+            title=(
+                f"Deadline-aware serving under overload ({self.model}, "
+                f"{self.platform}, {self.num_requests} requests, "
+                f"unit slack {ms(self.probe_latency)})"
+            ),
+        )
+
+
+def deadline_serving(
+    model_name: str = "qwen3-reranker-0.6b",
+    platform: str = "nvidia_5070",
+    num_requests: int = 12,
+    num_candidates: int = 12,
+    k: int = 5,
+    slack_factor: float = 2.0,
+    dataset: str = "wikipedia",
+) -> DeadlineServingResult:
+    """EDF vs FIFO admission under deadline overload (DESIGN.md §8).
+
+    Request ``i`` of ``N`` (submission order) carries deadline
+    ``slack_factor * (N - i)`` service units (the unit is one probe
+    request's solo latency), so slack *decreases* with
+    submission order.  Under FIFO the i-th request completes after
+    ``i + 1`` units and the tail can no longer start in time — those
+    requests are shed at admission, never reaching the engine.  EDF
+    reorders admission to tightest-first, which meets every deadline in
+    this geometry.  The gap between the two hit rates is the value of
+    carrying deadlines *in* the request object, where the scheduler can
+    see them.
+    """
+    model_config = get_model_config(model_name)
+    model = shared_model(model_config)
+    tokenizer = shared_tokenizer(model_config)
+    queries = get_dataset(dataset).queries(num_requests, num_candidates)
+    batches = [build_batch(q, tokenizer, model_config.max_seq_len) for q in queries]
+
+    def make_service() -> SemanticSelectionService:
+        return SemanticSelectionService(
+            model,
+            get_profile(platform),
+            config=PrismConfig(numerics=False),
+            max_concurrency=1,
+        )
+
+    # Probe: one request's solo service time is the slack unit.
+    probe_service = make_service()
+    probe = DeviceServer(probe_service).submit(
+        SelectionRequest(batch=batches[0], k=k, sample=False)
+    ).result()
+    assert probe.result is not None
+    probe_latency = probe.result.latency_seconds
+
+    result = DeadlineServingResult(
+        model=model_name,
+        platform=platform,
+        num_requests=num_requests,
+        k=k,
+        probe_latency=probe_latency,
+    )
+    for mode in ("fifo", "edf"):
+        service = make_service()
+        server = DeviceServer(service, policy="fifo", edf=(mode == "edf"))
+        responses = serve_all(
+            server,
+            [
+                SelectionRequest(
+                    batch=batch,
+                    k=k,
+                    request_id=index,
+                    arrival=0.0,
+                    deadline=slack_factor * (num_requests - index) * probe_latency,
+                    sample=False,
+                )
+                for index, batch in enumerate(batches)
+            ],
+        )
+        completed = [r for r in responses if r.ok]
+        met = [r for r in completed if r.deadline_met]
+        latencies = sorted(r.e2e_seconds for r in completed)
+        stats = service.last_scheduler.stats()
+        result.points.append(
+            DeadlinePoint(
+                mode=mode,
+                completed=len(completed),
+                shed=sum(1 for r in responses if r.status == "shed"),
+                deadlines_met=len(met),
+                hit_rate=len(met) / num_requests,
+                p99_latency=(
+                    float(np.percentile(latencies, 99)) if latencies else float("nan")
+                ),
+                makespan=stats.makespan,
             )
         )
     return result

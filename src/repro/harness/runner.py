@@ -20,6 +20,7 @@ from dataclasses import dataclass, field, replace
 import numpy as np
 
 from ..baselines import HFEngine, HFOffloadEngine, HFQuantEngine, prism_quant_engine
+from ..core.api import EngineServer, SelectionRequest
 from ..core.config import PrismConfig
 from ..core.engine import EngineBase, PrismEngine, RerankResult
 from ..core.metrics import precision_at_k
@@ -145,11 +146,14 @@ def run_system(
         stats.oom = True
         return stats
 
+    server = EngineServer(engine)
     request_start = device.clock.now
     try:
         for query in queries:
             batch = build_batch(query, tokenizer, model_config.max_seq_len)
-            result = engine.rerank(batch, k)
+            response = server.submit(SelectionRequest(batch=batch, k=k)).result()
+            result = response.result
+            assert result is not None  # no deadline/cancel on this path
             stats.latencies.append(result.latency_seconds)
             stats.precisions.append(precision_at_k(result.top_indices, query.labels(), k))
             stats.io_stall_seconds += result.io_stall_seconds

@@ -1,8 +1,10 @@
 """Tests for the experiment CLI."""
 
+import json
+
 import pytest
 
-from repro.harness.cli import _EXPERIMENTS, build_parser, main, run_one
+from repro.harness.cli import _EXPERIMENTS, build_parser, build_serve_parser, main, run_one
 
 
 class TestParser:
@@ -43,6 +45,16 @@ class TestParser:
     def test_shared_weights_extension_registered(self):
         assert "shared_weights" in _EXPERIMENTS
 
+    def test_deadline_extension_registered(self):
+        assert "deadline" in _EXPERIMENTS
+
+    def test_serve_parser_tiers(self):
+        parser = build_serve_parser()
+        args = parser.parse_args(["requests.json", "--tier", "fleet"])
+        assert args.tier == "fleet"
+        with pytest.raises(SystemExit):
+            parser.parse_args(["requests.json", "--tier", "warehouse"])
+
 
 class TestExecution:
     def test_list_mode(self, capsys):
@@ -63,3 +75,43 @@ class TestExecution:
     def test_main_runs_single_experiment(self, capsys):
         assert main(["fig2", "--quick"]) == 0
         assert "gamma" in capsys.readouterr().out
+
+
+class TestServe:
+    """The ``serve`` subcommand replays a request file through a tier."""
+
+    def _request_file(self, tmp_path):
+        path = tmp_path / "requests.json"
+        path.write_text(
+            json.dumps(
+                [
+                    {"id": "fast", "k": 3, "num_candidates": 6, "priority": 0},
+                    {"id": "slow", "k": 3, "num_candidates": 6, "arrival": 0.05},
+                    {"id": "late", "k": 3, "num_candidates": 6, "deadline": 0.0005},
+                ]
+            )
+        )
+        return path
+
+    @pytest.mark.parametrize("tier", ["engine", "device", "fleet"])
+    def test_serve_prints_provenance(self, tier, tmp_path, capsys):
+        path = self._request_file(tmp_path)
+        assert main(["serve", str(path), "--tier", tier]) == 0
+        out = capsys.readouterr().out
+        assert "SelectionResponse provenance" in out
+        for request_id in ("fast", "slow", "late"):
+            assert request_id in out
+        assert tier in out
+
+    def test_serve_reports_shed_deadline(self, tmp_path, capsys):
+        path = self._request_file(tmp_path)
+        # Serial engine tier: the tight deadline expires behind the
+        # queue and the request is shed.
+        assert main(["serve", str(path), "--tier", "engine"]) == 0
+        assert "shed" in capsys.readouterr().out
+
+    def test_serve_rejects_empty_file(self, tmp_path):
+        path = tmp_path / "empty.json"
+        path.write_text("[]")
+        with pytest.raises(SystemExit):
+            main(["serve", str(path)])
