@@ -7,7 +7,11 @@ its qualitative shape, and writes the rendered text artifact to
 Serving benchmarks additionally record machine-readable metrics as
 ``benchmarks/results/BENCH_<name>.json`` (throughput, tail latency,
 SSD traffic), so the performance trajectory is diffable across PRs
-instead of living only in prose tables.
+instead of living only in prose tables.  Every BENCH file carries the
+same three top-level keys — ``name`` (the bench), ``config`` (the
+workload parameters that produced the numbers, including the
+``quick`` smoke-size flag), ``metrics`` (the numbers) — enforced by
+``tests/test_benchmark_schema.py``.
 
 ``BENCH_QUICK=1`` shrinks the serving-bench workloads to smoke size
 (used by the CI benchmark job).  The assertion bars themselves are
@@ -49,13 +53,23 @@ def record_artifact(results_dir):
 def record_metrics(results_dir):
     """Write one bench's key numbers to benchmarks/results/BENCH_<name>.json.
 
-    Values must be JSON-serialisable scalars or nested dicts/lists of
-    them.  Keys are sorted so the artifact diffs cleanly across PRs.
+    Every artifact shares one top-level schema — ``{name, config,
+    metrics}`` — so downstream tooling can consume the whole results
+    directory without per-bench special cases
+    (``tests/test_benchmark_schema.py`` enforces this).  ``config``
+    holds the workload parameters that produced the numbers (plus the
+    ``quick`` smoke-size flag); ``metrics`` holds the numbers.  Values
+    must be JSON-serialisable scalars or nested dicts/lists of them.
+    Keys are sorted so the artifact diffs cleanly across PRs.
     """
 
-    def _record(name: str, metrics: dict) -> Path:
+    def _record(name: str, config: dict, metrics: dict) -> Path:
         path = results_dir / f"BENCH_{name}.json"
-        payload = dict(metrics, quick=BENCH_QUICK)
+        payload = {
+            "name": name,
+            "config": dict(config, quick=BENCH_QUICK),
+            "metrics": metrics,
+        }
         path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
         return path
 

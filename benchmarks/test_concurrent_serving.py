@@ -34,6 +34,9 @@ def test_priority_lanes_cut_interactive_tail(benchmark, record_artifact, record_
         {
             "num_interactive": NUM_INTERACTIVE,
             "num_batch": NUM_BATCH,
+            "max_concurrency": MAX_CONCURRENCY,
+        },
+        {
             "policies": {
                 point.policy: {
                     "throughput_rps": point.throughput_rps,

@@ -27,8 +27,8 @@ def test_edf_beats_fifo_on_deadline_hit_rate(benchmark, record_artifact, record_
     record_artifact("deadline_serving", result.render())
     record_metrics(
         "deadline_serving",
+        {"num_requests": NUM_REQUESTS, "num_candidates": NUM_CANDIDATES},
         {
-            "num_requests": NUM_REQUESTS,
             "probe_latency_s": result.probe_latency,
             "modes": {
                 point.mode: {

@@ -27,8 +27,8 @@ def test_fleet_replica_scaling(benchmark, record_artifact, record_metrics):
     record_artifact("fleet_scaling", result.render())
     record_metrics(
         "fleet_scaling",
+        {"num_requests": 24, "replica_counts": list(REPLICA_COUNTS), "max_batch": 4},
         {
-            "num_requests": 24,
             "replicas": {
                 str(point.num_replicas): {
                     "throughput_rps": point.throughput_rps,

@@ -33,9 +33,8 @@ def test_shared_plane_amortises_weight_streaming(benchmark, record_artifact, rec
     fused = result.find("fusion")
     record_metrics(
         "shared_weights",
+        {"num_requests": NUM_REQUESTS, "num_candidates": NUM_CANDIDATES},
         {
-            "num_requests": NUM_REQUESTS,
-            "num_candidates": NUM_CANDIDATES,
             "solo_weight_bytes": result.solo_weight_bytes,
             "modes": {
                 point.mode: {

@@ -126,10 +126,45 @@ __all__ += [
     "RoutingPolicy",
 ]
 
+# The resilience plane (DESIGN.md §9): deterministic fault injection,
+# health/failover policy, and the fleet autoscaler controller.
+from .resilience import (  # noqa: E402  (appended export)
+    FAULT_BANDWIDTH_DEGRADATION,
+    FAULT_KINDS,
+    FAULT_REPLICA_CRASH,
+    FAULT_REPLICA_STALL,
+    FAULT_SSD_READ_ERROR,
+    AutoscalerConfig,
+    DeviceFault,
+    FaultEvent,
+    FaultInjector,
+    FaultPlan,
+    ReplicaHealth,
+    ResilienceConfig,
+    ScalingEvent,
+)
+
+__all__ += [
+    "AutoscalerConfig",
+    "DeviceFault",
+    "FAULT_BANDWIDTH_DEGRADATION",
+    "FAULT_KINDS",
+    "FAULT_REPLICA_CRASH",
+    "FAULT_REPLICA_STALL",
+    "FAULT_SSD_READ_ERROR",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultPlan",
+    "ReplicaHealth",
+    "ResilienceConfig",
+    "ScalingEvent",
+]
+
 # The unified request-centric serving API (DESIGN.md §8) imports the
 # tiers above, so it is appended last.
 from .api import (  # noqa: E402  (appended export)
     REQUEST_CANCELLED,
+    REQUEST_FAILED,
     REQUEST_OK,
     REQUEST_SHED,
     REQUEST_STATUSES,
@@ -149,6 +184,7 @@ __all__ += [
     "EngineServer",
     "FleetServer",
     "REQUEST_CANCELLED",
+    "REQUEST_FAILED",
     "REQUEST_OK",
     "REQUEST_SHED",
     "REQUEST_STATUSES",

@@ -42,6 +42,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Mapping, Protocol, Sequence, runtime_checkable
 
+from ..device.faults import DeviceFault
 from ..model.transformer import CandidateBatch
 from .engine import EngineBase, RerankResult
 from .fleet import FleetService
@@ -56,9 +57,12 @@ REQUEST_SHED = "shed"
 #: The caller cancelled the request (before service, or mid-pass at a
 #: layer boundary).
 REQUEST_CANCELLED = "cancelled"
+#: An injected device fault killed the request (DESIGN.md §9) and —
+#: on tiers with failover — its retries were exhausted.
+REQUEST_FAILED = "failed"
 
 #: Every status a :class:`SelectionResponse` may carry.
-REQUEST_STATUSES = (REQUEST_OK, REQUEST_SHED, REQUEST_CANCELLED)
+REQUEST_STATUSES = (REQUEST_OK, REQUEST_SHED, REQUEST_CANCELLED, REQUEST_FAILED)
 
 
 @dataclass(frozen=True)
@@ -90,6 +94,11 @@ class SelectionRequest:
         Idle-check sampling override threaded to the service layer
         (``True`` forces logging, ``False`` suppresses it, ``None``
         applies the deterministic stride).
+    hedge_after_ms:
+        Fleet tier, serial replicas: if the request has not completed
+        this many milliseconds after arrival, duplicate it onto a
+        second healthy replica — first result wins, the loser is
+        cancelled at its next layer boundary (DESIGN.md §9).
     metadata:
         Free-form caller annotations, echoed untouched.
     """
@@ -101,6 +110,7 @@ class SelectionRequest:
     arrival: float | None = None
     deadline: float | None = None
     sample: bool | None = None
+    hedge_after_ms: float | None = None
     metadata: Mapping[str, object] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
@@ -112,6 +122,8 @@ class SelectionRequest:
             raise ValueError("arrivals are offsets from now; must be >= 0")
         if self.deadline is not None and self.deadline <= 0:
             raise ValueError("deadline must be positive (seconds after arrival)")
+        if self.hedge_after_ms is not None and self.hedge_after_ms <= 0:
+            raise ValueError("hedge_after_ms must be positive")
 
     @property
     def arrival_offset(self) -> float:
@@ -143,6 +155,10 @@ class SelectionResponse:
     policy: str | None = None  # scheduling / routing policy in effect
     fused_group: int | None = None  # gang id in the fused schedule trace
     threshold: float | None = None  # dispersion threshold in effect
+    # ---- resilience provenance (DESIGN.md §9) -------------------------
+    attempts: int = 1  # dispatch attempts the request consumed
+    failed_over_from: tuple[int, ...] = ()  # replicas that failed it first
+    hedged: bool = False  # a hedge duplicate raced this request
 
     @property
     def ok(self) -> bool:
@@ -353,7 +369,17 @@ class EngineServer(ServerBase):
                 response.finish = clock.now
                 continue
             response.start = clock.now
-            result = self.engine.start(request.batch, request.k).run(cancel_at=cancel_at)
+            try:
+                result = self.engine.start(request.batch, request.k).run(
+                    cancel_at=cancel_at
+                )
+            except DeviceFault:
+                # The engine tier has nowhere to fail over to: an
+                # injected fault (DESIGN.md §9) fails the request.
+                response.status = REQUEST_FAILED
+                response.finish = clock.now
+                response.service_seconds = response.finish - response.start
+                continue
             response.finish = clock.now
             response.service_seconds = response.finish - response.start
             if result is None:
@@ -474,6 +500,7 @@ class FleetServer(ServerBase):
                 cancel_at=origin + cancel if cancel is not None else None,
                 client_id=request.request_id,
                 sample=request.sample,
+                hedge_after_ms=request.hedge_after_ms,
             )
             by_fleet_id[fleet_id] = request
         drop_mark = len(fleet.dropped_requests)
@@ -504,6 +531,9 @@ class FleetServer(ServerBase):
                     replica=outcome.replica,
                     policy=fleet.fleet_config.routing,
                     threshold=threshold,
+                    attempts=outcome.attempts,
+                    failed_over_from=outcome.failed_over_from,
+                    hedged=outcome.hedged,
                 )
             )
         responses.extend(
@@ -523,7 +553,10 @@ def _drop_response(
     request: SelectionRequest, drop: DroppedRequest, tier: str, policy: str | None
 ) -> SelectionResponse:
     """Render one scheduler/fleet drop record as a SelectionResponse."""
-    status = REQUEST_SHED if drop.reason == "shed" else REQUEST_CANCELLED
+    status = {
+        "shed": REQUEST_SHED,
+        "cancelled": REQUEST_CANCELLED,
+    }.get(drop.reason, REQUEST_FAILED)
     return SelectionResponse(
         request_id=request.request_id,  # type: ignore[arg-type]
         status=status,
@@ -533,6 +566,8 @@ def _drop_response(
         finish=drop.at,
         deadline=drop.deadline,
         policy=policy,
+        attempts=drop.attempts,
+        failed_over_from=drop.failed_over_from,
     )
 
 
@@ -550,6 +585,7 @@ def serve_all(
 
 __all__ = [
     "REQUEST_CANCELLED",
+    "REQUEST_FAILED",
     "REQUEST_OK",
     "REQUEST_SHED",
     "REQUEST_STATUSES",

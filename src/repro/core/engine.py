@@ -28,6 +28,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..device.executor import DeviceExecutor
+from ..device.faults import FAULT_REPLICA_CRASH, DeviceFault
 from ..device.memory import (
     CATEGORY_EMBEDDING,
     CATEGORY_HIDDEN,
@@ -157,9 +158,27 @@ class RerankTask:
         Returns ``True`` once the task has completed (the final step
         runs the finalisation tail).  Stepping a completed task is an
         error — schedulers must consult :attr:`done`.
+
+        Injected device faults (DESIGN.md §9) surface here, at the
+        step boundary: a due *stall* freezes the clock for its window
+        before the layer runs, and a due *crash* closes the task —
+        releasing weight-plane refcounts exactly like a cancel — and
+        raises a typed :class:`~repro.device.faults.DeviceFault`.
         """
         if self.done:
             raise RuntimeError("step() on a completed RerankTask")
+        faults = self.engine.device.faults
+        if faults is not None:
+            clock = self.engine.device.clock
+            stall = faults.pop_stall(clock.now)
+            if stall is not None:
+                clock.advance(stall.duration)
+            crash = faults.pop_crash(clock.now)
+            if crash is not None:
+                self.close()
+                raise DeviceFault(
+                    FAULT_REPLICA_CRASH, at=clock.now, detail=f"req{self.request_id}"
+                )
         try:
             next(self._gen)
         except StopIteration as stop:
@@ -190,7 +209,15 @@ class RerankTask:
             if cancel_at is not None and clock.now >= cancel_at:
                 self.close()
                 return None
-            self.step()
+            try:
+                self.step()
+            except DeviceFault:
+                # The pass died on an injected fault (DESIGN.md §9):
+                # tear down like a cancel — close() is idempotent, so
+                # a crash that already closed the task is a no-op —
+                # and let the typed fault propagate to the caller.
+                self.close()
+                raise
         return self.result
 
     def close(self) -> None:

@@ -23,6 +23,14 @@ simulated clock:
   §4.1 self-calibration step, then propagates the *median* of the
   replica thresholds fleet-wide, so one replica's skewed sample stream
   cannot drag its operating point away from the fleet's.
+* **Resilience** (DESIGN.md §9) — per-replica health probes (EWMA step
+  latency + consecutive failures) exclude faulty replicas from routing
+  for a cooldown; requests whose dispatch died on an injected
+  :class:`~repro.device.faults.DeviceFault` fail over to healthy
+  replicas (bounded retries, provenance on the outcome); optional
+  straggler hedging races a duplicate on a second replica; and an
+  optional queue-depth autoscaler grows/shrinks the live replica set
+  between dispatches.
 
 Time model: every replica device keeps its own
 :class:`~repro.device.clock.VirtualClock` (replicas genuinely run in
@@ -36,16 +44,18 @@ coherent simulated axis.
 from __future__ import annotations
 
 import warnings
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Sequence
 
 import numpy as np
 
 from ..device.clock import VirtualClock
+from ..device.faults import FAULT_BANDWIDTH_DEGRADATION, DeviceFault, FaultPlan
 from ..device.platforms import DeviceProfile
 from ..model.transformer import CandidateBatch, CrossEncoderModel
 from .config import PrismConfig
 from .engine import RerankResult
+from .resilience import AutoscalerConfig, ReplicaHealth, ResilienceConfig, ScalingEvent
 from .scheduler import LANE_BATCH, SCHEDULING_POLICIES, DroppedRequest
 from .service import MaintenanceReport, SampleStride, SemanticSelectionService
 
@@ -140,6 +150,14 @@ class ReplicaHandle:
     requests_served: int = 0
     batches_served: int = 0
     ewma_latency: float = 0.0
+    #: Coordinator health view (DESIGN.md §9): EWMA step latency,
+    #: consecutive failures, unhealthy-cooldown window.
+    health: ReplicaHealth = field(default_factory=ReplicaHealth)
+    #: Retired by the autoscaler: excluded from routing forever.
+    retired: bool = False
+    #: Fleet-time instant the autoscaler added this replica (0.0 for
+    #: replicas present since construction).
+    spawned_at: float = 0.0
 
     @property
     def local_now(self) -> float:
@@ -255,6 +273,16 @@ class FleetRequest:
     cancel_at: float | None = None
     client_id: str | int | None = None
     sample: bool | None = None
+    #: Duplicate this request onto a second replica if it has not
+    #: completed this many milliseconds after arrival (DESIGN.md §9).
+    hedge_after_ms: float | None = None
+    #: Dispatch attempts so far, 1-based; failover re-dispatches bump it.
+    attempts: int = 1
+    #: Replicas whose dispatch of this request failed, in failure order.
+    failed_over_from: tuple[int, ...] = ()
+    #: Earliest fleet instant this request may start service — a
+    #: failover retry cannot begin before the fault that spawned it.
+    not_before: float = 0.0
 
 
 @dataclass
@@ -284,6 +312,13 @@ class RequestOutcome:
     #: the dispatch overhead, and — under intra-replica multiplexing —
     #: other requests' interleaved steps).
     service_seconds: float | None = None
+    #: Failover provenance (DESIGN.md §9): how many dispatch attempts
+    #: this request consumed, and which replicas failed it first.
+    attempts: int = 1
+    failed_over_from: tuple[int, ...] = ()
+    #: A hedge duplicate was launched for this request; ``replica`` is
+    #: the replica whose copy won.
+    hedged: bool = False
 
     @property
     def queue_wait(self) -> float:
@@ -326,6 +361,18 @@ class FleetStats:
     utilisation: dict[int, float] = field(default_factory=dict)
     makespan: float = 0.0
     maintenance_rounds: int = 0
+    # ---- resilience plane (DESIGN.md §9) ------------------------------
+    #: Failover re-dispatches performed (one per requeued request).
+    failovers: int = 0
+    #: Requests dropped with reason ``"failed"`` (retries exhausted).
+    failed_requests: int = 0
+    #: Hedge duplicates launched / hedge duplicates that won.
+    hedges_launched: int = 0
+    hedges_won: int = 0
+    #: Autoscaler actions in fleet-time order.
+    scaling_events: list[ScalingEvent] = field(default_factory=list)
+    #: (fleet time, live replica count) after every capacity change.
+    capacity_samples: list[tuple[float, int]] = field(default_factory=list)
 
     def _latencies(self) -> np.ndarray:
         return np.array([o.latency for o in self.outcomes])
@@ -364,6 +411,16 @@ class FleetStats:
             return float("nan")
         return len(self.outcomes) / self.makespan
 
+    @property
+    def failed_over_requests(self) -> int:
+        """Completed requests that needed more than one dispatch attempt."""
+        return sum(1 for o in self.outcomes if o.attempts > 1)
+
+    @property
+    def peak_capacity(self) -> int:
+        """Most live replicas at any point (capacity timeline maximum)."""
+        return max((count for _, count in self.capacity_samples), default=0)
+
 
 class FleetService:
     """Batched, sharded selection serving over N device replicas.
@@ -379,6 +436,19 @@ class FleetService:
         Admission/batching/routing knobs (:class:`FleetConfig`).
     config:
         Per-replica :class:`PrismConfig` (defaults to cost-model-only).
+    fault_plan:
+        Deterministic fault schedule (DESIGN.md §9) compiled onto each
+        replica's device; instants are on the fleet clock, and
+        ``FaultEvent.replica`` targets one replica (``None`` = all).
+        ``None`` (and an empty plan) injects nothing — serving is
+        byte-identical to a fleet constructed without the parameter.
+    resilience:
+        Health-probe/failover knobs (:class:`ResilienceConfig`); the
+        defaults enable failover whenever a fault actually surfaces
+        and change nothing under a fault-free plan.
+    autoscaler:
+        Queue-depth scaling controller (:class:`AutoscalerConfig`);
+        ``None`` keeps the fleet at its constructed size.
     **service_kwargs:
         Forwarded to every replica's
         :class:`~repro.core.service.SemanticSelectionService`
@@ -396,38 +466,87 @@ class FleetService:
         profiles: Sequence[DeviceProfile],
         fleet_config: FleetConfig | None = None,
         config: PrismConfig | None = None,
+        fault_plan: FaultPlan | None = None,
+        resilience: ResilienceConfig | None = None,
+        autoscaler: AutoscalerConfig | None = None,
         **service_kwargs,
     ) -> None:
         if not profiles:
             raise ValueError("need at least one replica profile")
         self.fleet_config = fleet_config or FleetConfig()
+        self.fault_plan = fault_plan
+        self.resilience = resilience or ResilienceConfig()
+        self.autoscaler = autoscaler
         self.clock = VirtualClock()
         self._routing = ROUTING_POLICIES[self.fleet_config.routing]()
+        self._model = model
+        self._config = config
+        self._service_kwargs = dict(service_kwargs)
+        #: Profile the autoscaler clones for replicas added at runtime.
+        self._scale_profile = profiles[0]
         self.replicas: list[ReplicaHandle] = []
-        for index, profile in enumerate(profiles):
-            service = SemanticSelectionService(
-                model,
-                profile,
-                config=config,
-                max_concurrency=self.fleet_config.intra_concurrency,
-                shared_weights=self.fleet_config.shared_weight_plane,
-                **service_kwargs,
-            )
-            self.replicas.append(
-                ReplicaHandle(
-                    index=index,
-                    service=service,
-                    origin=service.device.clock.now,
-                )
-            )
+        for profile in profiles:
+            self._spawn_replica(profile)
         self._stride = SampleStride(self.replicas[0].service.sample_rate)
         self._next_request_id = 0
         self._pending: list[FleetRequest] = []
+        self._pending_client_ids: set[str | int] = set()
         self._dropped: list[DroppedRequest] = []
         self._outcomes: list[RequestOutcome] = []
         self._queue_depth_samples: list[tuple[float, int]] = []
         self._first_arrival: float | None = None
         self._maintenance_rounds = 0
+        self._failovers = 0
+        self._hedges_launched = 0
+        self._hedges_won = 0
+        self._scaling_events: list[ScalingEvent] = []
+        self._capacity_samples: list[tuple[float, int]] = [(0.0, len(self.replicas))]
+        self._last_scale_action = float("-inf")
+
+    def _spawn_replica(
+        self, profile: DeviceProfile, spawned_at: float = 0.0
+    ) -> ReplicaHandle:
+        """Construct one serving replica and register it with the fleet.
+
+        Used both at construction and by the autoscaler; the replica's
+        share of the fault plan is compiled onto its device with the
+        fleet→local clock origin, so one fleet-time plan lands
+        coherently however late the replica joins.
+        """
+        index = len(self.replicas)
+        service = SemanticSelectionService(
+            self._model,
+            profile,
+            config=self._config,
+            max_concurrency=self.fleet_config.intra_concurrency,
+            shared_weights=self.fleet_config.shared_weight_plane,
+            **self._service_kwargs,
+        )
+        replica = ReplicaHandle(
+            index=index,
+            service=service,
+            origin=service.device.clock.now,
+            spawned_at=spawned_at,
+        )
+        if self.fault_plan is not None and not self.fault_plan.empty:
+            # A replica spawned at runtime never saw the fleet's past:
+            # point events whose instant predates its spawn belong to
+            # the replicas that were alive then and must not re-fire
+            # on the replacement's first step.  Degradation windows
+            # still overlapping the future keep their remainder.
+            events = tuple(
+                event
+                for event in self.fault_plan.for_replica(index)
+                if (
+                    event.at + event.duration > spawned_at
+                    if event.kind == FAULT_BANDWIDTH_DEGRADATION
+                    else event.at >= spawned_at
+                )
+            )
+            if events:
+                service.device.install_faults(events, origin=replica.origin)
+        self.replicas.append(replica)
+        return replica
 
     @classmethod
     def homogeneous(
@@ -448,6 +567,15 @@ class FleetService:
     @property
     def num_replicas(self) -> int:
         return len(self.replicas)
+
+    @property
+    def active_replicas(self) -> list[ReplicaHandle]:
+        """Replicas not retired by the autoscaler (the live capacity)."""
+        return [replica for replica in self.replicas if not replica.retired]
+
+    def _routable(self, now: float) -> list[ReplicaHandle]:
+        """Live replicas currently eligible for routing (healthy now)."""
+        return [r for r in self.active_replicas if r.health.healthy(now)]
 
     @property
     def pending_requests(self) -> int:
@@ -490,14 +618,19 @@ class FleetService:
         cancel_at: float | None = None,
         client_id: str | int | None = None,
         sample: bool | None = None,
+        hedge_after_ms: float | None = None,
     ) -> int:
         """Admit one request with full intent; returns its fleet id.
 
         ``at``, ``deadline`` and ``cancel_at`` are absolute instants on
         the fleet clock (``at=None`` means *now*); arrivals may be
         submitted out of order and are replayed in arrival order by
-        :meth:`drain`.  ``client_id`` is echoed on the outcome, and
-        ``sample`` overrides the fleet-wide sampling stride.
+        :meth:`drain`.  ``client_id`` is echoed on the outcome — a
+        duplicate among the in-flight (submitted, not yet drained)
+        requests raises ``ValueError`` instead of silently colliding in
+        outcome correlation.  ``sample`` overrides the fleet-wide
+        sampling stride, and ``hedge_after_ms`` arms a straggler hedge
+        (DESIGN.md §9).
         """
         arrival = self.clock.now if at is None else float(at)
         if arrival < self.clock.now:
@@ -510,6 +643,15 @@ class FleetService:
             raise ValueError("priority must be non-negative")
         if deadline is not None and deadline <= arrival:
             raise ValueError("deadline must lie after the request's arrival")
+        if hedge_after_ms is not None and hedge_after_ms <= 0:
+            raise ValueError("hedge_after_ms must be positive")
+        if client_id is not None:
+            if client_id in self._pending_client_ids:
+                raise ValueError(
+                    f"duplicate in-flight request id {client_id!r}: already "
+                    "submitted and not yet drained"
+                )
+            self._pending_client_ids.add(client_id)
         request = FleetRequest(
             request_id=self._next_request_id,
             batch=batch,
@@ -520,6 +662,7 @@ class FleetService:
             cancel_at=cancel_at,
             client_id=client_id,
             sample=sample,
+            hedge_after_ms=hedge_after_ms,
         )
         self._next_request_id += 1
         self._pending.append(request)
@@ -542,9 +685,17 @@ class FleetService:
         waited ``max_wait_ms``.  Once the arrival stream is exhausted a
         partial batch flushes immediately — with no future arrival the
         wait could only add latency, never depth.
+
+        Resilience semantics (DESIGN.md §9): before each flush the
+        autoscaler may adjust capacity, routing only considers healthy
+        live replicas (waiting out the shortest cooldown if none is),
+        and requests whose dispatch died on a
+        :class:`~repro.device.faults.DeviceFault` re-enter the queue
+        for failover until their retries are exhausted.
         """
         pending = sorted(self._pending, key=lambda r: (r.arrival, r.request_id))
         self._pending.clear()
+        self._pending_client_ids.clear()
         max_batch = self.fleet_config.max_batch
         max_wait = self.fleet_config.max_wait_ms * 1e-3
         queue: list[FleetRequest] = []
@@ -556,8 +707,22 @@ class FleetService:
                 queue.append(pending[i])
                 i += 1
                 self._queue_depth_samples.append((now, len(queue)))
+            self._autoscale(now, len(queue))
             if not queue:
                 now = max(now, pending[i].arrival)
+                # Traffic gap: give the controller one look at the
+                # idle fleet before the next arrival is admitted, so
+                # over-provisioned capacity retires between waves.
+                self._autoscale(now, 0)
+                continue
+            pool = self._routable(now)
+            if not pool:
+                # Every live replica is cooling down: the queue holds
+                # until the shortest cooldown expires.
+                now = max(
+                    now,
+                    min(r.health.unhealthy_until for r in self.active_replicas),
+                )
                 continue
             if len(queue) < max_batch:
                 deadline = queue[0].arrival + max_wait
@@ -569,16 +734,20 @@ class FleetService:
                 if more and now < deadline:
                     now = deadline
             flush, queue = queue[:max_batch], queue[max_batch:]
-            completed.extend(self._dispatch(flush, now))
+            outcomes, retries = self._dispatch(flush, now, pool)
+            completed.extend(outcomes)
+            queue.extend(retries)
             self._queue_depth_samples.append((now, len(queue)))
         completed.sort(key=lambda o: (o.finish, o.request_id))
         self._outcomes.extend(completed)
-        horizon = max([now] + [r.busy_until for r in self.replicas])
+        horizon = max([now] + [r.busy_until for r in self.active_replicas])
         self.clock.advance_to(horizon)
         return completed
 
-    def _dispatch(self, requests: list[FleetRequest], now: float) -> list[RequestOutcome]:
-        """Hand one batch to a replica; returns its outcomes.
+    def _dispatch(
+        self, requests: list[FleetRequest], now: float, pool: list[ReplicaHandle]
+    ) -> tuple[list[RequestOutcome], list[FleetRequest]]:
+        """Hand one batch to a replica; returns (outcomes, failover retries).
 
         With ``intra_concurrency == 1`` the batch executes serially,
         request by request.  Above 1, the whole batch enters the
@@ -586,66 +755,100 @@ class FleetService:
         its requests multiplex at layer boundaries (DESIGN.md §6);
         selections stay byte-identical either way, only completion
         times move.
+
+        A :class:`~repro.device.faults.DeviceFault` during the batch
+        (DESIGN.md §9) marks the replica's health and turns the failed
+        request — plus, serially, the rest of the batch behind it —
+        into retries the drain loop requeues onto healthy replicas.
         """
         cfg = self.fleet_config
-        replica = self._routing.choose(self.replicas, now, len(requests))
-        start = max(now, replica.busy_until)
+        replica = self._routing.choose(pool, now, len(requests))
+        # A batch carrying failover retries cannot start before the
+        # fault that spawned them — time does not rewind because the
+        # chosen replica happens to be idle.
+        start = max(now, replica.busy_until, *(r.not_before for r in requests))
         replica.sync_to(start)
         clock = replica.service.device.clock
         clock.advance(cfg.dispatch_overhead_ms * 1e-3)
-        outcomes = []
+        outcomes: list[RequestOutcome] = []
+        retries: list[FleetRequest] = []
         if cfg.intra_concurrency > 1:
-            outcomes = self._dispatch_concurrent(requests, replica, start)
+            outcomes, retries = self._dispatch_concurrent(requests, replica, start)
         else:
-            for request in requests:
+            for index, request in enumerate(requests):
                 local_now = replica.local_now
                 if self._drop_due(request, local_now):
                     continue
-                result = replica.service._serve_solo(
-                    request.batch,
-                    request.k,
-                    sample=self._request_sample(request),
-                    cancel_at=(
-                        request.cancel_at + replica.origin
-                        if request.cancel_at is not None
-                        else None
-                    ),
-                )
+                try:
+                    result = replica.service._serve_solo(
+                        request.batch,
+                        request.k,
+                        sample=self._request_sample(request),
+                        cancel_at=(
+                            request.cancel_at + replica.origin
+                            if request.cancel_at is not None
+                            else None
+                        ),
+                    )
+                except DeviceFault as fault:
+                    at = replica.local_now
+                    self._record_failure(replica, at)
+                    # The faulted request and everything still queued
+                    # behind it on this replica fail over together.
+                    retries.extend(
+                        self._requeue(requests[index:], replica, at, fault)
+                    )
+                    break
                 if result is None:  # cancelled mid-pass on the replica
                     self._drop(request, "cancelled", replica.local_now)
                     continue
                 finish = replica.local_now
-                outcomes.append(
-                    RequestOutcome(
-                        request_id=request.request_id,
-                        replica=replica.index,
-                        arrival=request.arrival,
-                        start=start,
-                        finish=finish,
-                        result=result,
-                        client_id=request.client_id,
-                        lane=request.priority,
-                        deadline=request.deadline,
-                        service_start=local_now,
-                        service_seconds=finish - local_now,
-                    )
+                outcome = RequestOutcome(
+                    request_id=request.request_id,
+                    replica=replica.index,
+                    arrival=request.arrival,
+                    start=start,
+                    finish=finish,
+                    result=result,
+                    client_id=request.client_id,
+                    lane=request.priority,
+                    deadline=request.deadline,
+                    service_start=local_now,
+                    service_seconds=finish - local_now,
+                    attempts=request.attempts,
+                    failed_over_from=request.failed_over_from,
                 )
+                outcomes.append(outcome)
                 self._update_ewma(replica, len(outcomes), result.latency_seconds)
+                # The health probe uses the replica-observed service
+                # span (finish − service start): it includes injected
+                # stalls, which the engine's own latency accounting —
+                # started inside the first step — does not see.
+                self._record_success(
+                    replica, finish - local_now, result.layers_executed + 1
+                )
+                self._maybe_hedge(request, outcome, replica, pool)
         replica.busy_until = replica.local_now
         replica.busy_seconds += replica.busy_until - start
-        replica.requests_served += len(outcomes)
+        # Hedge-won outcomes already counted for the winning backup.
+        replica.requests_served += sum(
+            1 for outcome in outcomes if outcome.replica == replica.index
+        )
         replica.batches_served += 1
-        return outcomes
+        self._check_latency_health(replica, replica.busy_until)
+        return outcomes, retries
 
     def _dispatch_concurrent(
         self, requests: list[FleetRequest], replica: ReplicaHandle, start: float
-    ) -> list[RequestOutcome]:
+    ) -> tuple[list[RequestOutcome], list[FleetRequest]]:
         """Serve one dispatched batch through the replica's scheduler.
 
         Fleet-clock intent (deadlines, cancellations) is rebased onto
         the replica's wave origin as relative offsets; requests whose
         deadline already passed are shed here, before the wave, so the
-        scheduler never sees an expired deadline.
+        scheduler never sees an expired deadline.  Requests the
+        scheduler failed on a device fault (DESIGN.md §9) come back as
+        failover retries rather than drops.
         """
         from .api import SelectionRequest
 
@@ -677,7 +880,7 @@ class FleetService:
                 )
             )
         if not wave_inputs:
-            return []
+            return [], []
         wave = replica.service.serve_requests(
             [selection for _, selection, _ in wave_inputs],
             policy=cfg.intra_policy,
@@ -704,16 +907,41 @@ class FleetService:
                     deadline=request.deadline,
                     service_start=scheduled_outcome.start - replica.origin,
                     service_seconds=scheduled_outcome.service_seconds,
+                    attempts=request.attempts,
+                    failed_over_from=request.failed_over_from,
                 )
             )
             # Under multiplexing, result.latency_seconds spans other
             # requests' interleaved steps; the scheduler's service
             # time is the true per-request cost EWMA must learn.
             self._update_ewma(replica, len(outcomes), scheduled_outcome.service_seconds)
+            self._record_success(
+                replica,
+                scheduled_outcome.service_seconds,
+                scheduled_outcome.result.layers_executed + 1,
+            )
+        retries: list[FleetRequest] = []
+        failed: list[tuple[FleetRequest, float, str]] = []
         for drop in wave.dropped:
             request = by_scheduler_id[drop.request_id]
-            self._drop(request, drop.reason, drop.at - replica.origin)
-        return outcomes
+            at = drop.at - replica.origin
+            if drop.reason == "failed":
+                failed.append((request, at, drop.detail))
+            else:
+                self._drop(request, drop.reason, at)
+        if failed:
+            # One health strike per faulted dispatch, not per victim —
+            # a crash that kills an 8-deep wave is still one fault.
+            first_at = min(at for _, at, _ in failed)
+            self._record_failure(replica, first_at)
+            fault = DeviceFault(failed[0][2] or "device_fault", at=first_at)
+            retries = self._requeue(
+                [request for request, _, _ in failed],
+                replica,
+                max(at for _, at, _ in failed),
+                fault,
+            )
+        return outcomes, retries
 
     def _request_sample(self, request: FleetRequest) -> bool:
         return request.sample if request.sample is not None else self._admit_sample()
@@ -730,7 +958,14 @@ class FleetService:
             return True
         return False
 
-    def _drop(self, request: FleetRequest, reason: str, at: float) -> None:
+    def _drop(
+        self,
+        request: FleetRequest,
+        reason: str,
+        at: float,
+        detail: str = "",
+        failed_on: int | None = None,
+    ) -> None:
         self._dropped.append(
             DroppedRequest(
                 request_id=request.request_id,
@@ -740,8 +975,221 @@ class FleetService:
                 reason=reason,
                 deadline=request.deadline,
                 client_id=request.client_id,
+                detail=detail,
+                attempts=request.attempts,
+                failed_over_from=(
+                    request.failed_over_from + (failed_on,)
+                    if failed_on is not None
+                    else request.failed_over_from
+                ),
             )
         )
+
+    # ------------------------------------------------------------------
+    # resilience plane (DESIGN.md §9)
+    # ------------------------------------------------------------------
+    def _requeue(
+        self,
+        requests: list[FleetRequest],
+        replica: ReplicaHandle,
+        at: float,
+        fault: DeviceFault,
+    ) -> list[FleetRequest]:
+        """Turn a faulted dispatch's victims into failover retries.
+
+        Each victim re-enters the admission queue with ``attempts``
+        bumped and the failing replica recorded in
+        ``failed_over_from``; a victim that already consumed
+        ``max_retries`` re-dispatches is dropped with reason
+        ``"failed"`` instead — bounded failover, never a loop.
+        """
+        retries = []
+        for request in requests:
+            if request.attempts > self.resilience.max_retries:
+                self._drop(
+                    request, "failed", at, detail=fault.kind, failed_on=replica.index
+                )
+                continue
+            self._failovers += 1
+            retries.append(
+                replace(
+                    request,
+                    attempts=request.attempts + 1,
+                    failed_over_from=request.failed_over_from + (replica.index,),
+                    not_before=at,
+                )
+            )
+        return retries
+
+    def _record_failure(self, replica: ReplicaHandle, at: float) -> None:
+        """One health strike against a replica at fleet instant ``at``."""
+        replica.health.record_failure(at, self.resilience)
+
+    def _record_success(
+        self, replica: ReplicaHandle, service_seconds: float, steps: int
+    ) -> None:
+        """Fold one completed request into the replica's health EWMA."""
+        replica.health.record_success(
+            service_seconds / max(1, steps), self.resilience.health_alpha
+        )
+
+    def _check_latency_health(self, replica: ReplicaHandle, now: float) -> None:
+        """Slow-replica probe: EWMA step latency vs the fleet median.
+
+        Catches degradation that never raises a fault — a stalled or
+        bandwidth-starved replica keeps completing requests, just ever
+        more slowly; once its EWMA exceeds ``factor ×`` the median of
+        its peers it is cooled down like a failed one.
+        """
+        factor = self.resilience.latency_degradation_factor
+        if factor is None or replica.health.samples == 0:
+            return
+        peers = [
+            r.health.ewma_step_latency
+            for r in self.active_replicas
+            if r is not replica and r.health.samples > 0
+        ]
+        if not peers:
+            return
+        if replica.health.ewma_step_latency > factor * float(np.median(peers)):
+            replica.health.mark_unhealthy(now, self.resilience.cooldown_s)
+
+    def _maybe_hedge(
+        self,
+        request: FleetRequest,
+        outcome: RequestOutcome,
+        primary: ReplicaHandle,
+        pool: list[ReplicaHandle],
+    ) -> None:
+        """Straggler hedging (DESIGN.md §9), serial dispatch path.
+
+        If the primary copy had not completed ``hedge_after_ms`` after
+        the request's arrival, a duplicate is launched on the least
+        loaded *other* healthy replica at exactly that instant, racing
+        the primary with a cancellation scheduled at the primary's
+        finish.  First result wins: a faster duplicate replaces the
+        outcome's payload (provenance flips to the winning replica);
+        a slower one is cancelled mid-pass at its next layer boundary
+        through the ordinary cancel path, releasing its resources.
+
+        Determinism note: the primary's copy always runs to completion
+        on its replica — the simulator commits one replica's timeline
+        at a time — so a lost primary charges its full service time
+        (an upper bound on the real system, which would cancel it at
+        the duplicate's finish).
+        """
+        if request.hedge_after_ms is None or request.attempts > 1:
+            # A failover retry is already running on its second
+            # replica; racing a third would let the duplicate start
+            # before the fault that spawned the retry.
+            return
+        fire_at = request.arrival + request.hedge_after_ms * 1e-3
+        if outcome.finish <= fire_at:
+            return  # the primary beat the hedge trigger
+        backups = [r for r in pool if r is not primary and r.health.healthy(fire_at)]
+        if not backups:
+            return
+        backup = min(
+            backups, key=lambda r: (r.backlog(fire_at), r.requests_served, r.index)
+        )
+        self._hedges_launched += 1
+        start = max(fire_at, backup.busy_until)
+        backup.sync_to(start)
+        backup.service.device.clock.advance(
+            self.fleet_config.dispatch_overhead_ms * 1e-3
+        )
+        service_start = backup.local_now
+        try:
+            result = backup.service._serve_solo(
+                request.batch,
+                request.k,
+                sample=False,  # the primary copy already fed the stride
+                cancel_at=outcome.finish + backup.origin,
+            )
+        except DeviceFault:
+            self._record_failure(backup, backup.local_now)
+            result = None
+        finish = backup.local_now
+        backup.busy_seconds += finish - start
+        backup.busy_until = finish
+        outcome.hedged = True
+        if result is not None and finish < outcome.finish:
+            self._hedges_won += 1
+            backup.requests_served += 1
+            outcome.replica = backup.index
+            outcome.finish = finish
+            outcome.result = result
+            outcome.service_start = service_start
+            outcome.service_seconds = finish - service_start
+
+    def _autoscale(self, now: float, queue_depth: int) -> None:
+        """One controller decision between dispatches (DESIGN.md §9).
+
+        Scale up when the queue holds more than
+        ``scale_up_queue_depth`` requests per routable replica (the
+        new replica pays ``warmup_s`` on the clock before its first
+        dispatch); retire the longest-idle replica when the queue is
+        empty and it has idled past ``scale_down_idle_s``.  Actions
+        are rate-limited by ``action_cooldown_s`` and recorded as
+        :class:`~repro.core.resilience.ScalingEvent`\\ s.
+        """
+        cfg = self.autoscaler
+        if cfg is None:
+            return
+        if now - self._last_scale_action < cfg.action_cooldown_s:
+            return
+        active = self.active_replicas
+        routable_replicas = self._routable(now)
+        routable = len(routable_replicas) or 1
+        # Pressure = admission queue + the replicas' outstanding
+        # backlog expressed in requests (backlog seconds over the
+        # per-request latency estimate).  Eager dispatch moves queued
+        # requests into replica backlog immediately, so the raw queue
+        # alone would hide a drowning fleet from the controller.
+        pressure = float(queue_depth)
+        for replica in routable_replicas:
+            if replica.ewma_latency > 0:
+                pressure += replica.backlog(now) / replica.ewma_latency
+        if (
+            pressure > cfg.scale_up_queue_depth * routable
+            and len(active) < cfg.max_replicas
+        ):
+            replica = self._spawn_replica(self._scale_profile, spawned_at=now)
+            replica.busy_until = now + cfg.warmup_s
+            self._scaling_events.append(
+                ScalingEvent(
+                    at=now,
+                    action="scale_up",
+                    replica=replica.index,
+                    num_active=len(self.active_replicas),
+                    reason="queue_depth",
+                )
+            )
+            self._capacity_samples.append((now, len(self.active_replicas)))
+            self._last_scale_action = now
+            return
+        if queue_depth == 0 and len(active) > cfg.min_replicas:
+            idle = [
+                r for r in active if now - max(r.busy_until, r.spawned_at)
+                >= cfg.scale_down_idle_s
+            ]
+            if idle:
+                victim = max(
+                    idle,
+                    key=lambda r: (now - max(r.busy_until, r.spawned_at), r.index),
+                )
+                victim.retired = True
+                self._scaling_events.append(
+                    ScalingEvent(
+                        at=now,
+                        action="scale_down",
+                        replica=victim.index,
+                        num_active=len(self.active_replicas),
+                        reason="idle",
+                    )
+                )
+                self._capacity_samples.append((now, len(self.active_replicas)))
+                self._last_scale_action = now
 
     def _update_ewma(
         self, replica: ReplicaHandle, dispatched_so_far: int, latency_seconds: float
@@ -776,12 +1224,13 @@ class FleetService:
         replicas whose sample streams were unlucky, and keeps the fleet
         serving one consistent operating point.
         """
-        replica_reports = [r.service.idle_maintenance() for r in self.replicas]
+        replicas = self.active_replicas
+        replica_reports = [r.service.idle_maintenance() for r in replicas]
         if all(report is None for report in replica_reports):
             return None
-        thresholds = [r.service.threshold for r in self.replicas]
+        thresholds = [r.service.threshold for r in replicas]
         consensus = float(np.median(thresholds))
-        for replica in self.replicas:
+        for replica in replicas:
             replica.service.apply_threshold(consensus)
         self._maintenance_rounds += 1
         return FleetMaintenanceReport(
@@ -793,7 +1242,7 @@ class FleetService:
     @property
     def threshold(self) -> float:
         """The fleet's consensus threshold (replicas may drift between rounds)."""
-        return float(np.median([r.service.threshold for r in self.replicas]))
+        return float(np.median([r.service.threshold for r in self.active_replicas]))
 
     # ------------------------------------------------------------------
     # statistics
@@ -813,4 +1262,12 @@ class FleetService:
             utilisation=utilisation,
             makespan=makespan,
             maintenance_rounds=self._maintenance_rounds,
+            failovers=self._failovers,
+            failed_requests=sum(
+                1 for drop in self._dropped if drop.reason == "failed"
+            ),
+            hedges_launched=self._hedges_launched,
+            hedges_won=self._hedges_won,
+            scaling_events=list(self._scaling_events),
+            capacity_samples=list(self._capacity_samples),
         )

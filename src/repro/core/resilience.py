@@ -1,0 +1,211 @@
+"""The resilience plane: health, failover, hedging, autoscaling (DESIGN.md §9).
+
+The serving stack below this module is a fair-weather system — every
+pass succeeds, every replica lives forever, fleet size is fixed at
+construction.  This module adds the machinery that keeps selections
+flowing when the hardware misbehaves:
+
+* **Fault plane** — re-exported from :mod:`repro.device.faults`: a
+  :class:`FaultPlan` of clock-scheduled :class:`FaultEvent`\\ s
+  (SSD read error, degraded bandwidth, replica stall, replica crash)
+  compiles into per-device :class:`FaultInjector`\\ s whose faults
+  surface as typed :class:`DeviceFault`\\ s at layer boundaries,
+  releasing shared weight-plane refcounts exactly like a cancel.
+* **Health** — :class:`ReplicaHealth` tracks an EWMA of per-step
+  service latency plus a consecutive-failure count per replica;
+  :class:`ResilienceConfig` turns those probes into an unhealthy mark
+  with a cooldown, and bounds failover retries.
+* **Autoscaling** — :class:`AutoscalerConfig` drives the fleet's
+  queue-depth/utilisation controller; every action is recorded as a
+  :class:`ScalingEvent` so capacity over time is an observable, not a
+  side effect.
+
+The enforcement lives in :class:`~repro.core.fleet.FleetService`
+(failover, hedging, scaling) and
+:class:`~repro.core.scheduler.DeviceScheduler` (fault containment on
+one device); this module owns the *policy* objects so they can be
+validated, shared and serialised independently of any fleet instance.
+With no plan installed and no autoscaler configured, every code path
+is byte-identical to the fault-free stack (asserted in
+``tests/test_resilience_plane.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..device.faults import (
+    FAULT_BANDWIDTH_DEGRADATION,
+    FAULT_KINDS,
+    FAULT_REPLICA_CRASH,
+    FAULT_REPLICA_STALL,
+    FAULT_SSD_READ_ERROR,
+    DeviceFault,
+    FaultEvent,
+    FaultInjector,
+    FaultPlan,
+)
+
+__all__ = [
+    "FAULT_BANDWIDTH_DEGRADATION",
+    "FAULT_KINDS",
+    "FAULT_REPLICA_CRASH",
+    "FAULT_REPLICA_STALL",
+    "FAULT_SSD_READ_ERROR",
+    "AutoscalerConfig",
+    "DeviceFault",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultPlan",
+    "ReplicaHealth",
+    "ResilienceConfig",
+    "ScalingEvent",
+]
+
+
+@dataclass(frozen=True)
+class ResilienceConfig:
+    """Health-probe and failover knobs of a fleet (DESIGN.md §9).
+
+    Parameters
+    ----------
+    max_retries:
+        Most failover re-dispatches one request may consume after its
+        first attempt; a request exhausting them is dropped with
+        reason ``"failed"`` rather than retried forever.
+    failure_threshold:
+        Consecutive failures that mark a replica unhealthy.
+    cooldown_s:
+        How long (fleet time) an unhealthy replica is excluded from
+        routing before it may serve again — the restart/repair window.
+    health_alpha:
+        Smoothing factor of the per-replica EWMA of *step* latency
+        (service seconds per executed layer step).
+    latency_degradation_factor:
+        Optional slow-replica probe: a replica whose step-latency EWMA
+        exceeds ``factor ×`` the median of its peers is marked
+        unhealthy for ``cooldown_s`` (catches stalls and degraded
+        bandwidth that never raise a fault).  ``None`` disables it.
+    """
+
+    max_retries: int = 2
+    failure_threshold: int = 1
+    cooldown_s: float = 1.0
+    health_alpha: float = 0.25
+    latency_degradation_factor: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if self.failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        if self.cooldown_s < 0:
+            raise ValueError("cooldown_s must be >= 0")
+        if not 0 < self.health_alpha <= 1:
+            raise ValueError("health_alpha must lie in (0, 1]")
+        if (
+            self.latency_degradation_factor is not None
+            and self.latency_degradation_factor <= 1
+        ):
+            raise ValueError("latency_degradation_factor must exceed 1")
+
+
+@dataclass(frozen=True)
+class AutoscalerConfig:
+    """Queue-depth/utilisation scaling controller knobs (DESIGN.md §9).
+
+    Parameters
+    ----------
+    min_replicas / max_replicas:
+        Hard bounds on the live (non-retired) replica count.
+    scale_up_queue_depth:
+        Scale up when the outstanding work — admission queue plus the
+        replicas' backlog expressed in requests (backlog seconds over
+        the per-request latency estimate) — exceeds this many requests
+        *per routable replica*.
+    scale_down_idle_s:
+        Retire a replica that has been idle this long while the queue
+        is empty (never below ``min_replicas``).
+    warmup_s:
+        Clock charge between the scale-up decision and the new
+        replica's first dispatch — provisioning is never free.
+    action_cooldown_s:
+        Minimum fleet time between two scaling actions, so one burst
+        cannot thrash the controller.
+    """
+
+    min_replicas: int = 1
+    max_replicas: int = 8
+    scale_up_queue_depth: int = 4
+    scale_down_idle_s: float = 1.0
+    warmup_s: float = 0.5
+    action_cooldown_s: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.min_replicas < 1:
+            raise ValueError("min_replicas must be >= 1")
+        if self.max_replicas < self.min_replicas:
+            raise ValueError("max_replicas must be >= min_replicas")
+        if self.scale_up_queue_depth < 1:
+            raise ValueError("scale_up_queue_depth must be >= 1")
+        if self.scale_down_idle_s < 0:
+            raise ValueError("scale_down_idle_s must be >= 0")
+        if self.warmup_s < 0:
+            raise ValueError("warmup_s must be >= 0")
+        if self.action_cooldown_s < 0:
+            raise ValueError("action_cooldown_s must be >= 0")
+
+
+@dataclass
+class ReplicaHealth:
+    """The coordinator's health view of one replica (DESIGN.md §9).
+
+    All instants are on the fleet time axis.  ``ewma_step_latency``
+    smooths the per-layer-step service latency of completed requests —
+    a probe that degrades visibly under stalls and bandwidth faults
+    even when no request outright fails.
+    """
+
+    ewma_step_latency: float = 0.0
+    samples: int = 0
+    consecutive_failures: int = 0
+    failures: int = 0
+    unhealthy_marks: int = 0
+    unhealthy_until: float = 0.0
+
+    def healthy(self, now: float) -> bool:
+        return now >= self.unhealthy_until
+
+    def record_success(self, step_latency: float, alpha: float) -> None:
+        """Fold one completed request's per-step latency into the EWMA."""
+        self.consecutive_failures = 0
+        if self.samples == 0:
+            self.ewma_step_latency = step_latency
+        else:
+            self.ewma_step_latency += alpha * (step_latency - self.ewma_step_latency)
+        self.samples += 1
+
+    def record_failure(self, now: float, config: ResilienceConfig) -> bool:
+        """Count one failure; returns True if the replica just went unhealthy."""
+        self.failures += 1
+        self.consecutive_failures += 1
+        if self.consecutive_failures >= config.failure_threshold:
+            self.mark_unhealthy(now, config.cooldown_s)
+            return True
+        return False
+
+    def mark_unhealthy(self, now: float, cooldown_s: float) -> None:
+        self.unhealthy_marks += 1
+        self.unhealthy_until = max(self.unhealthy_until, now + cooldown_s)
+        self.consecutive_failures = 0
+
+
+@dataclass(frozen=True)
+class ScalingEvent:
+    """One autoscaler action on the fleet time axis."""
+
+    at: float
+    action: str  # "scale_up" | "scale_down"
+    replica: int  # index of the replica added or retired
+    num_active: int  # live replica count *after* the action
+    reason: str  # "queue_depth" | "idle"

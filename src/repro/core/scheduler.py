@@ -39,6 +39,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..device.faults import FAULT_REPLICA_CRASH, DeviceFault
 from ..model.transformer import CandidateBatch
 from .engine import EngineBase, RerankResult, RerankTask
 
@@ -114,6 +115,9 @@ class ScheduledRequest:
     arrival: float
     priority: int = LANE_BATCH
     sample: bool | None = None  # sampling override threaded to the service layer
+    #: Caller correlation id; duplicates among in-flight requests are
+    #: rejected at submission so outcome correlation cannot collide.
+    client_id: str | int | None = None
     #: Absolute device-clock instant the request must complete by; a
     #: request that has not *started* by its deadline is shed at
     #: admission and never reaches the engine (DESIGN.md §8).
@@ -128,10 +132,12 @@ class ScheduledRequest:
 class DroppedRequest:
     """One request the scheduler dropped instead of completing.
 
-    ``reason`` is ``"shed"`` (deadline-aware admission) or
-    ``"cancelled"`` (caller intent); ``at`` is the drop instant on the
-    device clock.  ``client_id`` carries the caller's correlation id on
-    tiers that have one (the fleet layer reuses this record type).
+    ``reason`` is ``"shed"`` (deadline-aware admission), ``"cancelled"``
+    (caller intent) or ``"failed"`` (an injected device fault,
+    DESIGN.md §9 — ``detail`` then names the fault kind); ``at`` is the
+    drop instant on the device clock.  ``client_id`` carries the
+    caller's correlation id on tiers that have one (the fleet layer
+    reuses this record type).
     """
 
     request_id: int
@@ -141,6 +147,11 @@ class DroppedRequest:
     reason: str
     deadline: float | None = None
     client_id: str | int | None = None
+    detail: str = ""
+    #: Failover provenance on tiers that retry (the fleet layer):
+    #: dispatch attempts consumed and the replicas that failed them.
+    attempts: int = 1
+    failed_over_from: tuple[int, ...] = ()
 
 
 @dataclass
@@ -258,6 +269,7 @@ class DeviceScheduler:
         #: in drop order; see :class:`DroppedRequest`.
         self.dropped: list[DroppedRequest] = []
         self._pending: list[ScheduledRequest] = []
+        self._pending_client_ids: set[str | int] = set()
         self._outcomes: list[ScheduledOutcome] = []
         self._next_id = 0
         self._started_counter = 0
@@ -309,11 +321,16 @@ class DeviceScheduler:
         sample: bool | None = None,
         deadline: float | None = None,
         cancel_at: float | None = None,
+        client_id: str | int | None = None,
     ) -> int:
         """Admit one request with full intent; returns its scheduler id.
 
         ``arrival``, ``deadline`` and ``cancel_at`` are absolute
         instants on the device clock (``arrival=None`` means *now*).
+        ``client_id`` is the caller's correlation id; a duplicate among
+        the in-flight (submitted, not yet drained) requests raises
+        ``ValueError`` instead of silently colliding when outcomes are
+        correlated back to callers.
         """
         arrival = self.clock.now if arrival is None else float(arrival)
         if arrival < self.clock.now:
@@ -328,6 +345,13 @@ class DeviceScheduler:
             raise ValueError("k must be positive")
         if deadline is not None and deadline <= arrival:
             raise ValueError("deadline must lie after the request's arrival")
+        if client_id is not None:
+            if client_id in self._pending_client_ids:
+                raise ValueError(
+                    f"duplicate in-flight request id {client_id!r}: already "
+                    "submitted and not yet drained"
+                )
+            self._pending_client_ids.add(client_id)
         request = ScheduledRequest(
             request_id=self._next_id,
             batch=batch,
@@ -337,6 +361,7 @@ class DeviceScheduler:
             sample=sample,
             deadline=deadline,
             cancel_at=cancel_at,
+            client_id=client_id,
         )
         self._next_id += 1
         self._pending.append(request)
@@ -351,6 +376,7 @@ class DeviceScheduler:
         """Serve every submitted request; returns outcomes in completion order."""
         pending = sorted(self._pending, key=lambda r: (r.arrival, r.request_id))
         self._pending.clear()
+        self._pending_client_ids.clear()
         waiting: list[ScheduledRequest] = []  # arrived, not yet holding resources
         active: list[_InFlight] = []
         completed: list[ScheduledOutcome] = []
@@ -438,7 +464,17 @@ class DeviceScheduler:
                     before = self.clock.now
                     if flight.start is None:
                         flight.start = before
-                    done = flight.task.step()
+                    try:
+                        done = flight.task.step()
+                    except DeviceFault as fault:
+                        self._on_fault(fault, flight, active, waiting)
+                        if fault.kind == FAULT_REPLICA_CRASH:
+                            # The whole device died: everything not yet
+                            # served fails, future arrivals included.
+                            while i < len(pending):
+                                self._fail(pending[i], fault)
+                                i += 1
+                        break
                     now = self.clock.now
                     flight.service_seconds += now - before
                     if flight.last_step_end is not None and before > flight.last_step_end:
@@ -487,7 +523,7 @@ class DeviceScheduler:
             return (deadline, request.arrival, request.request_id)
         return (request.arrival, request.request_id)
 
-    def _drop(self, request: ScheduledRequest, reason: str) -> None:
+    def _drop(self, request: ScheduledRequest, reason: str, detail: str = "") -> None:
         self.dropped.append(
             DroppedRequest(
                 request_id=request.request_id,
@@ -496,8 +532,39 @@ class DeviceScheduler:
                 at=self.clock.now,
                 reason=reason,
                 deadline=request.deadline,
+                client_id=request.client_id,
+                detail=detail,
             )
         )
+
+    def _fail(self, request: ScheduledRequest, fault: DeviceFault) -> None:
+        self._drop(request, "failed", detail=fault.kind)
+
+    def _on_fault(
+        self,
+        fault: DeviceFault,
+        flight: _InFlight,
+        active: list[_InFlight],
+        waiting: list[ScheduledRequest],
+    ) -> None:
+        """Fail what an injected fault killed (DESIGN.md §9).
+
+        The faulting task is already torn down (its step closed it on
+        the way out, releasing weight-plane refcounts like a cancel).
+        A *crash* additionally takes the whole device with it: every
+        other in-flight task is closed and every waiter failed.
+        """
+        active.remove(flight)
+        flight.task.close()  # idempotent; a crash already closed it
+        self._fail(flight.request, fault)
+        if fault.kind == FAULT_REPLICA_CRASH:
+            for other in active:
+                other.task.close()
+                self._fail(other.request, fault)
+            active.clear()
+            for request in waiting:
+                self._fail(request, fault)
+            waiting.clear()
 
     def _fusion_hold(self, request: ScheduledRequest, active: list[_InFlight]) -> bool:
         """Should a fusion arrival wait for a fresh group at layer 0?

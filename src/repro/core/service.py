@@ -424,6 +424,7 @@ class SemanticSelectionService:
                         arrival + request.deadline if request.deadline is not None else None
                     ),
                     cancel_at=origin + cancel if cancel is not None else None,
+                    client_id=request.request_id,
                 )
             )
         self.last_scheduler = scheduler

@@ -27,6 +27,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..device.executor import DeviceExecutor
+from ..device.faults import DeviceFault
 from ..device.memory import CATEGORY_WEIGHTS
 from ..model.weights import WeightStore
 
@@ -123,7 +124,15 @@ class LayerStreamer:
         self._inflight.add(layer_idx)
 
     def _wait(self, layer_idx: int) -> None:
-        self.executor.wait_io(self._io_tag(layer_idx))
+        try:
+            self.executor.wait_io(self._io_tag(layer_idx))
+        except DeviceFault:
+            # An injected read error (DESIGN.md §9) consumed the
+            # transfer: drop the buffer here so the pass teardown
+            # (``fail_pass``) finds a consistent streamer state.
+            self._inflight.discard(layer_idx)
+            self.executor.device.memory.free(self._buffer_tag(layer_idx))
+            raise
         self._inflight.discard(layer_idx)
         self._resident.add(layer_idx)
 
@@ -343,7 +352,16 @@ class WeightPlane:
         per_layer[layer_idx] = per_layer.get(layer_idx, 0) + 1
 
     def _wait(self, layer_idx: int) -> None:
-        self.executor.wait_io(self._io_tag(layer_idx))
+        try:
+            self.executor.wait_io(self._io_tag(layer_idx))
+        except DeviceFault:
+            # A faulted fetch never becomes resident.  No pass holds a
+            # refcount on an in-flight layer (counts are taken *after*
+            # the wait), so the buffer can be dropped unconditionally.
+            self._inflight.discard(layer_idx)
+            self.executor.device.memory.free(self._buffer_tag(layer_idx))
+            self._fetch_owner.pop(layer_idx, None)
+            raise
         self._inflight.discard(layer_idx)
         self._resident.add(layer_idx)
 

@@ -10,6 +10,17 @@ residency.
 from .clock import ClockError, VirtualClock
 from .compute import ComputeModel
 from .executor import DeviceExecutor, Span
+from .faults import (
+    FAULT_BANDWIDTH_DEGRADATION,
+    FAULT_KINDS,
+    FAULT_REPLICA_CRASH,
+    FAULT_REPLICA_STALL,
+    FAULT_SSD_READ_ERROR,
+    DeviceFault,
+    FaultEvent,
+    FaultInjector,
+    FaultPlan,
+)
 from .memory import (
     CATEGORY_EMBEDDING,
     CATEGORY_HIDDEN,
@@ -49,8 +60,17 @@ __all__ = [
     "ComputeModel",
     "Device",
     "DeviceExecutor",
+    "DeviceFault",
     "DeviceProfile",
     "EDGE_PLATFORMS",
+    "FAULT_BANDWIDTH_DEGRADATION",
+    "FAULT_KINDS",
+    "FAULT_REPLICA_CRASH",
+    "FAULT_REPLICA_STALL",
+    "FAULT_SSD_READ_ERROR",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultPlan",
     "GiB",
     "IORequest",
     "MemoryStats",

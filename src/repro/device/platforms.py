@@ -22,8 +22,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from typing import Sequence
+
 from .clock import VirtualClock
 from .compute import ComputeModel
+from .faults import FaultEvent, FaultInjector, FaultPlan
 from .memory import GiB, MemoryTracker
 from .ssd import SSDDevice, SSDModel
 
@@ -62,6 +65,26 @@ class Device:
         self.clock = VirtualClock()
         self.memory = MemoryTracker(self.clock, budget_bytes=self.profile.memory_budget_bytes)
         self.ssd = SSDDevice(self.clock, self.profile.ssd)
+        #: Deterministic fault runtime (DESIGN.md §9), shared with the
+        #: SSD stream; ``None`` until a plan is installed.
+        self.faults: FaultInjector | None = None
+
+    def install_faults(
+        self, plan: "FaultPlan | Sequence[FaultEvent]", origin: float = 0.0
+    ) -> FaultInjector:
+        """Compile a fault plan onto this device (DESIGN.md §9).
+
+        ``origin`` rebases the plan's instants onto this device's
+        clock — the fleet layer passes each replica's clock origin so
+        one fleet-time plan lands coherently on every replica.  The
+        injector is shared between the step-boundary hooks (stall,
+        crash) and the SSD stream (read errors, degraded bandwidth).
+        """
+        events = plan.events if isinstance(plan, FaultPlan) else tuple(plan)
+        injector = FaultInjector(events, origin=origin)
+        self.faults = injector
+        self.ssd.faults = injector
+        return injector
 
     @property
     def compute(self) -> ComputeModel:

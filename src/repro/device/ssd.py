@@ -22,6 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from .clock import VirtualClock
+from .faults import FAULT_SSD_READ_ERROR, DeviceFault, FaultInjector
 
 
 @dataclass(frozen=True)
@@ -90,6 +91,9 @@ class SSDDevice:
         self.total_read_bytes = 0
         self.total_write_bytes = 0
         self.request_log: list[IORequest] = []
+        #: Deterministic fault runtime (DESIGN.md §9); ``None`` injects
+        #: nothing and leaves every timing byte-identical.
+        self.faults: FaultInjector | None = None
 
     # ------------------------------------------------------------------
     # synchronous API
@@ -97,8 +101,7 @@ class SSDDevice:
     def read_sync(self, tag: str, nbytes: int) -> float:
         """Blocking read: advances the shared clock; returns completion time."""
         request = self._schedule(tag, nbytes, kind="read")
-        self.clock.advance_to(request.complete_time)
-        return request.complete_time
+        return self._complete(request)
 
     def write_sync(self, tag: str, nbytes: int) -> float:
         """Blocking write: advances the shared clock; returns completion time."""
@@ -122,12 +125,17 @@ class SSDDevice:
         return request
 
     def wait(self, tag: str) -> float:
-        """Block the caller until the pending request ``tag`` completes."""
+        """Block the caller until the pending request ``tag`` completes.
+
+        A read carrying an injected fault (DESIGN.md §9) raises a
+        typed :class:`~repro.device.faults.DeviceFault` *after* the
+        clock has advanced to the completion instant — the time was
+        spent even though the data never arrived.
+        """
         request = self._pending.pop(tag, None)
         if request is None:
             raise KeyError(f"no pending I/O request tagged {tag!r}")
-        self.clock.advance_to(request.complete_time)
-        return request.complete_time
+        return self._complete(request)
 
     def is_pending(self, tag: str) -> bool:
         return tag in self._pending
@@ -150,11 +158,28 @@ class SSDDevice:
         return self._stream_free
 
     # ------------------------------------------------------------------
+    def _complete(self, request: IORequest) -> float:
+        """Advance the caller to a request's completion; surface faults."""
+        self.clock.advance_to(request.complete_time)
+        if request.kind == "read" and self.faults is not None:
+            fault = self.faults.pop_read_error(request.complete_time)
+            if fault is not None:
+                raise DeviceFault(
+                    FAULT_SSD_READ_ERROR, at=self.clock.now, detail=request.tag
+                )
+        return request.complete_time
+
     def _schedule(self, tag: str, nbytes: int, kind: str) -> IORequest:
         duration = (
             self.model.read_time(nbytes) if kind == "read" else self.model.write_time(nbytes)
         )
         start = max(self.clock.now, self._stream_free)
+        if self.faults is not None:
+            # Degraded-bandwidth windows (DESIGN.md §9) stretch the
+            # transfer component; the fixed command latency stands.
+            fraction = self.faults.bandwidth_fraction(start)
+            if fraction < 1.0:
+                duration = self.model.latency + (duration - self.model.latency) / fraction
         complete = start + duration
         self._stream_free = complete
         request = IORequest(

@@ -10,6 +10,7 @@ Usage::
     python -m repro.harness.cli schedule --quick
     python -m repro.harness.cli shared_weights --quick
     python -m repro.harness.cli deadline --quick
+    python -m repro.harness.cli resilience --quick
     python -m repro.harness.cli serve requests.json --tier fleet
 
 ``--quick`` shrinks workloads (fewer datasets/queries) for smoke runs;
@@ -28,7 +29,12 @@ a list of request objects::
 Optional per-request fields: ``priority`` (0 = interactive, 1 =
 batch), ``arrival`` (offset seconds), ``deadline`` (seconds after
 arrival), ``cancel_at`` (offset seconds — exercises cancellation),
+``hedge_after_ms`` (fleet-tier straggler hedging, DESIGN.md §9),
 ``dataset`` (workload generator, default wikipedia).
+
+``serve`` exits non-zero when any request did not complete — shed,
+cancelled, or failed — and prints a one-line summary count, so shell
+pipelines (and CI) can gate on clean serving runs.
 """
 
 from __future__ import annotations
@@ -108,6 +114,10 @@ _EXPERIMENTS: dict[str, tuple[Callable[[], object], Callable[[], object]]] = {
     "deadline": (
         lambda: ex.deadline_serving(),
         lambda: ex.deadline_serving(num_requests=6, num_candidates=8),
+    ),
+    "resilience": (
+        lambda: ex.resilience_serving(),
+        lambda: ex.resilience_serving(num_requests=12, num_candidates=8),
     ),
 }
 
@@ -222,6 +232,7 @@ def run_serve(argv: list[str]) -> int:
             priority=int(entry.get("priority", 1)),
             arrival=entry.get("arrival"),
             deadline=entry.get("deadline"),
+            hedge_after_ms=entry.get("hedge_after_ms"),
         )
         handle = server.submit(request)
         if entry.get("cancel_at") is not None:
@@ -266,6 +277,21 @@ def run_serve(argv: list[str]) -> int:
             title=f"SelectionResponse provenance ({args.tier} tier)",
         )
     )
+    # A serving run is clean only when every request completed: any
+    # shed / cancelled / failed request makes the replay exit non-zero
+    # with a one-line summary, so pipelines can gate on it.
+    counts = {status: 0 for status in ("shed", "cancelled", "failed")}
+    for response in responses:
+        if response.status in counts:
+            counts[response.status] += 1
+    dropped = sum(counts.values())
+    if dropped:
+        print(
+            f"serve: {dropped} of {len(responses)} requests did not complete "
+            f"(shed={counts['shed']}, cancelled={counts['cancelled']}, "
+            f"failed={counts['failed']})"
+        )
+        return 1
     return 0
 
 

@@ -24,6 +24,13 @@ from ..core.api import DeviceServer, FleetServer, SelectionRequest, serve_all
 from ..core.clustering import cluster_scores
 from ..core.config import PrismConfig
 from ..core.fleet import FleetConfig, FleetService
+from ..core.resilience import (
+    FAULT_REPLICA_CRASH,
+    AutoscalerConfig,
+    FaultEvent,
+    FaultPlan,
+    ResilienceConfig,
+)
 from ..core.scheduler import LANE_BATCH, LANE_INTERACTIVE
 from ..core.service import SemanticSelectionService
 from ..core.metrics import cluster_gamma, goodman_kruskal_gamma, precision_at_k
@@ -1574,6 +1581,224 @@ def deadline_serving(
                 makespan=stats.makespan,
             )
         )
+    return result
+
+
+# ----------------------------------------------------------------------
+# Extension — resilience under faults (DESIGN.md §9)
+# ----------------------------------------------------------------------
+@dataclass
+class ResiliencePoint:
+    """One serving mode's outcome on the burst+crash scenario."""
+
+    mode: str  # "fault_free" | "crash_failover" | "crash_autoscale"
+    completed: int
+    lost: int  # submitted − completed − failed: must always be 0
+    failed: int  # dropped with reason "failed" (retries exhausted)
+    failed_over: int  # completed requests that needed > 1 attempt
+    max_attempts: int
+    scale_ups: int
+    peak_capacity: int
+    throughput_rps: float
+    recovery: float  # throughput / fault-free throughput
+    p99_latency: float
+
+
+@dataclass
+class ResilienceResult:
+    """Throughput under an injected replica crash: failover vs autoscaling.
+
+    A near-saturating burst is replayed three times: fault-free (the
+    reference), with a replica crash mid-burst and failover only (the
+    fleet limps on at reduced capacity), and with the crash plus the
+    queue-depth autoscaler (a replacement replica spawns once the
+    queue backs up, paying its warm-up on the clock).  Every injected
+    run must complete all requests — failover means *zero lost
+    requests*, with the retries recorded as outcome provenance
+    (``attempts``/``failed_over_from``).
+    """
+
+    model: str
+    platform: str
+    num_replicas: int
+    num_requests: int
+    k: int
+    crash_at: float  # fleet-time instant replica 0 dies
+    arrival_interval: float  # open-loop spacing (fleet saturation)
+    points: list[ResiliencePoint] = field(default_factory=list)
+
+    def find(self, mode: str) -> ResiliencePoint:
+        for point in self.points:
+            if point.mode == mode:
+                return point
+        raise KeyError(f"no resilience point for mode {mode!r}")
+
+    def render(self) -> str:
+        rows = [
+            (
+                point.mode,
+                point.completed,
+                point.lost,
+                point.failed,
+                point.failed_over,
+                point.max_attempts,
+                point.scale_ups,
+                point.peak_capacity,
+                f"{point.throughput_rps:.2f}/s",
+                pct(point.recovery),
+                ms(point.p99_latency),
+            )
+            for point in self.points
+        ]
+        return format_table(
+            (
+                "mode",
+                "done",
+                "lost",
+                "failed",
+                "failed over",
+                "max att",
+                "scale ups",
+                "peak cap",
+                "throughput",
+                "recovery",
+                "p99",
+            ),
+            rows,
+            title=(
+                f"Resilience under replica crash ({self.model}, {self.platform}, "
+                f"{self.num_replicas} replicas, {self.num_requests} requests "
+                f"every {ms(self.arrival_interval)}, crash at {ms(self.crash_at)})"
+            ),
+        )
+
+
+def resilience_serving(
+    model_name: str = "qwen3-reranker-0.6b",
+    platform: str = "nvidia_5070",
+    num_replicas: int = 2,
+    num_requests: int = 24,
+    num_candidates: int = 12,
+    k: int = 5,
+    crash_fraction: float = 0.3,
+    dataset: str = "wikipedia",
+) -> ResilienceResult:
+    """Burst + replica-crash study (DESIGN.md §9).
+
+    Requests arrive open-loop at the fleet's saturation rate (one
+    probe-request service time divided by the replica count), so the
+    healthy fleet keeps the queue near empty and the autoscaler has no
+    reason to act *before* the crash — its scale-up is crash-driven,
+    not burst-driven.  The crash instant is placed a fixed fraction
+    into the fault-free makespan, so the same :class:`FaultPlan`
+    stresses every mode at a comparable point of the stream.
+    ``crash_failover`` uses a cooldown longer than the run (the
+    replica never returns — the worst case); ``crash_autoscale`` adds
+    the queue-depth controller, which spawns a replacement once the
+    halved fleet lets the queue back up.  Selections are
+    byte-identical across all three modes for every completed request
+    — faults move *where and when* work runs, never what it computes.
+    """
+    model_config = get_model_config(model_name)
+    model = shared_model(model_config)
+    tokenizer = shared_tokenizer(model_config)
+    profile = get_profile(platform)
+    queries = get_dataset(dataset).queries(num_requests, num_candidates)
+    batches = [build_batch(q, tokenizer, model_config.max_seq_len) for q in queries]
+
+    # Probe: one request's solo service time sets the saturation rate.
+    probe_service = SemanticSelectionService(
+        model, profile, config=PrismConfig(numerics=False)
+    )
+    probe = DeviceServer(probe_service).submit(
+        SelectionRequest(batch=batches[0], k=k, sample=False)
+    ).result()
+    assert probe.result is not None
+    arrival_interval = probe.result.latency_seconds / num_replicas
+
+    def run(mode: str, crash_at: float | None) -> tuple[ResiliencePoint, float]:
+        plan = None
+        autoscaler = None
+        if crash_at is not None:
+            plan = FaultPlan(
+                [FaultEvent(FAULT_REPLICA_CRASH, at=crash_at, replica=0)]
+            )
+            if mode == "crash_autoscale":
+                # Threshold 3 per routable replica: the saturated but
+                # healthy fleet runs ~2 in-system requests per replica
+                # (one batch in service, arrivals trickling in), so
+                # only the post-crash pile-up trips the controller.
+                autoscaler = AutoscalerConfig(
+                    min_replicas=1,
+                    max_replicas=num_replicas + 1,
+                    scale_up_queue_depth=3,
+                    warmup_s=0.05,
+                    action_cooldown_s=0.1,
+                )
+        fleet = FleetService.homogeneous(
+            model,
+            profile,
+            num_replicas,
+            fleet_config=FleetConfig(max_batch=2, max_wait_ms=0.0),
+            config=PrismConfig(numerics=False),
+            fault_plan=plan,
+            # The crashed replica never restarts inside the run: the
+            # cooldown outlives any plausible makespan.
+            resilience=ResilienceConfig(max_retries=2, cooldown_s=1e6),
+            autoscaler=autoscaler,
+        )
+        for index, batch in enumerate(batches):
+            fleet.submit_request(
+                batch, k, at=index * arrival_interval, client_id=index
+            )
+        outcomes = fleet.drain()
+        stats = fleet.stats()
+        failed = stats.failed_requests
+        lost = num_requests - len(outcomes) - failed
+        latencies = sorted(o.latency for o in outcomes)
+        point = ResiliencePoint(
+            mode=mode,
+            completed=len(outcomes),
+            lost=lost,
+            failed=failed,
+            failed_over=stats.failed_over_requests,
+            max_attempts=max((o.attempts for o in outcomes), default=0),
+            scale_ups=sum(
+                1 for event in stats.scaling_events if event.action == "scale_up"
+            ),
+            peak_capacity=stats.peak_capacity,
+            throughput_rps=stats.throughput_rps,
+            recovery=1.0,  # filled in against the fault-free reference
+            p99_latency=(
+                float(np.percentile(latencies, 99)) if latencies else float("nan")
+            ),
+        )
+        if crash_at is not None:
+            # The controller must be reactive, never prescient: any
+            # scale-up belongs strictly after the crash.
+            assert all(
+                event.at >= crash_at
+                for event in stats.scaling_events
+                if event.action == "scale_up"
+            ), "autoscaler acted before the crash — the load is not balanced"
+        return point, stats.makespan
+
+    reference, makespan = run("fault_free", None)
+    crash_at = crash_fraction * makespan
+    result = ResilienceResult(
+        model=model_name,
+        platform=platform,
+        num_replicas=num_replicas,
+        num_requests=num_requests,
+        k=k,
+        crash_at=crash_at,
+        arrival_interval=arrival_interval,
+    )
+    result.points.append(reference)
+    for mode in ("crash_failover", "crash_autoscale"):
+        point, _ = run(mode, crash_at)
+        point.recovery = point.throughput_rps / reference.throughput_rps
+        result.points.append(point)
     return result
 
 

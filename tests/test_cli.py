@@ -48,6 +48,9 @@ class TestParser:
     def test_deadline_extension_registered(self):
         assert "deadline" in _EXPERIMENTS
 
+    def test_resilience_extension_registered(self):
+        assert "resilience" in _EXPERIMENTS
+
     def test_serve_parser_tiers(self):
         parser = build_serve_parser()
         args = parser.parse_args(["requests.json", "--tier", "fleet"])
@@ -80,35 +83,56 @@ class TestExecution:
 class TestServe:
     """The ``serve`` subcommand replays a request file through a tier."""
 
-    def _request_file(self, tmp_path):
+    def _request_file(self, tmp_path, entries):
         path = tmp_path / "requests.json"
-        path.write_text(
-            json.dumps(
-                [
-                    {"id": "fast", "k": 3, "num_candidates": 6, "priority": 0},
-                    {"id": "slow", "k": 3, "num_candidates": 6, "arrival": 0.05},
-                    {"id": "late", "k": 3, "num_candidates": 6, "deadline": 0.0005},
-                ]
-            )
-        )
+        path.write_text(json.dumps(entries))
         return path
+
+    CLEAN = [
+        {"id": "fast", "k": 3, "num_candidates": 6, "priority": 0},
+        {"id": "slow", "k": 3, "num_candidates": 6, "arrival": 0.05},
+    ]
+    #: The tight deadline expires behind the queue on the serial
+    #: engine tier, so the request is shed.
+    WITH_SHED = CLEAN + [
+        {"id": "late", "k": 3, "num_candidates": 6, "deadline": 0.0005}
+    ]
 
     @pytest.mark.parametrize("tier", ["engine", "device", "fleet"])
     def test_serve_prints_provenance(self, tier, tmp_path, capsys):
-        path = self._request_file(tmp_path)
+        path = self._request_file(tmp_path, self.CLEAN)
         assert main(["serve", str(path), "--tier", tier]) == 0
         out = capsys.readouterr().out
         assert "SelectionResponse provenance" in out
-        for request_id in ("fast", "slow", "late"):
+        for request_id in ("fast", "slow"):
             assert request_id in out
         assert tier in out
 
-    def test_serve_reports_shed_deadline(self, tmp_path, capsys):
-        path = self._request_file(tmp_path)
-        # Serial engine tier: the tight deadline expires behind the
-        # queue and the request is shed.
-        assert main(["serve", str(path), "--tier", "engine"]) == 0
-        assert "shed" in capsys.readouterr().out
+    @pytest.mark.parametrize("tier", ["engine", "device", "fleet"])
+    def test_serve_clean_run_exits_zero(self, tier, tmp_path, capsys):
+        path = self._request_file(tmp_path, self.CLEAN)
+        assert main(["serve", str(path), "--tier", tier]) == 0
+        assert "did not complete" not in capsys.readouterr().out
+
+    def test_serve_shed_exits_nonzero_with_summary(self, tmp_path, capsys):
+        """Satellite: an unclean replay exits non-zero and prints a
+        one-line summary count instead of silently exiting 0."""
+        path = self._request_file(tmp_path, self.WITH_SHED)
+        assert main(["serve", str(path), "--tier", "engine"]) == 1
+        out = capsys.readouterr().out
+        assert "shed" in out
+        assert (
+            "serve: 1 of 3 requests did not complete "
+            "(shed=1, cancelled=0, failed=0)" in out
+        )
+
+    def test_serve_cancelled_exits_nonzero(self, tmp_path, capsys):
+        entries = self.CLEAN + [
+            {"id": "bail", "k": 3, "num_candidates": 6, "cancel_at": 0.0}
+        ]
+        path = self._request_file(tmp_path, entries)
+        assert main(["serve", str(path), "--tier", "engine"]) == 1
+        assert "cancelled=1" in capsys.readouterr().out
 
     def test_serve_rejects_empty_file(self, tmp_path):
         path = tmp_path / "empty.json"

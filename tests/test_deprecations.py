@@ -1,0 +1,138 @@
+"""Legacy-shim coverage: every deprecated entry point warns and forwards.
+
+DESIGN.md §8 keeps ``rerank``, ``select``, ``select_concurrent`` and
+the two ``submit``\\ s alive as thin shims over the request-centric
+API.  Each must (a) emit ``DeprecationWarning`` so callers migrate,
+and (b) forward its arguments faithfully — the shim path must produce
+the same selections as the non-deprecated path it wraps.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.config import PrismConfig
+from repro.core.engine import PrismEngine
+from repro.core.fleet import FleetService
+from repro.core.scheduler import LANE_INTERACTIVE, DeviceScheduler
+from repro.core.service import SemanticSelectionService
+from repro.data.datasets import get_dataset
+from repro.data.workloads import build_batch
+from repro.device.platforms import get_profile
+from repro.harness.runner import shared_model, shared_tokenizer
+from repro.model.zoo import QWEN3_0_6B
+
+
+@pytest.fixture(scope="module")
+def batches():
+    tokenizer = shared_tokenizer(QWEN3_0_6B)
+    queries = get_dataset("wikipedia").queries(4, 10)
+    return [build_batch(q, tokenizer, QWEN3_0_6B.max_seq_len) for q in queries]
+
+
+def make_engine():
+    engine = PrismEngine(
+        shared_model(QWEN3_0_6B),
+        get_profile("nvidia_5070").create(),
+        PrismConfig(numerics=False),
+    )
+    engine.prepare()
+    return engine
+
+
+def make_service(max_concurrency=1):
+    return SemanticSelectionService(
+        shared_model(QWEN3_0_6B),
+        get_profile("nvidia_5070"),
+        config=PrismConfig(numerics=False),
+        max_concurrency=max_concurrency,
+    )
+
+
+class TestRerankShim:
+    def test_warns_and_forwards(self, batches):
+        engine = make_engine()
+        with pytest.warns(DeprecationWarning, match="rerank.*deprecated"):
+            legacy = engine.rerank(batches[0], 5)
+        # The non-deprecated step path on a fresh engine produces the
+        # identical selection — the shim forwarded (batch, k) faithfully.
+        reference = make_engine().start(batches[0], 5).run()
+        assert np.array_equal(legacy.top_indices, reference.top_indices)
+        assert np.array_equal(legacy.top_scores, reference.top_scores)
+        assert legacy.requested_k == 5
+
+
+class TestSelectShim:
+    def test_warns_and_forwards(self, batches):
+        service = make_service()
+        with pytest.warns(DeprecationWarning, match="select.*deprecated"):
+            legacy = service.select(batches[0], 5, sample=True)
+        reference = make_engine().start(batches[0], 5).run()
+        assert np.array_equal(legacy.top_indices, reference.top_indices)
+        # The sampling override was forwarded: the request was logged.
+        assert service.pending_samples == 1
+
+    def test_invalid_k_still_rejected(self, batches):
+        service = make_service()
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(ValueError):
+                service.select(batches[0], 0)
+
+
+class TestSelectConcurrentShim:
+    def test_warns_and_forwards(self, batches):
+        service = make_service(max_concurrency=2)
+        with pytest.warns(DeprecationWarning, match="select_concurrent.*deprecated"):
+            outcomes = service.select_concurrent(
+                [(batch, 5) for batch in batches[:3]],
+                arrivals=[0.0, 0.0, 0.1],
+                priorities=[1, LANE_INTERACTIVE, 1],
+                policy="priority",
+            )
+        assert len(outcomes) == 3
+        by_id = {o.request_id: o for o in outcomes}
+        # Priorities and arrivals forwarded per request.
+        assert by_id[1].priority == LANE_INTERACTIVE
+        assert by_id[2].arrival == pytest.approx(0.1)
+        # Selections identical to solo execution.
+        for index, batch in enumerate(batches[:3]):
+            reference = make_engine().start(batch, 5).run()
+            assert np.array_equal(by_id[index].result.top_indices, reference.top_indices)
+
+    def test_mismatched_sequences_rejected(self, batches):
+        service = make_service(max_concurrency=2)
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(ValueError):
+                service.select_concurrent([(batches[0], 5)], arrivals=[0.0, 1.0])
+
+
+class TestSchedulerSubmitShim:
+    def test_warns_and_forwards(self, batches):
+        engine = make_engine()
+        scheduler = DeviceScheduler(engine)
+        with pytest.warns(DeprecationWarning, match="submit.*deprecated"):
+            request_id = scheduler.submit(
+                batches[0], 5, at=0.05, priority=LANE_INTERACTIVE
+            )
+        (outcome,) = scheduler.drain()
+        assert outcome.request_id == request_id
+        assert outcome.priority == LANE_INTERACTIVE
+        assert outcome.arrival == pytest.approx(0.05)
+        reference = make_engine().start(batches[0], 5).run()
+        assert np.array_equal(outcome.result.top_indices, reference.top_indices)
+
+
+class TestFleetSubmitShim:
+    def test_warns_and_forwards(self, batches):
+        fleet = FleetService.homogeneous(
+            shared_model(QWEN3_0_6B),
+            get_profile("nvidia_5070"),
+            1,
+            config=PrismConfig(numerics=False),
+        )
+        with pytest.warns(DeprecationWarning, match="submit.*deprecated"):
+            request_id = fleet.submit(batches[0], 5, at=0.02)
+        (outcome,) = fleet.drain()
+        assert outcome.request_id == request_id
+        assert outcome.arrival == pytest.approx(0.02)
+        reference = make_engine().start(batches[0], 5).run()
+        assert np.array_equal(outcome.result.top_indices, reference.top_indices)

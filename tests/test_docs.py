@@ -34,7 +34,7 @@ def source_citations() -> list[tuple[str, int]]:
 
 def test_design_md_exists_with_numbered_sections():
     assert DESIGN_MD.is_file(), "DESIGN.md is missing from the repo root"
-    assert design_sections() >= {1, 2, 3, 4, 5, 6, 7}
+    assert design_sections() >= {1, 2, 3, 4, 5, 6, 7, 8, 9}
 
 
 def test_scheduler_sources_cite_section_6():
@@ -55,6 +55,17 @@ def test_weight_plane_sources_cite_section_7():
     assert "src/repro/core/streaming.py" in cited_by, (
         "src/repro/core/streaming.py no longer cites DESIGN.md §7"
     )
+
+
+def test_resilience_sources_cite_section_9():
+    """The §9 citation net is live: the fault plane and the resilience
+    policy layer must anchor their design in DESIGN.md §9."""
+    cited_by = {source for source, section in source_citations() if section == 9}
+    for module in (
+        "src/repro/core/resilience.py",
+        "src/repro/device/faults.py",
+    ):
+        assert module in cited_by, f"{module} no longer cites DESIGN.md §9"
 
 
 def test_sources_cite_design_sections():
@@ -102,3 +113,23 @@ def test_serving_docs_cover_all_four_modes():
         "max_skew",
     ):
         assert concept in serving, f"docs/serving.md no longer covers {concept}"
+
+
+def test_serving_docs_cover_resilience_plane():
+    """docs/serving.md must document the §9 resilience plane: faults,
+    failover, hedging and the autoscaler."""
+    serving = (REPO_ROOT / "docs" / "serving.md").read_text()
+    assert "Faults, failover and autoscaling" in serving
+    for concept in (
+        "FaultPlan",
+        "FaultEvent",
+        "DeviceFault",
+        "ResilienceConfig",
+        "AutoscalerConfig",
+        "hedge_after_ms",
+        "failed_over_from",
+        "max_retries",
+        "scale_up_queue_depth",
+        "scaling_events",
+    ):
+        assert concept in serving, f"docs/serving.md resilience section misses {concept}"
