@@ -195,3 +195,49 @@ __all__ += [
     "ServerBase",
     "serve_all",
 ]
+
+# The observability plane (DESIGN.md §10): the typed event log every
+# layer publishes into, and trace record/replay built on top of it.
+from .events import (  # noqa: E402  (appended export)
+    EVENT_KINDS,
+    EVENTS_VERSION,
+    SERVING_TIERS,
+    TERMINAL_KINDS,
+    Event,
+    EventLog,
+)
+from .trace import (  # noqa: E402  (appended export)
+    TRACE_SCHEMA,
+    TRACE_VERSION,
+    ReplayReport,
+    TraceRequest,
+    TraceRun,
+    TraceSpec,
+    read_trace,
+    record_trace,
+    render_trace,
+    replay_trace,
+    run_trace,
+    summarize_events,
+)
+
+__all__ += [
+    "EVENT_KINDS",
+    "EVENTS_VERSION",
+    "Event",
+    "EventLog",
+    "ReplayReport",
+    "SERVING_TIERS",
+    "TERMINAL_KINDS",
+    "TRACE_SCHEMA",
+    "TRACE_VERSION",
+    "TraceRequest",
+    "TraceRun",
+    "TraceSpec",
+    "read_trace",
+    "record_trace",
+    "render_trace",
+    "replay_trace",
+    "run_trace",
+    "summarize_events",
+]

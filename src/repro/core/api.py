@@ -339,14 +339,38 @@ class EngineServer(ServerBase):
         self.engine = engine
 
     def _serve(self, pending: list[SelectionRequest]) -> list[SelectionResponse]:
-        clock = self.engine.device.clock
+        device = self.engine.device
+        clock = device.clock
         origin = clock.now
+        log = device.events  # observability sink (DESIGN.md §10)
+
+        def emit(kind: str, request: SelectionRequest, at: float, **data) -> None:
+            if log is not None:
+                log.emit(
+                    kind,
+                    at=at,
+                    tier=self.tier,
+                    request=request.request_id,
+                    replica=device.events_replica,
+                    **data,
+                )
+
         responses = []
         for request in self._order(pending):
             arrival = origin + request.arrival_offset
             deadline = arrival + request.deadline if request.deadline is not None else None
             cancel = self._cancel_offset(request)
             cancel_at = origin + cancel if cancel is not None else None
+            emit(
+                "admit",
+                request,
+                at=clock.now,
+                arrival=arrival,
+                k=request.k,
+                priority=request.priority,
+                deadline=deadline,
+                cancel_at=cancel_at,
+            )
             response = SelectionResponse(
                 request_id=request.request_id,  # type: ignore[arg-type]
                 status=REQUEST_OK,
@@ -360,6 +384,7 @@ class EngineServer(ServerBase):
             if cancel_at is not None and cancel_at <= max(arrival, clock.now):
                 response.status = REQUEST_CANCELLED
                 response.finish = max(arrival, clock.now)
+                emit("cancel", request, at=response.finish)
                 continue
             clock.advance_to(arrival)
             if deadline is not None and clock.now >= deadline:
@@ -367,25 +392,36 @@ class EngineServer(ServerBase):
                 # touching the engine.
                 response.status = REQUEST_SHED
                 response.finish = clock.now
+                emit("shed", request, at=response.finish)
                 continue
             response.start = clock.now
+            emit("dispatch", request, at=response.start)
             try:
                 result = self.engine.start(request.batch, request.k).run(
                     cancel_at=cancel_at
                 )
-            except DeviceFault:
+            except DeviceFault as fault:
                 # The engine tier has nowhere to fail over to: an
                 # injected fault (DESIGN.md §9) fails the request.
                 response.status = REQUEST_FAILED
                 response.finish = clock.now
                 response.service_seconds = response.finish - response.start
+                emit("fail", request, at=response.finish, detail=fault.kind)
                 continue
             response.finish = clock.now
             response.service_seconds = response.finish - response.start
             if result is None:
                 response.status = REQUEST_CANCELLED
+                emit("cancel", request, at=response.finish)
             else:
                 response.result = result
+                emit(
+                    "complete",
+                    request,
+                    at=response.finish,
+                    start=response.start,
+                    service_seconds=response.service_seconds,
+                )
         return responses
 
     def _threshold(self) -> float | None:

@@ -179,6 +179,8 @@ class RerankTask:
                 raise DeviceFault(
                     FAULT_REPLICA_CRASH, at=clock.now, detail=f"req{self.request_id}"
                 )
+        device = self.engine.device
+        before = device.clock.now
         try:
             next(self._gen)
         except StopIteration as stop:
@@ -186,6 +188,17 @@ class RerankTask:
             result.requested_k = self.requested_k
             self._result = result
         self.steps_taken += 1
+        if device.events is not None:
+            device.events.emit(
+                "step",
+                at=device.clock.now,
+                tier="engine",
+                request=self.request_id,
+                replica=device.events_replica,
+                step=self.steps_taken,
+                start=before,
+                final=self.done,
+            )
         return self.done
 
     @property

@@ -1,0 +1,244 @@
+"""Typed, versioned event log on the virtual clock (DESIGN.md §10).
+
+Every serving layer — :class:`~repro.core.scheduler.DeviceScheduler`,
+:class:`~repro.core.fleet.FleetService`,
+:class:`~repro.core.streaming.WeightPlane`,
+:class:`~repro.device.ssd.SSDDevice`, the fault injectors and the
+autoscaler — publishes its lifecycle into one :class:`EventLog` through
+cheap, ``None``-guarded hooks.  The log is *observational only*: it
+never touches a clock, a tracker or a queue, so execution with a sink
+attached is byte-identical to execution without one (equivalence-tested
+in ``tests/test_trace_replay.py``).
+
+An :class:`Event` is stamped with the emitting tier's virtual-clock
+time plus request/replica/tenant identity, and renders to one canonical
+JSON line — the unit of trace record/replay
+(:mod:`repro.core.trace`).  Two executions are *event-identical* when
+their logs render to identical line sequences.
+
+Time axes: events on the ``fleet`` and ``trace`` tiers live on the
+fleet coordinator clock; ``device``/``engine``/``plane``/``ssd`` events
+live on the emitting device's own clock (replicas run in parallel, so
+cross-replica instants are not comparable — ``replica`` labels the
+axis).  Within one axis the stamps are monotone, which is what the
+invariant suite in ``tests/test_event_invariants.py`` pins.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+#: Bumped whenever the event record schema changes shape.
+EVENTS_VERSION = 1
+
+# ---------------------------------------------------------------------------
+# event taxonomy (DESIGN.md §10)
+# ---------------------------------------------------------------------------
+#: A request was admitted by a serving tier (carries its intent).
+EVENT_ADMIT = "admit"
+#: A request entered a dispatch queue (fleet admission, failover requeue).
+EVENT_QUEUE = "queue"
+#: A request (or batch member) was handed to an executor/replica.
+EVENT_DISPATCH = "dispatch"
+#: One layer step of a task executed on a device.
+EVENT_STEP = "step"
+#: An SSD transfer was issued on the I/O stream.
+EVENT_FETCH = "fetch"
+#: A weight-plane acquire was served by another pass's fetch.
+EVENT_ATTACH = "attach"
+#: A pass took a refcount on a shared plane layer.
+EVENT_ACQUIRE = "acquire"
+#: A pass dropped a refcount on a shared plane layer.
+EVENT_RELEASE = "release"
+#: A request joined a fused gang under the ``fusion`` policy.
+EVENT_FUSE = "fuse"
+#: Terminal: the request completed with a selection.
+EVENT_COMPLETE = "complete"
+#: Terminal: deadline-aware admission shed the request.
+EVENT_SHED = "shed"
+#: Terminal: the caller cancelled the request.
+EVENT_CANCEL = "cancel"
+#: Terminal: the request failed (fault surfaced, retries exhausted).
+EVENT_FAIL = "fail"
+#: A scheduled device fault fired (DESIGN.md §9).
+EVENT_FAULT = "fault"
+#: A faulted request re-entered the fleet queue for another replica.
+EVENT_FAILOVER = "failover"
+#: A straggler hedge duplicate raced the primary copy.
+EVENT_HEDGE = "hedge"
+#: The autoscaler changed fleet capacity.
+EVENT_SCALE = "scale"
+
+#: Every kind an :class:`Event` may carry.
+EVENT_KINDS = (
+    EVENT_ADMIT,
+    EVENT_QUEUE,
+    EVENT_DISPATCH,
+    EVENT_STEP,
+    EVENT_FETCH,
+    EVENT_ATTACH,
+    EVENT_ACQUIRE,
+    EVENT_RELEASE,
+    EVENT_FUSE,
+    EVENT_COMPLETE,
+    EVENT_SHED,
+    EVENT_CANCEL,
+    EVENT_FAIL,
+    EVENT_FAULT,
+    EVENT_FAILOVER,
+    EVENT_HEDGE,
+    EVENT_SCALE,
+)
+
+#: The terminal kinds: every admitted request ends in exactly one.
+TERMINAL_KINDS = (EVENT_COMPLETE, EVENT_SHED, EVENT_CANCEL, EVENT_FAIL)
+
+#: The tiers that admit requests (and therefore owe them a terminal).
+SERVING_TIERS = ("engine", "device", "fleet")
+
+
+@dataclass(frozen=True)
+class Event:
+    """One typed event record (DESIGN.md §10).
+
+    ``seq`` is the log-local emission index (total order), ``at`` the
+    instant on the emitting tier's virtual clock, ``tier`` names the
+    time axis (``trace``/``fleet``/``device``/``engine``/``plane``/
+    ``ssd``), ``request``/``replica``/``tenant`` carry identity, and
+    ``data`` holds kind-specific fields (JSON scalars/containers only).
+    """
+
+    seq: int
+    at: float
+    kind: str
+    tier: str
+    request: str | int | None = None
+    replica: int | None = None
+    tenant: str | None = None
+    data: dict[str, Any] = field(default_factory=dict)
+
+    def to_payload(self) -> dict[str, Any]:
+        return {
+            "seq": self.seq,
+            "at": self.at,
+            "kind": self.kind,
+            "tier": self.tier,
+            "request": self.request,
+            "replica": self.replica,
+            "tenant": self.tenant,
+            "data": self.data,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict[str, Any]) -> "Event":
+        return cls(
+            seq=int(payload["seq"]),
+            at=float(payload["at"]),
+            kind=str(payload["kind"]),
+            tier=str(payload["tier"]),
+            request=payload.get("request"),
+            replica=payload.get("replica"),
+            tenant=payload.get("tenant"),
+            data=dict(payload.get("data", {})),
+        )
+
+    def line(self) -> str:
+        """Canonical one-line JSON rendering — the byte-comparable unit.
+
+        Keys are sorted and floats use Python's shortest round-trip
+        repr, so identical executions render identical bytes and a
+        recorded line parses back to the exact same float instants.
+        """
+        return json.dumps(self.to_payload(), sort_keys=True, separators=(",", ":"))
+
+    def describe(self) -> str:
+        """Human-oriented rendering for ``cli trace tail``."""
+        who = []
+        if self.request is not None:
+            who.append(f"request={self.request}")
+        if self.replica is not None:
+            who.append(f"replica={self.replica}")
+        if self.tenant is not None:
+            who.append(f"tenant={self.tenant}")
+        extras = " ".join(f"{key}={value}" for key, value in self.data.items())
+        parts = [f"[{self.seq:05d}] t={self.at:.6f} {self.tier}/{self.kind}"]
+        if who:
+            parts.append(" ".join(who))
+        if extras:
+            parts.append(extras)
+        return "  ".join(parts)
+
+
+class EventLog:
+    """An append-only sink every layer publishes into (DESIGN.md §10).
+
+    The log is deliberately dumb: :meth:`emit` validates the kind,
+    stamps a sequence number and appends — no clock access, no
+    allocation tracking, no I/O — so attaching a log cannot perturb the
+    simulation it observes.  Layers guard their hooks with
+    ``if log is not None``, so the unobserved hot path costs one
+    attribute check.
+    """
+
+    def __init__(self) -> None:
+        self.events: list[Event] = []
+
+    def emit(
+        self,
+        kind: str,
+        at: float,
+        tier: str,
+        request: str | int | None = None,
+        replica: int | None = None,
+        tenant: str | None = None,
+        **data: Any,
+    ) -> Event:
+        """Append one event; returns the stamped record."""
+        if kind not in EVENT_KINDS:
+            known = ", ".join(EVENT_KINDS)
+            raise ValueError(f"unknown event kind {kind!r}; known: {known}")
+        event = Event(
+            seq=len(self.events),
+            at=float(at),
+            kind=kind,
+            tier=tier,
+            request=request,
+            replica=replica,
+            tenant=tenant,
+            data=data,
+        )
+        self.events.append(event)
+        return event
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> Iterator[Event]:
+        return iter(self.events)
+
+    def __getitem__(self, index: int) -> Event:
+        return self.events[index]
+
+    def filter(
+        self,
+        kind: str | None = None,
+        tier: str | None = None,
+        request: str | int | None = None,
+        replica: int | None = None,
+    ) -> list[Event]:
+        """Events matching every given criterion, in emission order."""
+        return [
+            event
+            for event in self.events
+            if (kind is None or event.kind == kind)
+            and (tier is None or event.tier == tier)
+            and (request is None or event.request == request)
+            and (replica is None or event.replica == replica)
+        ]
+
+    def lines(self) -> list[str]:
+        """Canonical JSON line per event — the event-identity artifact."""
+        return [event.line() for event in self.events]

@@ -377,27 +377,30 @@ class FleetStats:
     def _latencies(self) -> np.ndarray:
         return np.array([o.latency for o in self.outcomes])
 
-    def latency_percentile(self, p: float) -> float:
+    def latency_percentile(self, p: float) -> float | None:
+        """Latency percentile over completed requests; ``None`` when
+        nothing completed (an empty sample has no percentiles — a
+        number here would silently poison downstream aggregation)."""
         if not self.outcomes:
-            return float("nan")
+            return None
         return float(np.percentile(self._latencies(), p))
 
     @property
-    def p50_latency(self) -> float:
+    def p50_latency(self) -> float | None:
         return self.latency_percentile(50)
 
     @property
-    def p95_latency(self) -> float:
+    def p95_latency(self) -> float | None:
         return self.latency_percentile(95)
 
     @property
-    def p99_latency(self) -> float:
+    def p99_latency(self) -> float | None:
         return self.latency_percentile(99)
 
     @property
-    def mean_queue_wait(self) -> float:
+    def mean_queue_wait(self) -> float | None:
         if not self.outcomes:
-            return float("nan")
+            return None
         return float(np.mean([o.queue_wait for o in self.outcomes]))
 
     @property
@@ -405,10 +408,11 @@ class FleetStats:
         return max((depth for _, depth in self.queue_depth_samples), default=0)
 
     @property
-    def throughput_rps(self) -> float:
-        """Completed requests per simulated second over the makespan."""
+    def throughput_rps(self) -> float | None:
+        """Completed requests per simulated second over the makespan;
+        ``None`` when nothing completed or the makespan is empty."""
         if not self.outcomes or self.makespan <= 0:
-            return float("nan")
+            return None
         return len(self.outcomes) / self.makespan
 
     @property
@@ -469,6 +473,7 @@ class FleetService:
         fault_plan: FaultPlan | None = None,
         resilience: ResilienceConfig | None = None,
         autoscaler: AutoscalerConfig | None = None,
+        event_log=None,
         **service_kwargs,
     ) -> None:
         if not profiles:
@@ -477,6 +482,10 @@ class FleetService:
         self.fault_plan = fault_plan
         self.resilience = resilience or ResilienceConfig()
         self.autoscaler = autoscaler
+        #: Observability sink (DESIGN.md §10), shared with every
+        #: replica's device; ``None`` observes nothing and changes
+        #: nothing — fleet timelines stay byte-identical.
+        self.events = event_log
         self.clock = VirtualClock()
         self._routing = ROUTING_POLICIES[self.fleet_config.routing]()
         self._model = model
@@ -520,6 +529,8 @@ class FleetService:
             config=self._config,
             max_concurrency=self.fleet_config.intra_concurrency,
             shared_weights=self.fleet_config.shared_weight_plane,
+            event_log=self.events,
+            events_replica=index,
             **self._service_kwargs,
         )
         replica = ReplicaHandle(
@@ -668,7 +679,28 @@ class FleetService:
         self._pending.append(request)
         if self._first_arrival is None or arrival < self._first_arrival:
             self._first_arrival = arrival
+        self._emit(
+            "admit",
+            at=self.clock.now,
+            request=request,
+            arrival=arrival,
+            k=k,
+            priority=priority,
+            deadline=deadline,
+            cancel_at=cancel_at,
+            hedge_after_ms=hedge_after_ms,
+        )
         return request.request_id
+
+    def _emit(self, kind: str, at: float, request=None, replica: int | None = None, **data):
+        """Publish a fleet-tier event (DESIGN.md §10); no-op without a sink."""
+        if self.events is not None:
+            label = None
+            if request is not None:
+                label = request.client_id if request.client_id is not None else request.request_id
+            self.events.emit(
+                kind, at=at, tier="fleet", request=label, replica=replica, **data
+            )
 
     # ------------------------------------------------------------------
     # dispatch loop
@@ -705,6 +737,7 @@ class FleetService:
         while i < len(pending) or queue:
             while i < len(pending) and pending[i].arrival <= now:
                 queue.append(pending[i])
+                self._emit("queue", at=now, request=pending[i], depth=len(queue))
                 i += 1
                 self._queue_depth_samples.append((now, len(queue)))
             self._autoscale(now, len(queue))
@@ -737,6 +770,14 @@ class FleetService:
             outcomes, retries = self._dispatch(flush, now, pool)
             completed.extend(outcomes)
             queue.extend(retries)
+            for retry in retries:
+                self._emit(
+                    "queue",
+                    at=retry.not_before,
+                    request=retry,
+                    depth=len(queue),
+                    attempts=retry.attempts,
+                )
             self._queue_depth_samples.append((now, len(queue)))
         completed.sort(key=lambda o: (o.finish, o.request_id))
         self._outcomes.extend(completed)
@@ -767,6 +808,15 @@ class FleetService:
         # fault that spawned them — time does not rewind because the
         # chosen replica happens to be idle.
         start = max(now, replica.busy_until, *(r.not_before for r in requests))
+        for request in requests:
+            self._emit(
+                "dispatch",
+                at=start,
+                request=request,
+                replica=replica.index,
+                batch_size=len(requests),
+                attempts=request.attempts,
+            )
         replica.sync_to(start)
         clock = replica.service.device.clock
         clock.advance(cfg.dispatch_overhead_ms * 1e-3)
@@ -828,6 +878,17 @@ class FleetService:
                     replica, finish - local_now, result.layers_executed + 1
                 )
                 self._maybe_hedge(request, outcome, replica, pool)
+                # After hedging: a winning duplicate already rewrote the
+                # outcome, so the event carries the final provenance.
+                self._emit(
+                    "complete",
+                    at=outcome.finish,
+                    request=request,
+                    replica=outcome.replica,
+                    latency=outcome.latency,
+                    attempts=outcome.attempts,
+                    hedged=outcome.hedged,
+                )
         replica.busy_until = replica.local_now
         replica.busy_seconds += replica.busy_until - start
         # Hedge-won outcomes already counted for the winning backup.
@@ -894,6 +955,15 @@ class FleetService:
         }
         for scheduled_outcome in wave.outcomes:
             request = by_scheduler_id[scheduled_outcome.request_id]
+            self._emit(
+                "complete",
+                at=scheduled_outcome.finish - replica.origin,
+                request=request,
+                replica=replica.index,
+                latency=(scheduled_outcome.finish - replica.origin) - request.arrival,
+                attempts=request.attempts,
+                hedged=False,
+            )
             outcomes.append(
                 RequestOutcome(
                     request_id=request.request_id,
@@ -984,6 +1054,15 @@ class FleetService:
                 ),
             )
         )
+        kind = {"shed": "shed", "cancelled": "cancel", "failed": "fail"}[reason]
+        self._emit(
+            kind,
+            at=at,
+            request=request,
+            replica=failed_on,
+            detail=detail,
+            attempts=request.attempts,
+        )
 
     # ------------------------------------------------------------------
     # resilience plane (DESIGN.md §9)
@@ -1011,6 +1090,14 @@ class FleetService:
                 )
                 continue
             self._failovers += 1
+            self._emit(
+                "failover",
+                at=at,
+                request=request,
+                replica=replica.index,
+                fault=fault.kind,
+                attempts=request.attempts + 1,
+            )
             retries.append(
                 replace(
                     request,
@@ -1113,6 +1200,16 @@ class FleetService:
         backup.busy_seconds += finish - start
         backup.busy_until = finish
         outcome.hedged = True
+        won = result is not None and finish < outcome.finish
+        self._emit(
+            "hedge",
+            at=start,
+            request=request,
+            replica=backup.index,
+            fire_at=fire_at,
+            primary=primary.index,
+            won=won,
+        )
         if result is not None and finish < outcome.finish:
             self._hedges_won += 1
             backup.requests_served += 1
@@ -1165,6 +1262,14 @@ class FleetService:
                     reason="queue_depth",
                 )
             )
+            self._emit(
+                "scale",
+                at=now,
+                replica=replica.index,
+                action="scale_up",
+                num_active=len(self.active_replicas),
+                reason="queue_depth",
+            )
             self._capacity_samples.append((now, len(self.active_replicas)))
             self._last_scale_action = now
             return
@@ -1187,6 +1292,14 @@ class FleetService:
                         num_active=len(self.active_replicas),
                         reason="idle",
                     )
+                )
+                self._emit(
+                    "scale",
+                    at=now,
+                    replica=victim.index,
+                    action="scale_down",
+                    num_active=len(self.active_replicas),
+                    reason="idle",
                 )
                 self._capacity_samples.append((now, len(self.active_replicas)))
                 self._last_scale_action = now

@@ -259,11 +259,19 @@ class DeviceScheduler:
     shares the device (DESIGN.md §2, §6).
     """
 
-    def __init__(self, engine: EngineBase, config: SchedulerConfig | None = None) -> None:
+    def __init__(
+        self,
+        engine: EngineBase,
+        config: SchedulerConfig | None = None,
+        event_log=None,
+    ) -> None:
         if not engine._prepared:
             raise RuntimeError(f"{engine.name}: DeviceScheduler over an unprepared engine")
         self.engine = engine
         self.config = config or SchedulerConfig()
+        #: Observability sink (DESIGN.md §10); ``None`` observes nothing
+        #: and changes nothing — selections stay byte-identical.
+        self.events = event_log
         self.trace: list[StepEvent] = []
         #: Requests dropped instead of completed (shed / cancelled),
         #: in drop order; see :class:`DroppedRequest`.
@@ -367,6 +375,15 @@ class DeviceScheduler:
         self._pending.append(request)
         if self._first_arrival is None or arrival < self._first_arrival:
             self._first_arrival = arrival
+        self._emit(
+            "admit",
+            request,
+            arrival=arrival,
+            k=k,
+            priority=priority,
+            deadline=deadline,
+            cancel_at=cancel_at,
+        )
         return request.request_id
 
     # ------------------------------------------------------------------
@@ -420,6 +437,9 @@ class DeviceScheduler:
                 if self.config.policy == "fusion" and self._fusion_hold(request, active):
                     break
                 waiting.pop(0)
+                if self.config.policy == "fusion" and active:
+                    self._emit("fuse", request, group_size=len(active) + 1)
+                self._emit("dispatch", request, in_flight=len(active) + 1)
                 active.append(
                     _InFlight(
                         request=request,
@@ -536,6 +556,21 @@ class DeviceScheduler:
                 detail=detail,
             )
         )
+        kind = {"shed": "shed", "cancelled": "cancel", "failed": "fail"}[reason]
+        self._emit(kind, request, detail=detail)
+
+    def _emit(self, kind: str, request: ScheduledRequest, **data) -> None:
+        """Publish a device-tier event (DESIGN.md §10); no-op without a sink."""
+        if self.events is not None:
+            label = request.client_id if request.client_id is not None else request.request_id
+            self.events.emit(
+                kind,
+                at=self.clock.now,
+                tier="device",
+                request=label,
+                replica=self.engine.device.events_replica,
+                **data,
+            )
 
     def _fail(self, request: ScheduledRequest, fault: DeviceFault) -> None:
         self._drop(request, "failed", detail=fault.kind)
@@ -614,6 +649,13 @@ class DeviceScheduler:
 
     def _finish(self, flight: _InFlight) -> ScheduledOutcome:
         assert flight.start is not None  # a task cannot finish without stepping
+        self._emit(
+            "complete",
+            flight.request,
+            start=flight.start,
+            service_seconds=flight.service_seconds,
+            steps=flight.task.steps_taken,
+        )
         return ScheduledOutcome(
             request_id=flight.request.request_id,
             priority=flight.request.priority,

@@ -170,6 +170,8 @@ class SemanticSelectionService:
         max_threshold: float = 1.5,
         max_concurrency: int = 1,
         shared_weights: bool = False,
+        event_log=None,
+        events_replica: int | None = None,
     ) -> None:
         if not 0 < precision_target <= 1:
             raise ValueError("precision_target must lie in (0, 1]")
@@ -196,6 +198,12 @@ class SemanticSelectionService:
         self.device: Device = profile.create()
         self.engine = PrismEngine(model, self.device, self.config)
         self.engine.prepare()
+        #: Observability sink (DESIGN.md §10), attached *after* prepare
+        #: so the log carries serving-time events, not the one-time
+        #: weight-load prologue.  ``None`` observes nothing.
+        self.events = event_log
+        if event_log is not None:
+            self.device.attach_event_log(event_log, replica=events_replica)
         self.stats = ServiceStats()
         self._pending_samples: list[SampledRequest] = []
         self._stride = SampleStride(sample_rate)
@@ -404,6 +412,7 @@ class SemanticSelectionService:
                 max_skew=max_skew,
                 edf=edf,
             ),
+            event_log=self.events,
         )
         origin = self.device.clock.now
         request_ids: list[int] = []

@@ -294,11 +294,13 @@ class WeightPlane:
                 self.stats.saved_bytes += nbytes
                 per_layer = self.stats.per_layer_attaches
                 per_layer[layer_idx] = per_layer.get(layer_idx, 0) + 1
+                self._emit("attach", layer=layer_idx, nbytes=nbytes)
         else:
             self._prefetch(plane_pass, layer_idx)
         if layer_idx in self._inflight:
             self._wait(layer_idx)
         self._refcount[layer_idx] = self._refcount.get(layer_idx, 0) + 1
+        self._emit("acquire", layer=layer_idx, refcount=self._refcount[layer_idx])
         # Refill the full lookahead window (same discipline as
         # LayerStreamer.acquire), fetching only what nobody has yet.
         for nxt in range(layer_idx + 1, min(layer_idx + 1 + self.lookahead, self.num_layers)):
@@ -310,7 +312,20 @@ class WeightPlane:
         if count <= 0:
             raise RuntimeError(f"release of unheld plane layer {layer_idx}")
         self._refcount[layer_idx] = count - 1
+        self._emit("release", layer=layer_idx, refcount=count - 1)
         self._reap()
+
+    def _emit(self, kind: str, **data) -> None:
+        """Publish a plane event (DESIGN.md §10); no-op without a sink."""
+        device = self.executor.device
+        if device.events is not None:
+            device.events.emit(
+                kind,
+                at=device.clock.now,
+                tier="plane",
+                replica=device.events_replica,
+                **data,
+            )
 
     def _close(self, plane_pass: PlanePass) -> None:
         self._passes.remove(plane_pass)

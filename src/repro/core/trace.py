@@ -1,0 +1,585 @@
+"""Trace record/replay over the typed event log (DESIGN.md §10).
+
+A *trace* is one JSONL artifact: a schema header describing the serving
+stack (tier, model, platforms, scheduler/fleet/resilience knobs, the
+fault plan) followed by one canonical line per
+:class:`~repro.core.events.Event`.  The workload itself rides inside
+the log: every request is announced by a ``trace``-tier ``admit`` event
+carrying its full intent — the compact
+:class:`~repro.data.workloads.RerankQuery` spec plus arrival, deadline,
+priority, cancellation and hedge intent — so *replay* needs nothing but
+the file: it rebuilds the stack from the header, reconstructs each
+request's :class:`~repro.model.transformer.CandidateBatch`
+deterministically via :func:`~repro.data.workloads.build_batch`,
+re-executes, and asserts the fresh log is event-identical to the
+recorded one, line for line.
+
+Because every simulated instant derives from the virtual clock and
+candidate scores depend only on (model seed, uid, layer), a replayed
+trace reproduces the original byte-for-byte — including injected
+faults, failover retries and hedge races (DESIGN.md §9).  Divergence
+therefore always means a real behaviour change, never noise.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterable, Sequence
+
+import numpy as np
+
+from ..data.workloads import CandidateSpec, RerankQuery, build_batch
+from ..device.faults import FaultEvent, FaultPlan
+from ..device.platforms import get_profile
+from ..model.transformer import CrossEncoderModel
+from ..model.zoo import get_model_config
+from ..text.tokenizer import Tokenizer
+from ..text.vocab import Vocabulary
+from .api import SelectionRequest, DeviceServer, EngineServer, FleetServer
+from .config import PrismConfig
+from .engine import PrismEngine
+from .events import (
+    EVENTS_VERSION,
+    SERVING_TIERS,
+    Event,
+    EventLog,
+)
+from .fleet import FleetConfig, FleetService
+from .resilience import AutoscalerConfig, ResilienceConfig
+from .scheduler import LANE_BATCH
+from .service import SemanticSelectionService
+
+#: JSONL header schema tag / version.
+TRACE_SCHEMA = "repro.trace"
+TRACE_VERSION = 1
+
+#: Tiers a trace can drive end-to-end.
+TRACE_TIERS = ("engine", "device", "fleet")
+
+
+# ---------------------------------------------------------------------------
+# workload serialization
+# ---------------------------------------------------------------------------
+def query_to_payload(query: RerankQuery) -> dict[str, Any]:
+    """A :class:`RerankQuery` as pure JSON scalars (exact round-trip)."""
+    return {
+        "query_id": query.query_id,
+        "seed": query.seed,
+        "query_length": query.query_length,
+        "candidates": [
+            [c.uid, c.seed, c.length, c.relevance, bool(c.is_relevant)]
+            for c in query.candidates
+        ],
+    }
+
+
+def query_from_payload(payload: dict[str, Any]) -> RerankQuery:
+    return RerankQuery(
+        query_id=int(payload["query_id"]),
+        seed=int(payload["seed"]),
+        query_length=int(payload["query_length"]),
+        candidates=tuple(
+            CandidateSpec(
+                uid=int(uid),
+                seed=int(seed),
+                length=int(length),
+                relevance=float(relevance),
+                is_relevant=bool(is_relevant),
+            )
+            for uid, seed, length, relevance, is_relevant in payload["candidates"]
+        ),
+    )
+
+
+@dataclass(frozen=True)
+class TraceRequest:
+    """One recorded request: workload spec + serving intent.
+
+    All instants are *offsets* from the serving wave's origin, the same
+    axis :class:`~repro.core.api.SelectionRequest` uses; the query spec
+    (not the token arrays) is the payload — ``build_batch`` regenerates
+    the exact batch from it on replay.
+    """
+
+    query: RerankQuery
+    k: int
+    request_id: str
+    arrival: float = 0.0
+    priority: int = LANE_BATCH
+    deadline: float | None = None
+    cancel_at: float | None = None
+    hedge_after_ms: float | None = None
+    sample: bool | None = None
+
+    def to_payload(self) -> dict[str, Any]:
+        return {
+            "query": query_to_payload(self.query),
+            "k": self.k,
+            "arrival": self.arrival,
+            "priority": self.priority,
+            "deadline": self.deadline,
+            "cancel_at": self.cancel_at,
+            "hedge_after_ms": self.hedge_after_ms,
+            "sample": self.sample,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict[str, Any], request_id: str) -> "TraceRequest":
+        return cls(
+            query=query_from_payload(payload["query"]),
+            k=int(payload["k"]),
+            request_id=request_id,
+            arrival=float(payload.get("arrival", 0.0)),
+            priority=int(payload.get("priority", LANE_BATCH)),
+            deadline=payload.get("deadline"),
+            cancel_at=payload.get("cancel_at"),
+            hedge_after_ms=payload.get("hedge_after_ms"),
+            sample=payload.get("sample"),
+        )
+
+
+@dataclass(frozen=True)
+class TraceSpec:
+    """The serving stack a trace runs against (the JSONL header body).
+
+    ``device`` holds device-tier scheduler knobs (``policy``,
+    ``quantum_layers``, ``max_skew``, ``edf``, ``max_concurrency``,
+    ``shared_weights``); ``fleet`` holds
+    :class:`~repro.core.fleet.FleetConfig` kwargs; ``resilience`` /
+    ``autoscaler`` hold the §9 config kwargs (``None`` = defaults /
+    disabled); ``faults`` holds
+    :class:`~repro.device.faults.FaultEvent` kwargs with instants
+    relative to the serving origin.
+    """
+
+    tier: str
+    model: str = "qwen3-reranker-0.6b"
+    platforms: tuple[str, ...] = ("nvidia_5070",)
+    device: dict[str, Any] = field(default_factory=dict)
+    fleet: dict[str, Any] = field(default_factory=dict)
+    resilience: dict[str, Any] | None = None
+    autoscaler: dict[str, Any] | None = None
+    faults: tuple[dict[str, Any], ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.tier not in TRACE_TIERS:
+            known = ", ".join(TRACE_TIERS)
+            raise ValueError(f"unknown trace tier {self.tier!r}; known: {known}")
+        if not self.platforms:
+            raise ValueError("a trace needs at least one platform")
+
+    def to_payload(self) -> dict[str, Any]:
+        return {
+            "tier": self.tier,
+            "model": self.model,
+            "platforms": list(self.platforms),
+            "device": dict(self.device),
+            "fleet": dict(self.fleet),
+            "resilience": self.resilience,
+            "autoscaler": self.autoscaler,
+            "faults": [dict(f) for f in self.faults],
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict[str, Any]) -> "TraceSpec":
+        return cls(
+            tier=str(payload["tier"]),
+            model=str(payload["model"]),
+            platforms=tuple(payload["platforms"]),
+            device=dict(payload.get("device", {})),
+            fleet=dict(payload.get("fleet", {})),
+            resilience=payload.get("resilience"),
+            autoscaler=payload.get("autoscaler"),
+            faults=tuple(dict(f) for f in payload.get("faults", [])),
+        )
+
+    def fault_events(self) -> tuple[FaultEvent, ...]:
+        return tuple(FaultEvent(**kwargs) for kwargs in self.faults)
+
+
+# ---------------------------------------------------------------------------
+# execution
+# ---------------------------------------------------------------------------
+# Process-wide immutable shares (same discipline as harness.runner):
+# weights depend only on the model seed, so reuse is behaviour-neutral.
+_MODEL_CACHE: dict[str, CrossEncoderModel] = {}
+_TOKENIZER_CACHE: dict[int, Tokenizer] = {}
+
+
+def _shared_model(name: str) -> CrossEncoderModel:
+    if name not in _MODEL_CACHE:
+        _MODEL_CACHE[name] = CrossEncoderModel(get_model_config(name))
+    return _MODEL_CACHE[name]
+
+
+def _shared_tokenizer(vocab_size: int) -> Tokenizer:
+    if vocab_size not in _TOKENIZER_CACHE:
+        _TOKENIZER_CACHE[vocab_size] = Tokenizer(Vocabulary(vocab_size))
+    return _TOKENIZER_CACHE[vocab_size]
+
+
+@dataclass
+class TraceRun:
+    """One executed trace: the log plus the request outcomes."""
+
+    spec: TraceSpec
+    requests: list[TraceRequest]
+    log: EventLog
+    responses: list  # SelectionResponse, completion order
+
+    @property
+    def selections(self) -> dict[str, list[int] | None]:
+        """Request id → selected candidate indices (None when dropped)."""
+        return {
+            str(response.request_id): (
+                [int(i) for i in response.result.top_indices]
+                if response.result is not None
+                else None
+            )
+            for response in self.responses
+        }
+
+    @property
+    def statuses(self) -> dict[str, str]:
+        return {str(r.request_id): r.status for r in self.responses}
+
+
+def build_server(spec: TraceSpec, log: EventLog | None):
+    """Instantiate the serving stack a spec describes.
+
+    Returns ``(server, clock)`` where ``clock`` is the tier's workload
+    time axis (the fleet clock, or the single device's clock).  With
+    ``log=None`` the stack runs unobserved — the equivalence tests use
+    exactly this to pin zero behaviour change.
+    """
+    model = _shared_model(spec.model)
+    profiles = [get_profile(name) for name in spec.platforms]
+    config = PrismConfig(numerics=False)
+    if spec.tier == "engine":
+        device = profiles[0].create()
+        engine = PrismEngine(model, device, config)
+        engine.prepare()
+        if log is not None:
+            device.attach_event_log(log)
+        if spec.faults:
+            device.install_faults(spec.fault_events(), origin=device.clock.now)
+        return EngineServer(engine), device.clock
+    if spec.tier == "device":
+        knobs = dict(spec.device)
+        service = SemanticSelectionService(
+            model,
+            profiles[0],
+            config=config,
+            max_concurrency=knobs.get("max_concurrency", 1),
+            shared_weights=knobs.get("shared_weights", False),
+            event_log=log,
+        )
+        if spec.faults:
+            service.device.install_faults(
+                spec.fault_events(), origin=service.device.clock.now
+            )
+        server = DeviceServer(
+            service,
+            policy=knobs.get("policy", "round_robin"),
+            quantum_layers=knobs.get("quantum_layers", 1),
+            max_skew=knobs.get("max_skew", 0.0),
+            edf=knobs.get("edf", False),
+        )
+        return server, service.device.clock
+    fleet = FleetService(
+        model,
+        profiles,
+        fleet_config=FleetConfig(**spec.fleet),
+        config=config,
+        fault_plan=FaultPlan(spec.fault_events()) if spec.faults else None,
+        resilience=(
+            ResilienceConfig(**spec.resilience) if spec.resilience is not None else None
+        ),
+        autoscaler=(
+            AutoscalerConfig(**spec.autoscaler) if spec.autoscaler is not None else None
+        ),
+        event_log=log,
+    )
+    return FleetServer(fleet), fleet.clock
+
+
+def run_trace(
+    spec: TraceSpec,
+    requests: Sequence[TraceRequest],
+    log: EventLog | None = None,
+    observe: bool = True,
+) -> TraceRun:
+    """Execute a workload against the stack a spec describes.
+
+    Emits one ``trace``-tier ``admit`` event per request before serving
+    begins — the self-contained workload record replay reads back.
+    ``observe=False`` runs the identical submission path with *no* sink
+    attached anywhere (the returned run's log stays empty) — the
+    §10 zero-perturbation guarantee is pinned by comparing its
+    selections against an observed run's.
+    """
+    if not observe:
+        log = None
+    elif log is None:
+        log = EventLog()
+    server, clock = build_server(spec, log)
+    model_config = get_model_config(spec.model)
+    tokenizer = _shared_tokenizer(model_config.vocab_size)
+    origin = clock.now
+    if log is not None:
+        for request in requests:
+            log.emit(
+                "admit",
+                at=origin,
+                tier="trace",
+                request=request.request_id,
+                **request.to_payload(),
+            )
+    handles = []
+    for request in requests:
+        handle = server.submit(
+            SelectionRequest(
+                batch=build_batch(request.query, tokenizer, model_config.max_seq_len),
+                k=request.k,
+                request_id=request.request_id,
+                priority=request.priority,
+                arrival=request.arrival,
+                deadline=request.deadline,
+                sample=request.sample,
+                hedge_after_ms=request.hedge_after_ms,
+            )
+        )
+        if request.cancel_at is not None:
+            handle.cancel(at=request.cancel_at)
+        handles.append(handle)
+    responses = server.drain()
+    return TraceRun(
+        spec=spec,
+        requests=list(requests),
+        log=log if log is not None else EventLog(),
+        responses=responses,
+    )
+
+
+# ---------------------------------------------------------------------------
+# the JSONL artifact
+# ---------------------------------------------------------------------------
+def render_trace(spec: TraceSpec, log: EventLog) -> str:
+    """The canonical JSONL artifact: schema header + one line per event."""
+    header = {
+        "schema": TRACE_SCHEMA,
+        "version": TRACE_VERSION,
+        "events_version": EVENTS_VERSION,
+        "spec": spec.to_payload(),
+    }
+    lines = [json.dumps(header, sort_keys=True, separators=(",", ":"))]
+    lines.extend(log.lines())
+    return "\n".join(lines) + "\n"
+
+
+def parse_trace(text: str) -> tuple[TraceSpec, list[Event], list[str]]:
+    """Parse a JSONL trace → (spec, events, canonical event lines)."""
+    lines = [line for line in text.splitlines() if line.strip()]
+    if not lines:
+        raise ValueError("empty trace: no schema header")
+    header = json.loads(lines[0])
+    if header.get("schema") != TRACE_SCHEMA:
+        raise ValueError(f"not a {TRACE_SCHEMA} file (schema={header.get('schema')!r})")
+    if header.get("version") != TRACE_VERSION:
+        raise ValueError(
+            f"trace version {header.get('version')!r} != supported {TRACE_VERSION}"
+        )
+    spec = TraceSpec.from_payload(header["spec"])
+    events = [Event.from_payload(json.loads(line)) for line in lines[1:]]
+    return spec, events, lines[1:]
+
+
+def read_trace(path: str | Path) -> tuple[TraceSpec, list[Event], list[str]]:
+    return parse_trace(Path(path).read_text())
+
+
+def requests_from_events(events: Iterable[Event]) -> list[TraceRequest]:
+    """Reconstruct the recorded workload from ``trace``-tier admits."""
+    return [
+        TraceRequest.from_payload(event.data, request_id=str(event.request))
+        for event in events
+        if event.tier == "trace" and event.kind == "admit"
+    ]
+
+
+def record_trace(
+    spec: TraceSpec, requests: Sequence[TraceRequest], path: str | Path | None = None
+) -> tuple[TraceRun, str]:
+    """Run a workload with recording on; optionally write the JSONL."""
+    run = run_trace(spec, requests)
+    text = render_trace(spec, run.log)
+    if path is not None:
+        Path(path).write_text(text)
+    return run, text
+
+
+@dataclass
+class ReplayReport:
+    """Line-level verdict of one record → replay comparison."""
+
+    recorded_events: int
+    replayed_events: int
+    #: Index (0-based, into the event lines) of the first divergence;
+    #: ``None`` when the logs are event-identical.
+    first_divergence: int | None = None
+    recorded_line: str | None = None
+    replayed_line: str | None = None
+
+    @property
+    def event_identical(self) -> bool:
+        return (
+            self.first_divergence is None
+            and self.recorded_events == self.replayed_events
+        )
+
+
+def compare_logs(recorded_lines: Sequence[str], replayed_lines: Sequence[str]) -> ReplayReport:
+    """First-divergence comparison of two canonical line sequences."""
+    report = ReplayReport(
+        recorded_events=len(recorded_lines), replayed_events=len(replayed_lines)
+    )
+    for index, (old, new) in enumerate(zip(recorded_lines, replayed_lines)):
+        if old != new:
+            report.first_divergence = index
+            report.recorded_line = old
+            report.replayed_line = new
+            return report
+    if len(recorded_lines) != len(replayed_lines):
+        index = min(len(recorded_lines), len(replayed_lines))
+        report.first_divergence = index
+        report.recorded_line = (
+            recorded_lines[index] if index < len(recorded_lines) else None
+        )
+        report.replayed_line = (
+            replayed_lines[index] if index < len(replayed_lines) else None
+        )
+    return report
+
+
+def replay_trace(
+    path: str | Path | None = None, text: str | None = None
+) -> tuple[TraceRun, ReplayReport]:
+    """Re-execute a recorded trace; report event-identity line by line.
+
+    The workload (arrivals, deadlines, priorities, cancellations,
+    hedges) is reconstructed from the recorded log itself; the stack
+    (including the fault plan — faults are part of the spec, so a
+    mid-stream crash replays deterministically) comes from the header.
+    """
+    if (path is None) == (text is None):
+        raise ValueError("pass exactly one of path / text")
+    spec, events, recorded_lines = (
+        read_trace(path) if path is not None else parse_trace(text)  # type: ignore[arg-type]
+    )
+    run = run_trace(spec, requests_from_events(events))
+    return run, compare_logs(recorded_lines, run.log.lines())
+
+
+# ---------------------------------------------------------------------------
+# aggregation (cli trace summary / tail)
+# ---------------------------------------------------------------------------
+@dataclass
+class TierSummary:
+    """Per-tier lifecycle rollup of one event log."""
+
+    tier: str
+    admitted: int = 0
+    completed: int = 0
+    shed: int = 0
+    cancelled: int = 0
+    failed: int = 0
+    throughput_rps: float | None = None
+    p50_latency: float | None = None
+    p95_latency: float | None = None
+    p99_latency: float | None = None
+
+
+@dataclass
+class TraceSummary:
+    """The fleet dashboard a log aggregates into (DESIGN.md §10)."""
+
+    events: int
+    kinds: dict[str, int]
+    tiers: list[TierSummary]
+    faults: int = 0
+    failovers: int = 0
+    hedges: int = 0
+    scale_actions: int = 0
+    fetches: int = 0
+    fetched_bytes: int = 0
+
+
+def summarize_events(events: Sequence[Event]) -> TraceSummary:
+    """Aggregate a log: per-tier throughput, latency percentiles, drops.
+
+    Latency is ``terminal.at − arrival`` on the tier's own clock (both
+    carried by the tier's events, so replicas' differing origins never
+    mix); throughput is completions over the tier's observed span.
+    """
+    kinds: dict[str, int] = {}
+    for event in events:
+        kinds[event.kind] = kinds.get(event.kind, 0) + 1
+    tiers = []
+    for tier in SERVING_TIERS:
+        tier_events = [e for e in events if e.tier == tier]
+        summary = TierSummary(tier=tier)
+        arrivals: dict[tuple, float] = {}
+        latencies: list[float] = []
+        for event in tier_events:
+            # Fleet lifecycle events all ride the coordinator clock —
+            # the admit names no replica while the complete names the
+            # serving one — so the request alone keys the pairing;
+            # device/engine events pair within their replica's axis.
+            key = (
+                (event.request,)
+                if tier == "fleet"
+                else (event.replica, event.request)
+            )
+            if event.kind == "admit":
+                summary.admitted += 1
+                arrivals[key] = float(event.data.get("arrival", event.at))
+            elif event.kind == "complete":
+                summary.completed += 1
+                if "latency" in event.data:
+                    latencies.append(float(event.data["latency"]))
+                elif key in arrivals:
+                    latencies.append(event.at - arrivals[key])
+            elif event.kind == "shed":
+                summary.shed += 1
+            elif event.kind == "cancel":
+                summary.cancelled += 1
+            elif event.kind == "fail":
+                summary.failed += 1
+        if not (summary.admitted or summary.completed + summary.shed
+                + summary.cancelled + summary.failed):
+            # The tier served nothing (e.g. stray engine step events
+            # under a device-tier run) — no dashboard row.
+            continue
+        span = max(e.at for e in tier_events) - min(e.at for e in tier_events)
+        if summary.completed and span > 0:
+            summary.throughput_rps = summary.completed / span
+        if latencies:
+            summary.p50_latency = float(np.percentile(latencies, 50))
+            summary.p95_latency = float(np.percentile(latencies, 95))
+            summary.p99_latency = float(np.percentile(latencies, 99))
+        tiers.append(summary)
+    return TraceSummary(
+        events=len(events),
+        kinds=kinds,
+        tiers=tiers,
+        faults=kinds.get("fault", 0),
+        failovers=kinds.get("failover", 0),
+        hedges=kinds.get("hedge", 0),
+        scale_actions=kinds.get("scale", 0),
+        fetches=kinds.get("fetch", 0),
+        fetched_bytes=sum(
+            int(e.data.get("nbytes", 0)) for e in events if e.kind == "fetch"
+        ),
+    )

@@ -175,6 +175,9 @@ class FaultInjector:
             else:
                 self._point[event.kind].append(event)
         self.fired: list[FaultEvent] = []
+        #: Observability sink (DESIGN.md §10); ``None`` observes nothing.
+        self.events = None
+        self.events_replica: int | None = None
 
     @property
     def pending_events(self) -> int:
@@ -198,6 +201,16 @@ class FaultInjector:
         if queue and queue[0].at <= at:
             event = queue.pop(0)
             self.fired.append(event)
+            if self.events is not None:
+                self.events.emit(
+                    "fault",
+                    at=at,
+                    tier="device",
+                    replica=self.events_replica,
+                    fault=event.kind,
+                    scheduled_at=event.at,
+                    duration=event.duration,
+                )
             return event
         return None
 

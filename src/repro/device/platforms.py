@@ -68,6 +68,26 @@ class Device:
         #: Deterministic fault runtime (DESIGN.md §9), shared with the
         #: SSD stream; ``None`` until a plan is installed.
         self.faults: FaultInjector | None = None
+        #: Observability sink (DESIGN.md §10); ``None`` observes nothing
+        #: and leaves the hot path untouched.
+        self.events = None
+        self.events_replica: int | None = None
+
+    def attach_event_log(self, log, replica: int | None = None) -> None:
+        """Attach an :class:`~repro.core.events.EventLog` (DESIGN.md §10).
+
+        Propagates the sink to the SSD stream and any already-installed
+        fault injector; ``replica`` labels this device's time axis in
+        the shared log.  Attaching is purely observational — no clock,
+        tracker or queue is touched.
+        """
+        self.events = log
+        self.events_replica = replica
+        self.ssd.events = log
+        self.ssd.events_replica = replica
+        if self.faults is not None:
+            self.faults.events = log
+            self.faults.events_replica = replica
 
     def install_faults(
         self, plan: "FaultPlan | Sequence[FaultEvent]", origin: float = 0.0
@@ -82,6 +102,8 @@ class Device:
         """
         events = plan.events if isinstance(plan, FaultPlan) else tuple(plan)
         injector = FaultInjector(events, origin=origin)
+        injector.events = self.events
+        injector.events_replica = self.events_replica
         self.faults = injector
         self.ssd.faults = injector
         return injector

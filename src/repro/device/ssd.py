@@ -94,6 +94,9 @@ class SSDDevice:
         #: Deterministic fault runtime (DESIGN.md §9); ``None`` injects
         #: nothing and leaves every timing byte-identical.
         self.faults: FaultInjector | None = None
+        #: Observability sink (DESIGN.md §10); ``None`` observes nothing.
+        self.events = None
+        self.events_replica: int | None = None
 
     # ------------------------------------------------------------------
     # synchronous API
@@ -195,4 +198,16 @@ class SSDDevice:
         else:
             self.total_write_bytes += nbytes
         self.request_log.append(request)
+        if self.events is not None:
+            self.events.emit(
+                "fetch",
+                at=request.issue_time,
+                tier="ssd",
+                replica=self.events_replica,
+                tag=tag,
+                io=kind,
+                nbytes=nbytes,
+                start=start,
+                complete=complete,
+            )
         return request

@@ -35,6 +35,22 @@ arrival), ``cancel_at`` (offset seconds — exercises cancellation),
 ``serve`` exits non-zero when any request did not complete — shed,
 cancelled, or failed — and prints a one-line summary count, so shell
 pipelines (and CI) can gate on clean serving runs.
+
+The ``trace`` subcommand drives the observability plane (DESIGN.md
+§10)::
+
+    python -m repro.harness.cli trace record out.jsonl --scenario resilience --quick
+    python -m repro.harness.cli trace replay out.jsonl
+    python -m repro.harness.cli trace tail out.jsonl --last 20
+    python -m repro.harness.cli trace summary out.jsonl
+
+``record`` executes a named scenario (see
+:data:`repro.harness.traces.SCENARIOS`) with the event log attached and
+writes the JSONL trace; ``replay`` reconstructs the workload from a
+recorded trace, re-executes it, and exits non-zero on the first
+divergent event line; ``tail`` prints the last events human-readably;
+``summary`` aggregates a log into the per-tier fleet dashboard
+(throughput, p50/p95/p99, shed/fault/hedge counts).
 """
 
 from __future__ import annotations
@@ -295,6 +311,132 @@ def run_serve(argv: list[str]) -> int:
     return 0
 
 
+def build_trace_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.harness.cli trace",
+        description="Record, replay and inspect event-log traces (DESIGN.md §10).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    record = sub.add_parser("record", help="run a scenario, write its JSONL trace")
+    record.add_argument("out", type=Path, help="trace file to write")
+    record.add_argument(
+        "--scenario",
+        default="device",
+        help="named scenario from repro.harness.traces.SCENARIOS",
+    )
+    record.add_argument(
+        "--quick", action="store_true", help="scaled-down workload for smoke runs"
+    )
+
+    replay = sub.add_parser(
+        "replay", help="re-execute a recorded trace, fail on divergence"
+    )
+    replay.add_argument("trace", type=Path, help="trace file to replay")
+
+    tail = sub.add_parser("tail", help="print the last events human-readably")
+    tail.add_argument("trace", type=Path, help="trace file to read")
+    tail.add_argument("--last", type=int, default=20, help="how many events to show")
+    tail.add_argument("--kind", default=None, help="only events of this kind")
+    tail.add_argument("--tier", default=None, help="only events of this tier")
+
+    summary = sub.add_parser("summary", help="aggregate a trace into a dashboard")
+    summary.add_argument("trace", type=Path, help="trace file to read")
+    return parser
+
+
+def run_trace_cmd(argv: list[str]) -> int:
+    """The ``trace`` subcommand: record / replay / tail / summary."""
+    from ..core.trace import read_trace, record_trace, replay_trace, summarize_events
+    from .reporting import format_table, ms
+    from .traces import SCENARIOS, build_scenario
+
+    args = build_trace_parser().parse_args(argv)
+
+    if args.command == "record":
+        if args.scenario not in SCENARIOS:
+            known = ", ".join(sorted(SCENARIOS))
+            raise SystemExit(f"unknown scenario {args.scenario!r}; known: {known}")
+        spec, requests = build_scenario(args.scenario, quick=args.quick)
+        run, text = record_trace(spec, requests, path=args.out)
+        print(
+            f"recorded {len(run.log)} events ({args.scenario}, {spec.tier} tier, "
+            f"{len(requests)} requests) -> {args.out}"
+        )
+        return 0
+
+    if args.command == "replay":
+        run, report = replay_trace(path=args.trace)
+        if report.event_identical:
+            print(
+                f"replay ok: {report.replayed_events} events, "
+                f"event-identical to {args.trace}"
+            )
+            return 0
+        print(
+            f"replay DIVERGED at event {report.first_divergence} "
+            f"({report.recorded_events} recorded, {report.replayed_events} replayed)"
+        )
+        print(f"  recorded: {report.recorded_line}")
+        print(f"  replayed: {report.replayed_line}")
+        return 1
+
+    spec, events, _ = read_trace(args.trace)
+    if args.command == "tail":
+        shown = [
+            e
+            for e in events
+            if (args.kind is None or e.kind == args.kind)
+            and (args.tier is None or e.tier == args.tier)
+        ][-args.last :]
+        for event in shown:
+            print(event.describe())
+        print(f"({len(shown)} of {len(events)} events, {spec.tier} tier)")
+        return 0
+
+    # summary: the per-tier fleet dashboard.
+    dashboard = summarize_events(events)
+    rows = [
+        (
+            tier.tier,
+            tier.admitted,
+            tier.completed,
+            tier.shed,
+            tier.cancelled,
+            tier.failed,
+            "-" if tier.throughput_rps is None else f"{tier.throughput_rps:.2f}/s",
+            ms(tier.p50_latency),
+            ms(tier.p95_latency),
+            ms(tier.p99_latency),
+        )
+        for tier in dashboard.tiers
+    ]
+    print(
+        format_table(
+            (
+                "tier",
+                "admitted",
+                "completed",
+                "shed",
+                "cancelled",
+                "failed",
+                "throughput",
+                "p50",
+                "p95",
+                "p99",
+            ),
+            rows,
+            title=f"trace summary ({dashboard.events} events)",
+        )
+    )
+    print(
+        f"faults={dashboard.faults} failovers={dashboard.failovers} "
+        f"hedges={dashboard.hedges} scale_actions={dashboard.scale_actions} "
+        f"ssd_fetches={dashboard.fetches} ({dashboard.fetched_bytes} bytes)"
+    )
+    return 0
+
+
 def run_one(name: str, quick: bool, out: Path | None) -> str:
     full, small = _EXPERIMENTS[name]
     start = time.perf_counter()
@@ -311,6 +453,8 @@ def main(argv: list[str] | None = None) -> int:
     argv = sys.argv[1:] if argv is None else argv
     if argv and argv[0] == "serve":
         return run_serve(argv[1:])
+    if argv and argv[0] == "trace":
+        return run_trace_cmd(argv[1:])
     args = build_parser().parse_args(argv)
     if args.experiment == "list":
         for name in sorted(_EXPERIMENTS):

@@ -46,8 +46,10 @@ def pct(value: float) -> str:
     return f"{100.0 * value:.1f}%"
 
 
-def ms(seconds: float) -> str:
-    """Format seconds as milliseconds."""
+def ms(seconds: float | None) -> str:
+    """Format seconds as milliseconds (``None`` — no samples — as "-")."""
+    if seconds is None:
+        return "-"
     return f"{seconds * 1e3:.1f}ms"
 
 

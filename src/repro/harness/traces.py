@@ -1,0 +1,191 @@
+"""Canonical trace scenarios for record/replay (DESIGN.md §10).
+
+Each scenario names one deterministic (spec, workload) pair covering a
+serving tier or a resilience behaviour; ``cli trace record`` and the
+golden fixtures under ``tests/fixtures/traces/`` are built from these.
+``quick=True`` shrinks the workload for CI smoke and fixture use
+without changing the stack shape.
+"""
+
+from __future__ import annotations
+
+from ..core.scheduler import LANE_INTERACTIVE
+from ..core.trace import TraceRequest, TraceSpec, run_trace
+from ..data.datasets import get_dataset
+from ..device.faults import FAULT_REPLICA_CRASH
+
+#: Model every scenario runs (smallest in the zoo → smallest traces).
+SCENARIO_MODEL = "qwen3-reranker-0.6b"
+
+
+def _workload(num_queries: int, num_candidates: int) -> list:
+    """A deterministic pool of small queries (dataset generator §6.1)."""
+    return get_dataset("nfcorpus").queries(num_queries, num_candidates=num_candidates)
+
+
+def _engine_scenario(quick: bool) -> tuple[TraceSpec, list[TraceRequest]]:
+    """Lowest tier: serial direct execution, one cancellation."""
+    queries = _workload(2 if quick else 3, 4 if quick else 6)
+    spec = TraceSpec(tier="engine", model=SCENARIO_MODEL)
+    requests = [
+        TraceRequest(query=q, k=2, request_id=f"eng-{i}", arrival=0.002 * i)
+        for i, q in enumerate(queries)
+    ]
+    requests[-1] = TraceRequest(
+        query=queries[-1],
+        k=2,
+        request_id=requests[-1].request_id,
+        arrival=requests[-1].arrival,
+        cancel_at=requests[-1].arrival,  # cancelled before it ever starts
+    )
+    return spec, requests
+
+
+def _device_scenario(quick: bool) -> tuple[TraceSpec, list[TraceRequest]]:
+    """Shared device: fused scheduling over a shared weight plane.
+
+    Exercises plane acquire/attach/release and fuse events, one
+    interactive-lane request, one deadline shed and one mid-run
+    cancellation.
+    """
+    queries = _workload(3 if quick else 4, 4 if quick else 6)
+    spec = TraceSpec(
+        tier="device",
+        model=SCENARIO_MODEL,
+        device={
+            "policy": "fusion",
+            "max_concurrency": 2,
+            "shared_weights": True,
+            "quantum_layers": 2,
+        },
+    )
+    requests = [
+        TraceRequest(query=q, k=2, request_id=f"dev-{i}", arrival=0.001 * i)
+        for i, q in enumerate(queries)
+    ]
+    requests[0] = TraceRequest(
+        query=queries[0],
+        k=2,
+        request_id="dev-0",
+        priority=LANE_INTERACTIVE,
+    )
+    requests[1] = TraceRequest(
+        query=queries[1],
+        k=2,
+        request_id="dev-1",
+        arrival=0.001,
+        deadline=1e-4,  # unmeetable: pins the shed path
+    )
+    requests[2] = TraceRequest(
+        query=queries[2],
+        k=2,
+        request_id="dev-2",
+        arrival=0.002,
+        cancel_at=0.05,  # lands mid-pass: next layer boundary honours it
+    )
+    return spec, requests
+
+
+def _fleet_scenario(quick: bool) -> tuple[TraceSpec, list[TraceRequest]]:
+    """Replicated serving: round-robin routing over two replicas."""
+    queries = _workload(3 if quick else 5, 4 if quick else 6)
+    spec = TraceSpec(
+        tier="fleet",
+        model=SCENARIO_MODEL,
+        platforms=("nvidia_5070", "nvidia_5070"),
+        fleet={"routing": "round_robin", "max_batch": 2, "max_wait_ms": 2.0},
+    )
+    requests = [
+        TraceRequest(query=q, k=2, request_id=f"flt-{i}", arrival=0.004 * i)
+        for i, q in enumerate(queries)
+    ]
+    return spec, requests
+
+
+def _deadline_scenario(quick: bool) -> tuple[TraceSpec, list[TraceRequest]]:
+    """EDF admission under deadlines — mirrors the §8 deadline experiment."""
+    queries = _workload(3 if quick else 5, 4 if quick else 6)
+    spec = TraceSpec(
+        tier="device",
+        model=SCENARIO_MODEL,
+        device={"policy": "round_robin", "max_concurrency": 2, "edf": True},
+    )
+    requests = []
+    for i, q in enumerate(queries):
+        # Alternate tight/loose deadlines so EDF reorders admission and
+        # at least one request sheds deterministically.
+        deadline = 1e-4 if i == 1 else 30.0
+        requests.append(
+            TraceRequest(
+                query=q,
+                k=2,
+                request_id=f"ddl-{i}",
+                arrival=0.001 * i,
+                deadline=deadline,
+            )
+        )
+    return spec, requests
+
+
+def _resilience_scenario(quick: bool) -> tuple[TraceSpec, list[TraceRequest]]:
+    """The §9 stack end-to-end: crash mid-stream, failover, hedges, scaling.
+
+    The crash instant is derived from a deterministic fault-free probe
+    of the same (spec, workload): 40 % through its makespan, which
+    lands inside the serving window regardless of model or workload
+    size — the replica dies with work genuinely in flight.
+    """
+    queries = _workload(4 if quick else 6, 4 if quick else 6)
+    base = dict(
+        tier="fleet",
+        model=SCENARIO_MODEL,
+        platforms=("nvidia_5070", "nvidia_5070"),
+        fleet={"routing": "least_loaded", "max_batch": 1},
+        resilience={"max_retries": 2, "failure_threshold": 1, "cooldown_s": 30.0},
+        autoscaler={
+            "min_replicas": 1,
+            "max_replicas": 3,
+            "scale_up_queue_depth": 2,
+            "scale_down_idle_s": 0.05,
+            "warmup_s": 0.01,
+            "action_cooldown_s": 0.01,
+        },
+    )
+    requests = [
+        TraceRequest(
+            query=q,
+            k=2,
+            request_id=f"res-{i}",
+            arrival=0.003 * i,
+            hedge_after_ms=250.0,
+        )
+        for i, q in enumerate(queries)
+    ]
+    probe = run_trace(TraceSpec(**base), requests)
+    finishes = [r.finish for r in probe.responses if r.finish is not None]
+    crash_at = 0.4 * max(finishes)
+    spec = TraceSpec(
+        **base,
+        faults=({"kind": FAULT_REPLICA_CRASH, "at": crash_at, "replica": 0},),
+    )
+    return spec, requests
+
+
+#: Scenario name → builder(quick) -> (spec, requests).
+SCENARIOS = {
+    "engine": _engine_scenario,
+    "device": _device_scenario,
+    "fleet": _fleet_scenario,
+    "deadline": _deadline_scenario,
+    "resilience": _resilience_scenario,
+}
+
+
+def build_scenario(name: str, quick: bool = False) -> tuple[TraceSpec, list[TraceRequest]]:
+    """Look up and build a named scenario's (spec, workload) pair."""
+    try:
+        builder = SCENARIOS[name]
+    except KeyError:
+        known = ", ".join(sorted(SCENARIOS))
+        raise KeyError(f"unknown trace scenario {name!r}; known: {known}") from None
+    return builder(quick)

@@ -139,3 +139,63 @@ class TestServe:
         path.write_text("[]")
         with pytest.raises(SystemExit):
             main(["serve", str(path)])
+
+
+class TestTrace:
+    """The ``trace`` subcommand: record / replay / tail / summary."""
+
+    @pytest.fixture(scope="class")
+    def trace_file(self, tmp_path_factory):
+        path = tmp_path_factory.mktemp("traces") / "device.jsonl"
+        assert (
+            main(["trace", "record", str(path), "--scenario", "device", "--quick"])
+            == 0
+        )
+        return path
+
+    def test_record_writes_versioned_jsonl(self, trace_file):
+        header = json.loads(trace_file.read_text().splitlines()[0])
+        assert header["schema"] == "repro.trace"
+        assert header["version"] == 1
+
+    def test_record_unknown_scenario_rejected(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["trace", "record", str(tmp_path / "x.jsonl"), "--scenario", "warp"])
+
+    def test_replay_clean_exits_zero(self, trace_file, capsys):
+        assert main(["trace", "replay", str(trace_file)]) == 0
+        assert "event-identical" in capsys.readouterr().out
+
+    def test_replay_divergence_exits_nonzero(self, trace_file, tmp_path, capsys):
+        """A corrupted event line fails the replay with the divergent
+        line named — the CI gate the §10 acceptance requires."""
+        lines = trace_file.read_text().splitlines()
+        payload = json.loads(lines[5])
+        payload["at"] += 0.5
+        lines[5] = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        tampered = tmp_path / "tampered.jsonl"
+        tampered.write_text("\n".join(lines) + "\n")
+        assert main(["trace", "replay", str(tampered)]) == 1
+        out = capsys.readouterr().out
+        assert "DIVERGED at event 4" in out
+        assert "recorded:" in out and "replayed:" in out
+
+    def test_tail_prints_events(self, trace_file, capsys):
+        assert main(["trace", "tail", str(trace_file), "--last", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "t=" in out
+        assert "(5 of" in out
+
+    def test_tail_filters(self, trace_file, capsys):
+        assert main(["trace", "tail", str(trace_file), "--kind", "fetch"]) == 0
+        out = capsys.readouterr().out
+        assert "fetch" in out
+        assert "/complete" not in out
+
+    def test_summary_renders_dashboard(self, trace_file, capsys):
+        assert main(["trace", "summary", str(trace_file)]) == 0
+        out = capsys.readouterr().out
+        assert "trace summary" in out
+        for column in ("tier", "admitted", "completed", "shed", "p99"):
+            assert column in out
+        assert "faults=" in out and "hedges=" in out

@@ -34,7 +34,7 @@ def source_citations() -> list[tuple[str, int]]:
 
 def test_design_md_exists_with_numbered_sections():
     assert DESIGN_MD.is_file(), "DESIGN.md is missing from the repo root"
-    assert design_sections() >= {1, 2, 3, 4, 5, 6, 7, 8, 9}
+    assert design_sections() >= {1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
 
 
 def test_scheduler_sources_cite_section_6():
@@ -66,6 +66,17 @@ def test_resilience_sources_cite_section_9():
         "src/repro/device/faults.py",
     ):
         assert module in cited_by, f"{module} no longer cites DESIGN.md §9"
+
+
+def test_observability_sources_cite_section_10():
+    """The §10 citation net is live: the event log and trace
+    record/replay must anchor their design in DESIGN.md §10."""
+    cited_by = {source for source, section in source_citations() if section == 10}
+    for module in (
+        "src/repro/core/events.py",
+        "src/repro/core/trace.py",
+    ):
+        assert module in cited_by, f"{module} no longer cites DESIGN.md §10"
 
 
 def test_sources_cite_design_sections():
@@ -133,3 +144,34 @@ def test_serving_docs_cover_resilience_plane():
         "scaling_events",
     ):
         assert concept in serving, f"docs/serving.md resilience section misses {concept}"
+
+
+def test_observability_docs_cover_event_plane():
+    """docs/observability.md must document the §10 observability plane:
+    the event taxonomy, record/replay workflow, CLI and fixtures."""
+    doc = (REPO_ROOT / "docs" / "observability.md").read_text()
+    for concept in (
+        "EventLog",
+        "EVENT_KINDS",
+        "TERMINAL_KINDS",
+        "record_trace",
+        "replay_trace",
+        "ReplayReport",
+        "TraceSpec",
+        "event_log=",
+        "trace record",
+        "trace replay",
+        "trace summary",
+        "tests/fixtures/traces/",
+        "Zero perturbation",  # the no-sink guarantee is named
+    ):
+        assert concept in doc, f"docs/observability.md no longer covers {concept}"
+    # The documented fixture-regeneration command must reference the
+    # real CLI entry point.
+    assert "repro.harness.cli trace record" in doc
+
+
+def test_readme_points_at_observability_docs():
+    readme = (REPO_ROOT / "README.md").read_text()
+    assert "docs/observability.md" in readme
+    assert "trace record" in readme

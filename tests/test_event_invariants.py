@@ -1,0 +1,199 @@
+"""Property-style invariants every event log obeys (DESIGN.md §10).
+
+Swept across seeded scenario variations rather than a single golden
+run, three structural laws:
+
+* **Monotonicity** — each request's events are non-decreasing in clock
+  time within one time axis (hedge events excepted: a hedge is stamped
+  at the backup's start instant, which precedes the primary's
+  completion by construction — it is instead bounded by the request's
+  admit and terminal instants).
+* **Exactly-one terminal** — every admitted request terminates in
+  exactly one of complete/shed/cancel/fail *per admission* (a device
+  re-admitted after failover legitimately admits twice — and must then
+  terminate twice).
+* **Refcount balance** — shared weight-plane acquires and releases
+  balance to zero, even through cancellations and crashes.
+"""
+
+import pytest
+
+from repro.core.events import SERVING_TIERS, TERMINAL_KINDS, EventLog
+from repro.core.trace import TraceSpec, run_trace
+from repro.harness.traces import SCENARIOS, build_scenario
+from repro.data.datasets import get_dataset
+from repro.core.trace import TraceRequest
+
+ALL_SCENARIOS = tuple(sorted(SCENARIOS))
+
+#: Seeded sweep: deterministic workload variations of the device tier
+#: (arrival spread, deadlines, cancels) — poor-man's property testing
+#: without a property-testing dependency.
+SWEEP_CASES = tuple(range(4))
+
+
+def _group_key(event):
+    """The (time-axis, request) identity an ordering claim applies to.
+
+    fleet/trace events all ride the coordinator clock; device-side
+    tiers ride per-replica clocks, so the replica is part of the key.
+    """
+    if event.tier in ("fleet", "trace"):
+        return (event.tier, event.request)
+    return (event.tier, event.replica, event.request)
+
+
+def check_monotone(log: EventLog) -> None:
+    last: dict = {}
+    for event in log:
+        if event.request is None or event.kind == "hedge":
+            continue
+        key = _group_key(event)
+        if key in last:
+            assert event.at >= last[key] - 1e-12, (
+                f"clock went backwards for {key}: {event.kind}@{event.at} "
+                f"after t={last[key]}"
+            )
+        last[key] = event.at
+
+
+def check_hedge_bounds(log: EventLog) -> None:
+    """A hedge starts after its admit and its arm instant; a *winning*
+    hedge also starts before the request's terminal.  (A losing hedge
+    may start later — its backup replica can be busy past the
+    primary's finish; the race then charges no extra latency.)"""
+    admits = {
+        e.request: e.at for e in log if e.tier == "fleet" and e.kind == "admit"
+    }
+    terminals = {
+        e.request: e.at
+        for e in log
+        if e.tier == "fleet" and e.kind in TERMINAL_KINDS
+    }
+    hedges = [e for e in log if e.kind == "hedge"]
+    for event in hedges:
+        assert admits[event.request] <= event.at
+        assert event.data["fire_at"] <= event.at + 1e-12
+        if event.data["won"]:
+            assert event.at <= terminals[event.request] + 1e-12
+
+
+def check_exactly_one_terminal(log: EventLog) -> None:
+    for tier in SERVING_TIERS:
+        admits: dict = {}
+        terminals: dict = {}
+        for event in log:
+            if event.tier != tier or event.request is None:
+                continue
+            key = _group_key(event)
+            if event.kind == "admit":
+                admits[key] = admits.get(key, 0) + 1
+            elif event.kind in TERMINAL_KINDS:
+                terminals[key] = terminals.get(key, 0) + 1
+        assert set(admits) == set(terminals), (
+            f"{tier}: admitted {set(admits) - set(terminals)} never terminated; "
+            f"{set(terminals) - set(admits)} terminated without admission"
+        )
+        for key, count in admits.items():
+            assert terminals[key] == count, (
+                f"{tier}: {key} admitted {count}x but terminated {terminals[key]}x"
+            )
+
+
+def check_plane_balance(log: EventLog) -> None:
+    acquires = sum(1 for e in log if e.kind == "acquire")
+    releases = sum(1 for e in log if e.kind == "release")
+    assert acquires == releases, (
+        f"weight plane leaked: {acquires} acquires vs {releases} releases"
+    )
+    # And per (replica, layer), refcounts drain back to zero.
+    open_counts: dict = {}
+    for event in log:
+        if event.kind == "acquire":
+            key = (event.replica, event.data["layer"])
+            open_counts[key] = open_counts.get(key, 0) + 1
+        elif event.kind == "release":
+            key = (event.replica, event.data["layer"])
+            open_counts[key] = open_counts.get(key, 0) - 1
+            assert open_counts[key] >= 0, f"release before acquire for {key}"
+    assert all(count == 0 for count in open_counts.values()), (
+        f"unbalanced layers: { {k: v for k, v in open_counts.items() if v} }"
+    )
+
+
+@pytest.fixture(scope="module")
+def scenario_logs():
+    return {
+        name: run_trace(*build_scenario(name, quick=True)).log
+        for name in ALL_SCENARIOS
+    }
+
+
+class TestScenarioInvariants:
+    @pytest.mark.parametrize("name", ALL_SCENARIOS)
+    def test_monotone_per_request(self, scenario_logs, name):
+        check_monotone(scenario_logs[name])
+
+    @pytest.mark.parametrize("name", ALL_SCENARIOS)
+    def test_hedges_bounded_by_lifecycle(self, scenario_logs, name):
+        check_hedge_bounds(scenario_logs[name])
+
+    @pytest.mark.parametrize("name", ALL_SCENARIOS)
+    def test_exactly_one_terminal_per_admission(self, scenario_logs, name):
+        check_exactly_one_terminal(scenario_logs[name])
+
+    @pytest.mark.parametrize("name", ALL_SCENARIOS)
+    def test_plane_refcounts_balance(self, scenario_logs, name):
+        check_plane_balance(scenario_logs[name])
+
+    @pytest.mark.parametrize("name", ALL_SCENARIOS)
+    def test_seq_is_emission_order(self, scenario_logs, name):
+        log = scenario_logs[name]
+        assert [e.seq for e in log] == list(range(len(log)))
+
+
+class TestSweptInvariants:
+    """Seeded workload variations on the shared-plane device tier —
+    the tier where cancellation, shedding and refcounting interact."""
+
+    @pytest.mark.parametrize("case", SWEEP_CASES)
+    def test_device_tier_sweep(self, case):
+        queries = get_dataset("nfcorpus").queries(3 + case, num_candidates=4)
+        spec = TraceSpec(
+            tier="device",
+            device={
+                "policy": ("fusion", "round_robin")[case % 2],
+                "max_concurrency": 2 + case % 2,
+                "shared_weights": True,
+            },
+        )
+        requests = []
+        for i, query in enumerate(queries):
+            requests.append(
+                TraceRequest(
+                    query=query,
+                    k=2,
+                    request_id=f"s{case}-{i}",
+                    arrival=0.0015 * i,
+                    # Rotate the drop modes through the sweep so every
+                    # terminal kind appears across the matrix.
+                    deadline=1e-4 if (i + case) % 3 == 0 else None,
+                    cancel_at=0.04 if (i + case) % 3 == 1 else None,
+                )
+            )
+        log = run_trace(spec, requests).log
+        check_monotone(log)
+        check_exactly_one_terminal(log)
+        check_plane_balance(log)
+
+    def test_crash_preserves_invariants(self):
+        """A mid-stream replica crash must not break any law: the dying
+        pass releases its plane refcounts, the victims re-admit on a
+        healthy replica, and every admission still terminates."""
+        spec, requests = build_scenario("resilience", quick=True)
+        log = run_trace(spec, requests).log
+        assert any(e.kind == "fault" for e in log)
+        check_monotone(log)
+        check_hedge_bounds(log)
+        check_exactly_one_terminal(log)
+        check_plane_balance(log)

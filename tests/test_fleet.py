@@ -264,10 +264,16 @@ class TestStats:
             assert 0.0 <= value <= 1.0 + 1e-9
 
     def test_empty_fleet_stats(self):
+        # An empty sample has no percentiles or rate: every helper
+        # answers None rather than a fake number (DESIGN.md §10).
         fleet = make_fleet(1)
         stats = fleet.stats()
-        assert np.isnan(stats.throughput_rps)
-        assert np.isnan(stats.p50_latency)
+        assert stats.throughput_rps is None
+        assert stats.p50_latency is None
+        assert stats.p95_latency is None
+        assert stats.p99_latency is None
+        assert stats.latency_percentile(75) is None
+        assert stats.mean_queue_wait is None
         assert stats.max_queue_depth == 0
 
 

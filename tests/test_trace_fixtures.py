@@ -1,0 +1,69 @@
+"""Golden trace fixtures: exact byte-level reproduction (DESIGN.md §10).
+
+One small recorded trace per serving tier lives under
+``tests/fixtures/traces/``.  Each test re-runs the generating scenario
+and asserts the rendered JSONL reproduces the committed fixture
+byte for byte — the strongest regression net the simulator offers:
+any change to scheduling order, cost modelling, routing, event
+emission or serialization shows up as a diff on a specific event line.
+
+After an *intentional* behaviour change, regenerate with::
+
+    for s in engine device fleet; do \
+      PYTHONPATH=src python -m repro.harness.cli trace record \
+        tests/fixtures/traces/$s.jsonl --scenario $s --quick; \
+    done
+
+and review the diff — every changed line is a behaviour change being
+claimed on purpose.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.core.trace import parse_trace, record_trace, replay_trace
+from repro.harness.traces import build_scenario
+
+FIXTURES = Path(__file__).resolve().parent / "fixtures" / "traces"
+TIERS = ("engine", "device", "fleet")
+
+
+@pytest.mark.parametrize("name", TIERS)
+def test_fixture_reproduces_exactly(name):
+    fixture = FIXTURES / f"{name}.jsonl"
+    assert fixture.is_file(), (
+        f"missing golden fixture {fixture}; regenerate with "
+        f"`PYTHONPATH=src python -m repro.harness.cli trace record "
+        f"{fixture} --scenario {name} --quick`"
+    )
+    spec, requests = build_scenario(name, quick=True)
+    _, text = record_trace(spec, requests)
+    assert text == fixture.read_text(), (
+        f"{name} scenario no longer reproduces its golden trace — "
+        "behaviour changed; if intentional, regenerate the fixture "
+        "(see module docstring) and review the diff"
+    )
+
+
+@pytest.mark.parametrize("name", TIERS)
+def test_fixture_replays_event_identical(name):
+    """The committed artifact itself replays — record/replay fidelity
+    holds against the *stored* bytes, not just an in-memory log."""
+    _, report = replay_trace(path=FIXTURES / f"{name}.jsonl")
+    assert report.event_identical, (
+        f"fixture {name}.jsonl diverged at event {report.first_divergence}: "
+        f"{report.recorded_line!r} != {report.replayed_line!r}"
+    )
+
+
+@pytest.mark.parametrize("name", TIERS)
+def test_fixture_header_is_versioned(name):
+    spec, events, _ = parse_trace((FIXTURES / f"{name}.jsonl").read_text())
+    header = json.loads((FIXTURES / f"{name}.jsonl").read_text().splitlines()[0])
+    assert header["schema"] == "repro.trace"
+    assert header["version"] == 1
+    assert header["events_version"] == 1
+    assert spec.tier == name
+    assert events, "fixture holds no events"
