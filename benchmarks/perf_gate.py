@@ -1,0 +1,155 @@
+"""CI perf-regression gate over the hot-path microbench (DESIGN.md §11).
+
+Compares a fresh ``BENCH_hotpath.json`` against the committed baseline
+and exits non-zero when the hot path got slower.  Wall-clock is
+machine-dependent, so absolute numbers are never compared across runs:
+every gang scenario is first normalised by the *same run's* ``solo``
+anchor (wall[scenario] / wall[solo]), which cancels the machine factor —
+a uniformly slower CI worker produces identical ratios.  The gate then
+fails when either
+
+* the median normalised ratio across the gang scenarios regressed by
+  more than ``--threshold`` (default 20%) against the baseline, or
+* the fresh run's batched N=8 speedup (sequential_gang_n8 /
+  batched_gang_n8) fell below ``--min-speedup-n8`` — the direct guard
+  on the batched-kernel win itself, which a median over scenarios
+  could mask.
+
+``--inject-slowdown FACTOR`` multiplies the fresh run's non-anchor
+wall-times before comparing — the CI job uses it to prove the gate
+actually fails on a >20% regression (see ``docs/performance.md``).
+
+Stdlib-only on purpose: the gate must run before (and regardless of)
+the package install step.
+
+Usage::
+
+    python benchmarks/perf_gate.py \
+        --baseline benchmarks/results/BENCH_hotpath.json \
+        --fresh fresh/BENCH_hotpath.json [--threshold 0.2] \
+        [--min-speedup-n8 1.4] [--inject-slowdown 1.0]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import sys
+from pathlib import Path
+
+#: The normalisation anchor: every other scenario is expressed as a
+#: multiple of this one's wall-time from the same run.
+ANCHOR = "solo"
+
+#: Gang scenarios the gate compares (everything the microbench records
+#: except the anchor itself).
+GANG_SCENARIOS = (
+    "sequential_gang_n4",
+    "batched_gang_n4",
+    "sequential_gang_n8",
+    "batched_gang_n8",
+)
+
+
+class GateError(Exception):
+    """A malformed artifact — distinct from a legitimate gate failure."""
+
+
+def load_walls(path: Path) -> dict[str, float]:
+    """Read ``metrics.wall_time_s_per_step`` out of a BENCH artifact."""
+    try:
+        payload = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise GateError(f"{path}: unreadable artifact: {exc}") from exc
+    walls = payload.get("metrics", {}).get("wall_time_s_per_step")
+    if not isinstance(walls, dict):
+        raise GateError(f"{path}: missing metrics.wall_time_s_per_step")
+    missing = [k for k in (ANCHOR, *GANG_SCENARIOS) if k not in walls]
+    if missing:
+        raise GateError(f"{path}: wall_time_s_per_step missing {missing}")
+    bad = [k for k, v in walls.items() if not isinstance(v, (int, float)) or v <= 0]
+    if bad:
+        raise GateError(f"{path}: non-positive wall-times for {bad}")
+    return {k: float(v) for k, v in walls.items()}
+
+
+def normalised(walls: dict[str, float]) -> dict[str, float]:
+    """Each gang scenario's wall-time as a multiple of the solo anchor."""
+    return {name: walls[name] / walls[ANCHOR] for name in GANG_SCENARIOS}
+
+
+def check(
+    baseline: dict[str, float],
+    fresh: dict[str, float],
+    threshold: float,
+    min_speedup_n8: float,
+) -> list[str]:
+    """Return the list of gate failures (empty = pass), printing a report."""
+    base_ratio = normalised(baseline)
+    fresh_ratio = normalised(fresh)
+    regressions = {
+        name: fresh_ratio[name] / base_ratio[name] - 1.0 for name in GANG_SCENARIOS
+    }
+    print(f"{'scenario':<22} {'base x solo':>12} {'fresh x solo':>13} {'regression':>11}")
+    for name in GANG_SCENARIOS:
+        print(
+            f"{name:<22} {base_ratio[name]:>12.3f} {fresh_ratio[name]:>13.3f}"
+            f" {regressions[name]:>+10.1%}"
+        )
+
+    failures: list[str] = []
+    median = statistics.median(regressions.values())
+    print(f"median regression: {median:+.1%} (threshold {threshold:+.1%})")
+    if median > threshold:
+        failures.append(
+            f"median normalised regression {median:+.1%} exceeds {threshold:.0%}"
+        )
+    speedup = fresh["sequential_gang_n8"] / fresh["batched_gang_n8"]
+    print(f"fresh batched N=8 speedup: {speedup:.2f}x (floor {min_speedup_n8:.2f}x)")
+    if speedup < min_speedup_n8:
+        failures.append(
+            f"batched N=8 speedup {speedup:.2f}x below the {min_speedup_n8:.2f}x floor"
+        )
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline", type=Path, required=True,
+                        help="committed BENCH_hotpath.json to compare against")
+    parser.add_argument("--fresh", type=Path, required=True,
+                        help="BENCH_hotpath.json from this run")
+    parser.add_argument("--threshold", type=float, default=0.20,
+                        help="max tolerated median normalised regression")
+    parser.add_argument("--min-speedup-n8", type=float, default=1.4,
+                        help="floor on the fresh batched N=8 speedup")
+    parser.add_argument("--inject-slowdown", type=float, default=1.0,
+                        help="multiply fresh non-anchor wall-times (gate self-test)")
+    args = parser.parse_args(argv)
+
+    try:
+        baseline = load_walls(args.baseline)
+        fresh = load_walls(args.fresh)
+    except GateError as exc:
+        print(f"perf-gate: ERROR: {exc}", file=sys.stderr)
+        return 2
+
+    if args.inject_slowdown != 1.0:
+        print(f"injecting a {args.inject_slowdown:.2f}x slowdown into the fresh run")
+        fresh = {
+            name: wall * (args.inject_slowdown if name != ANCHOR else 1.0)
+            for name, wall in fresh.items()
+        }
+
+    failures = check(baseline, fresh, args.threshold, args.min_speedup_n8)
+    if failures:
+        for failure in failures:
+            print(f"perf-gate: FAIL: {failure}", file=sys.stderr)
+        return 1
+    print("perf-gate: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

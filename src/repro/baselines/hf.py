@@ -95,7 +95,7 @@ class HFEngine(EngineBase):
                 memory.alloc(inter_tag, inter_bytes, CATEGORY_INTERMEDIATE)
                 self._charge_layer_chunk(mini.size, seq_len)
                 memory.free(inter_tag)
-                self.model.forward_layer(state, layer)
+                self._forward_layer(state, layer)
                 layers_executed += 1
                 candidate_layers += int(mini.size)
                 yield layer  # preemption point: one layer advanced

@@ -103,7 +103,7 @@ class HFOffloadEngine(EngineBase):
                 self._charge_layer_chunk(mini.size, seq_len)
                 memory.free(inter_tag)
                 memory.free(tag)
-                self.model.forward_layer(state, layer)
+                self._forward_layer(state, layer)
                 layers_executed += 1
                 candidate_layers += int(mini.size)
                 yield layer  # preemption point: one layer advanced

@@ -34,6 +34,7 @@ scheduler that time-multiplexes several in-flight passes on the single
 
 from __future__ import annotations
 
+import contextlib
 import warnings
 from dataclasses import dataclass, field
 
@@ -390,7 +391,25 @@ class DeviceScheduler:
     # the policy loop
     # ------------------------------------------------------------------
     def drain(self) -> list[ScheduledOutcome]:
-        """Serve every submitted request; returns outcomes in completion order."""
+        """Serve every submitted request; returns outcomes in completion order.
+
+        Under the ``fusion`` policy the drain runs inside the engine's
+        group-stepping mode (:meth:`~repro.core.engine.EngineBase.gang_step`,
+        DESIGN.md §11): the lockstep gang's layer crossings execute as
+        one stacked forward per layer instead of one per member.  The
+        schedule itself — step order, clock intervals, events — is
+        byte-identical to sequential execution; only the harness's own
+        wall-clock drops.
+        """
+        gang_mode = (
+            self.engine.gang_step()
+            if self.config.policy == "fusion"
+            else contextlib.nullcontext()
+        )
+        with gang_mode:
+            return self._drain_loop()
+
+    def _drain_loop(self) -> list[ScheduledOutcome]:
         pending = sorted(self._pending, key=lambda r: (r.arrival, r.request_id))
         self._pending.clear()
         self._pending_client_ids.clear()

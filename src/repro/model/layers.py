@@ -52,6 +52,15 @@ class TransformerLayerWeights:
                 total += value.nbytes
         return total
 
+    def cast(self, dtype) -> "TransformerLayerWeights":
+        """A copy of these weights in ``dtype`` (fused gang kernel)."""
+        return TransformerLayerWeights(
+            **{
+                name: None if value is None else value.astype(dtype)
+                for name, value in vars(self).items()
+            }
+        )
+
 
 def init_layer_weights(config: ModelConfig, layer_idx: int) -> TransformerLayerWeights:
     """Deterministically initialise one layer's reduced-width weights.
@@ -88,6 +97,11 @@ class TransformerLayer:
     def __init__(self, config: ModelConfig, weights: TransformerLayerWeights) -> None:
         self.config = config
         self.weights = weights
+        #: Lazily fused projection matrices (QKV / gate+up stacked
+        #: column-wise) for :meth:`forward_fused`; built once per layer
+        #: instance, so only the model's cached fused layers pay for it.
+        self._wqkv: np.ndarray | None = None
+        self._w_gate_up: np.ndarray | None = None
 
     def forward(self, hidden: np.ndarray, lengths: np.ndarray) -> np.ndarray:
         """Run the layer over ``hidden`` (N, L, D_sim); returns a new array."""
@@ -130,3 +144,82 @@ class TransformerLayer:
             assert w.w_gate is not None
             return (silu(x @ w.w_gate) * (x @ w.w_up)) @ w.w_down
         return gelu(x @ w.w_up) @ w.w_down
+
+    # ------------------------------------------------------------------
+    # fused gang kernel (DESIGN.md §11)
+    # ------------------------------------------------------------------
+    def forward_fused(self, hidden: np.ndarray, lengths: np.ndarray) -> np.ndarray:
+        """One fused forward over a packed gang batch.
+
+        The batched-gang variant of :meth:`forward`: same layer
+        semantics, reorganised for harness wall-clock — projections run
+        as single stacked matmuls (QKV fused, SwiGLU gate+up fused) and
+        the attention-score pipeline mutates one buffer in place
+        instead of allocating a temporary per op.  It computes in
+        whatever dtype ``hidden`` and the weights carry; the gang path
+        feeds it reduced precision (``repro.model.transformer.
+        GANG_KERNEL_DTYPE``), which halves the memory traffic of the
+        (N, H, L, L) score tensors.  Selections are unaffected by
+        construction — observables ride the semantic channel, injected
+        exactly after every crossing — and the numerics agree with
+        :meth:`forward` to reduced-precision tolerance
+        (``tests/test_gang_kernels.py``).
+        """
+        w = self.weights
+        normed = self._norm(hidden, w.norm1, w.norm1_bias)
+        attn = self._attention_fused(normed, lengths)
+        attn += hidden  # in place: ``attn`` is fresh off the matmul chain
+        hidden = attn
+        normed = self._norm(hidden, w.norm2, w.norm2_bias)
+        hidden += self._ffn_fused(normed)  # in place: residual owns the buffer
+        return hidden
+
+    def _attention_fused(self, x: np.ndarray, lengths: np.ndarray) -> np.ndarray:
+        w = self.weights
+        heads = self.config.sim_heads
+        if self._wqkv is None:
+            # Fold the 1/sqrt(head_dim) softmax scale into the Q columns
+            # at build time: scaling the (D, D) weight once replaces a
+            # full pass over every (N, H, L, L) score tensor.
+            head_dim = w.wq.shape[0] // heads
+            wq = w.wq * (1.0 / float(np.sqrt(head_dim)))
+            self._wqkv = np.concatenate([wq, w.wk, w.wv], axis=1)
+        seq_len, dim = x.shape[1], x.shape[2]
+        qkv = x @ self._wqkv  # one stacked projection
+        q = split_heads(qkv[..., :dim], heads)  # pre-scaled (see above)
+        k = split_heads(qkv[..., dim : 2 * dim], heads)
+        v = split_heads(qkv[..., 2 * dim :], heads)
+        scores = q @ k.transpose(0, 1, 3, 2)
+        if np.min(lengths) < seq_len:  # all-full batches need no padding mask
+            scores += padding_mask(lengths, seq_len, dtype=scores.dtype)
+        if self.config.is_decoder:
+            scores += causal_mask(seq_len, dtype=scores.dtype)
+        # In-place softmax over the score buffer.  Instead of the usual
+        # subtract-the-row-max shift (numpy's NaN-propagating max
+        # reduction costs more than every other pass combined), overflow
+        # is prevented by clamping at 80: exp(80) is far below the
+        # float32 ceiling even summed over a row, the clamp never
+        # activates for normalised inputs (|scores| stays in the tens),
+        # and masked -inf entries still exponentiate to exactly 0.  The
+        # normalisation divides the post-contraction context tensor —
+        # exact by linearity, and H·L/head_dim times less traffic than
+        # dividing the scores.
+        np.minimum(scores, 80.0, out=scores)
+        np.exp(scores, out=scores)
+        denom = np.sum(scores, axis=-1, keepdims=True)
+        context = scores @ v
+        context /= denom
+        return merge_heads(context) @ w.wo
+
+    def _ffn_fused(self, x: np.ndarray) -> np.ndarray:
+        w = self.weights
+        if not self.config.is_decoder:
+            return gelu(x @ w.w_up) @ w.w_down
+        assert w.w_gate is not None
+        if self._w_gate_up is None:
+            self._w_gate_up = np.concatenate([w.w_gate, w.w_up], axis=1)
+        gate_up = x @ self._w_gate_up  # one stacked projection
+        ffn = gate_up.shape[-1] // 2
+        activated = silu(gate_up[..., :ffn])
+        activated *= gate_up[..., ffn:]
+        return activated @ w.w_down

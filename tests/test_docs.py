@@ -79,6 +79,18 @@ def test_observability_sources_cite_section_10():
         assert module in cited_by, f"{module} no longer cites DESIGN.md §10"
 
 
+def test_gang_kernel_sources_cite_section_11():
+    """The §11 citation net is live: the deferred-numerics pool, the
+    fused kernel and the memoized tensor ops must anchor their design
+    in DESIGN.md §11."""
+    cited_by = {source for source, section in source_citations() if section == 11}
+    for module in (
+        "src/repro/model/transformer.py",
+        "src/repro/model/tensor_ops.py",
+    ):
+        assert module in cited_by, f"{module} no longer cites DESIGN.md §11"
+
+
 def test_sources_cite_design_sections():
     """The citation net is live (a regression that strips every
     citation would make the resolution test below vacuous)."""
@@ -169,6 +181,31 @@ def test_observability_docs_cover_event_plane():
     # The documented fixture-regeneration command must reference the
     # real CLI entry point.
     assert "repro.harness.cli trace record" in doc
+
+
+def test_performance_docs_cover_hotpath_and_gate():
+    """docs/performance.md must document the §11 wall-clock story: the
+    microbench scenarios, the artifact fields, the gate's anchor
+    normalisation and the injected-slowdown self-test."""
+    doc = (REPO_ROOT / "docs" / "performance.md").read_text()
+    for concept in (
+        "BENCH_hotpath.json",
+        "wall_time_s_per_step",
+        "batched_vs_sequential_n",
+        "solo",
+        "sequential_gang_n8",
+        "batched_gang_n8",
+        "perf_gate.py",
+        "--threshold",
+        "--min-speedup-n8",
+        "--inject-slowdown",
+        "BENCH_QUICK",
+        "gang_kernels",
+        "test_gang_kernels.py",
+    ):
+        assert concept in doc, f"docs/performance.md no longer covers {concept}"
+    # The documented refresh command must reference the real bench.
+    assert "pytest -q benchmarks/test_hotpath.py" in doc
 
 
 def test_readme_points_at_observability_docs():

@@ -1,0 +1,248 @@
+"""Batched gang kernels: equivalence against the sequential path (DESIGN.md §11).
+
+Under the ``fusion`` policy, the ``gang_kernels`` toggle decides whether
+a lockstep gang's layer crossings run as one stacked forward per layer
+(batched) or one forward per member (sequential).  The contract is
+*strict* equivalence: byte-identical selections, byte-identical schedule
+traces and identical event-log lines, across every engine family and
+through mixed candidate-set sizes, mid-gang cancellation and mid-gang
+injected faults.  Only the harness's own wall-clock may differ.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    HFEngine,
+    HFOffloadEngine,
+    HFOffloadQuantEngine,
+    HFQuantEngine,
+    prism_quant_engine,
+)
+from repro.core.config import PrismConfig
+from repro.core.engine import PrismEngine, step_group
+from repro.core.events import EventLog
+from repro.core.scheduler import DeviceScheduler, SchedulerConfig
+from repro.data.datasets import get_dataset
+from repro.data.workloads import build_batch
+from repro.device.faults import (
+    FAULT_REPLICA_STALL,
+    FAULT_SSD_READ_ERROR,
+    FaultEvent,
+)
+from repro.device.platforms import get_profile
+from repro.harness.runner import shared_model, shared_tokenizer
+from repro.model.transformer import GangBatch
+from repro.model.zoo import QWEN3_0_6B
+
+
+def make_batch(num_candidates=12, query_idx=0):
+    query = get_dataset("wikipedia").queries(query_idx + 1, num_candidates)[query_idx]
+    tokenizer = shared_tokenizer(QWEN3_0_6B)
+    return build_batch(query, tokenizer, QWEN3_0_6B.max_seq_len)
+
+
+def _prism():
+    device = get_profile("nvidia_5070").create()
+    engine = PrismEngine(shared_model(QWEN3_0_6B), device, PrismConfig())
+    engine.prepare()
+    return engine
+
+
+def _prism_quant():
+    device = get_profile("nvidia_5070").create()
+    engine = prism_quant_engine(shared_model(QWEN3_0_6B), device, PrismConfig.quant())
+    engine.prepare()
+    return engine
+
+
+def _baseline(engine_cls):
+    device = get_profile("nvidia_5070").create()
+    engine = engine_cls(shared_model(QWEN3_0_6B), device)
+    engine.prepare()
+    return engine
+
+
+#: name -> fresh prepared engine with numerics ON (the batched kernels
+#: only exist on the numerics path), covering every engine family.
+ENGINE_FACTORIES = {
+    "prism": _prism,
+    "prism_quant": _prism_quant,
+    "hf": lambda: _baseline(HFEngine),
+    "hf_offload": lambda: _baseline(HFOffloadEngine),
+    "hf_quant": lambda: _baseline(HFQuantEngine),
+    "hf_offload_quant": lambda: _baseline(HFOffloadQuantEngine),
+}
+
+#: Mixed candidate-set sizes: the gang members are deliberately ragged.
+GANG_SIZES = (12, 7, 4)
+
+SCENARIOS = ("plain", "cancel", "stall", "read_error")
+
+
+def run_fusion(engine_name, gang_kernels, scenario):
+    """One fused-gang drain; returns every observable artifact."""
+    engine = ENGINE_FACTORIES[engine_name]()
+    engine.gang_kernels = gang_kernels
+    log = EventLog()
+    engine.device.attach_event_log(log)
+    scheduler = DeviceScheduler(
+        engine,
+        SchedulerConfig(policy="fusion", max_concurrency=4),
+        event_log=log,
+    )
+    now = engine.device.clock.now
+    if scenario == "stall":
+        # Non-fatal mid-gang fault: the device freezes mid-sweep.
+        engine.device.install_faults(
+            [FaultEvent(FAULT_REPLICA_STALL, at=now + 0.01, duration=0.05)]
+        )
+    elif scenario == "read_error":
+        # Fatal-to-one-task fault: an SSD read dies mid-gang.
+        engine.device.install_faults(
+            [FaultEvent(FAULT_SSD_READ_ERROR, at=now + 0.01)]
+        )
+    for idx, n in enumerate(GANG_SIZES):
+        cancel_at = None
+        if scenario == "cancel" and idx == 1:
+            cancel_at = now + 0.02  # lands at a mid-pass layer boundary
+        scheduler.submit_request(
+            make_batch(n, idx), k=3, arrival=now, cancel_at=cancel_at
+        )
+    outcomes = scheduler.drain()
+    return {
+        "selections": {
+            o.request_id: (
+                o.result.top_indices.tobytes(),
+                o.result.top_scores.tobytes(),
+            )
+            for o in outcomes
+        },
+        "trace": scheduler.trace_text(),
+        "events": tuple(log.lines()),
+        "dropped": [(d.request_id, d.reason, d.at, d.detail) for d in scheduler.dropped],
+    }
+
+
+@pytest.mark.parametrize("engine_name", sorted(ENGINE_FACTORIES))
+@pytest.mark.parametrize("scenario", SCENARIOS)
+def test_batched_equals_sequential(engine_name, scenario):
+    """Byte-identical selections, traces, events and drops — per family,
+    through mixed sizes, cancellation and injected faults."""
+    batched = run_fusion(engine_name, True, scenario)
+    sequential = run_fusion(engine_name, False, scenario)
+    assert batched["selections"] == sequential["selections"]
+    assert batched["trace"] == sequential["trace"]
+    assert batched["events"] == sequential["events"]
+    assert batched["dropped"] == sequential["dropped"]
+
+
+def test_scenarios_actually_bite():
+    """The cancel/fault scenarios must exercise their code paths — a
+    scenario that drops nothing would vacuously pass the equivalence."""
+    assert [d[1] for d in run_fusion("prism", True, "cancel")["dropped"]] == ["cancelled"]
+    assert [d[1] for d in run_fusion("prism", True, "read_error")["dropped"]] == ["failed"]
+    assert len(run_fusion("prism", True, "plain")["selections"]) == len(GANG_SIZES)
+
+
+def test_fusion_gang_sweeps_in_lockstep_with_batched_kernels():
+    """Batching must not change the schedule shape: the trace still shows
+    fused groups the size of the gang."""
+    engine = ENGINE_FACTORIES["prism"]()
+    scheduler = DeviceScheduler(engine, SchedulerConfig(policy="fusion"))
+    now = engine.device.clock.now
+    for idx, n in enumerate(GANG_SIZES):
+        scheduler.submit_request(make_batch(n, idx), k=3, arrival=now)
+    scheduler.drain()
+    assert max(scheduler.fused_group_sizes()) == len(GANG_SIZES)
+
+
+class TestStepGroup:
+    """The engine-layer group-step entry point."""
+
+    def test_step_group_matches_individual_steps(self):
+        solo = ENGINE_FACTORIES["hf"]()
+        grouped = ENGINE_FACTORIES["hf"]()
+        solo_tasks = [solo.start(make_batch(n, i), 3) for i, n in enumerate(GANG_SIZES)]
+        group_tasks = [
+            grouped.start(make_batch(n, i), 3) for i, n in enumerate(GANG_SIZES)
+        ]
+        while any(not t.done for t in solo_tasks):
+            for task in solo_tasks:
+                if not task.done:
+                    task.step()
+        while any(not t.done for t in group_tasks):
+            step_group([t for t in group_tasks if not t.done])
+        for a, b in zip(solo_tasks, group_tasks):
+            assert a.result.top_indices.tobytes() == b.result.top_indices.tobytes()
+            assert a.result.top_scores.tobytes() == b.result.top_scores.tobytes()
+
+    def test_step_group_empty(self):
+        assert step_group([]) == []
+
+    def test_step_group_rejects_foreign_tasks(self):
+        a = ENGINE_FACTORIES["hf"]()
+        b = ENGINE_FACTORIES["hf"]()
+        tasks = [a.start(make_batch(6, 0), 3), b.start(make_batch(6, 1), 3)]
+        with pytest.raises(ValueError):
+            a.step_group(tasks)
+
+    def test_step_group_reports_completion_flags(self):
+        engine = ENGINE_FACTORIES["hf"]()
+        tasks = [engine.start(make_batch(4, i), 2) for i in range(2)]
+        total_steps = QWEN3_0_6B.num_layers + 1
+        for step in range(total_steps):
+            flags = engine.step_group(tasks)
+            assert flags == [step == total_steps - 1] * 2
+
+
+class TestGangBatch:
+    """The packing layer underneath the batched kernels."""
+
+    def test_batched_forward_matches_solo_numerics(self):
+        """One stacked fused forward over ragged members vs each member
+        alone: hidden states agree to the fused kernel's reduced
+        precision; scores (the observables) are byte-identical because
+        the semantic channel is injected exactly on both paths."""
+        model = shared_model(QWEN3_0_6B)
+        batched = [model.embed(make_batch(n, i)) for i, n in enumerate(GANG_SIZES)]
+        solo = [model.embed(make_batch(n, i)) for i, n in enumerate(GANG_SIZES)]
+        for layer in range(3):
+            for state in batched:
+                model.forward_layer(state, layer, defer=True)
+            model.flush_deferred()
+            for state in solo:
+                model.forward_layer(state, layer)
+        for a, b in zip(batched, solo):
+            np.testing.assert_allclose(a.hidden, b.hidden, rtol=1e-4, atol=1e-4)
+            assert a.hidden.dtype == np.float64  # cast back on unpack
+            assert model.score(a).tobytes() == model.score(b).tobytes()
+
+    def test_pack_requires_numerics_states(self):
+        model = shared_model(QWEN3_0_6B)
+        state = model.embed(make_batch(4, 0), numerics=False)
+        with pytest.raises(ValueError):
+            GangBatch.pack([state])
+
+    def test_deferred_crossing_flushes_on_score(self):
+        model = shared_model(QWEN3_0_6B)
+        state = model.embed(make_batch(4, 0))
+        model.forward_layer(state, 0, defer=True)
+        assert state.pending_layer == 0
+        eager = model.embed(make_batch(4, 0))
+        model.forward_layer(eager, 0)
+        np.testing.assert_array_equal(
+            model.score(state), model.score(eager)
+        )
+        assert state.pending_layer is None
+
+    def test_discard_deferred_skips_the_crossing(self):
+        model = shared_model(QWEN3_0_6B)
+        state = model.embed(make_batch(4, 0))
+        before = state.hidden.copy()
+        model.forward_layer(state, 0, defer=True)
+        model.discard_deferred(state)
+        np.testing.assert_array_equal(state.hidden, before)  # never ran
+        assert state.pending_layer is None
+        model.flush_deferred()  # no-op: the pool must be clean
+        np.testing.assert_array_equal(state.hidden, before)

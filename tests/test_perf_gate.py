@@ -1,0 +1,107 @@
+"""Unit tests for the CI perf-regression gate (benchmarks/perf_gate.py).
+
+The gate is exercised hermetically on synthetic BENCH_hotpath.json
+artifacts: no microbench runs here, just the comparison logic — anchor
+normalisation, the median-regression threshold, the batched-speedup
+floor, the injected-slowdown self-test and malformed-artifact handling.
+"""
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+_GATE_PATH = Path(__file__).resolve().parent.parent / "benchmarks" / "perf_gate.py"
+_spec = importlib.util.spec_from_file_location("perf_gate", _GATE_PATH)
+perf_gate = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(perf_gate)
+
+#: A healthy run: batched scenarios well under the sequential ones.
+WALLS = {
+    "solo": 1.0e-3,
+    "sequential_gang_n4": 3.0e-3,
+    "batched_gang_n4": 1.2e-3,
+    "sequential_gang_n8": 3.1e-3,
+    "batched_gang_n8": 1.3e-3,
+}
+
+
+def artifact(tmp_path, name, walls):
+    path = tmp_path / f"{name}.json"
+    path.write_text(
+        json.dumps(
+            {
+                "name": "hotpath",
+                "config": {"quick": True},
+                "metrics": {"wall_time_s_per_step": walls},
+            }
+        )
+    )
+    return path
+
+
+def run_gate(tmp_path, fresh_walls, *extra, baseline_walls=WALLS):
+    return perf_gate.main(
+        [
+            "--baseline", str(artifact(tmp_path, "baseline", baseline_walls)),
+            "--fresh", str(artifact(tmp_path, "fresh", fresh_walls)),
+            *extra,
+        ]
+    )
+
+
+def test_identical_runs_pass(tmp_path):
+    assert run_gate(tmp_path, dict(WALLS)) == 0
+
+
+def test_uniformly_slower_machine_passes(tmp_path):
+    """A 3x slower worker scales every scenario including the anchor —
+    the normalised ratios are unchanged, so the gate must not trip."""
+    assert run_gate(tmp_path, {k: v * 3.0 for k, v in WALLS.items()}) == 0
+
+
+def test_across_the_board_regression_fails(tmp_path):
+    """All gang scenarios 30% slower relative to solo → median trips."""
+    slower = {k: v * (1.3 if k != "solo" else 1.0) for k, v in WALLS.items()}
+    assert run_gate(tmp_path, slower) == 1
+
+
+def test_small_regression_within_threshold_passes(tmp_path):
+    slower = {k: v * (1.1 if k != "solo" else 1.0) for k, v in WALLS.items()}
+    assert run_gate(tmp_path, slower) == 0
+
+
+def test_threshold_is_configurable(tmp_path):
+    slower = {k: v * (1.1 if k != "solo" else 1.0) for k, v in WALLS.items()}
+    assert run_gate(tmp_path, slower, "--threshold", "0.05") == 1
+
+
+def test_lost_batched_speedup_fails_despite_median(tmp_path):
+    """Only the batched N=8 scenario regressing hides from the median —
+    the dedicated speedup floor must catch it."""
+    lost = dict(WALLS, batched_gang_n8=WALLS["batched_gang_n8"] * 2.2)
+    assert run_gate(tmp_path, lost) == 1
+
+
+def test_injected_slowdown_demonstrates_failure(tmp_path):
+    """The CI self-test step: identical artifacts + --inject-slowdown
+    1.3 must fail, proving the gate can actually fire."""
+    assert run_gate(tmp_path, dict(WALLS), "--inject-slowdown", "1.3") == 1
+
+
+def test_injected_slowdown_below_threshold_passes(tmp_path):
+    assert run_gate(tmp_path, dict(WALLS), "--inject-slowdown", "1.1") == 0
+
+
+@pytest.mark.parametrize("missing", ["solo", "batched_gang_n8"])
+def test_missing_scenario_is_an_error_not_a_pass(tmp_path, missing):
+    broken = {k: v for k, v in WALLS.items() if k != missing}
+    assert run_gate(tmp_path, broken) == 2
+
+
+def test_malformed_artifact_is_an_error(tmp_path):
+    path = tmp_path / "broken.json"
+    path.write_text("{not json")
+    good = artifact(tmp_path, "baseline", WALLS)
+    assert perf_gate.main(["--baseline", str(good), "--fresh", str(path)]) == 2

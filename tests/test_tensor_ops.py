@@ -8,11 +8,13 @@ from repro.model.tensor_ops import (
     gelu,
     layer_norm,
     merge_heads,
+    pack_ragged,
     padding_mask,
     rms_norm,
     silu,
     softmax,
     split_heads,
+    unpack_ragged,
 )
 
 
@@ -114,3 +116,131 @@ class TestHeadReshaping:
     def test_indivisible_heads_rejected(self):
         with pytest.raises(ValueError):
             split_heads(np.zeros((1, 2, 10)), 3)
+
+
+# ----------------------------------------------------------------------
+# Pinning tests: the in-place-friendly kernels must stay *bitwise*
+# identical to the original (naive) formulations they replaced
+# (DESIGN.md §11 — batched gang kernels rely on this).
+
+
+def _softmax_reference(x, axis=-1):
+    shifted = x - np.max(x, axis=axis, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / np.sum(exp, axis=axis, keepdims=True)
+
+
+def _gelu_reference(x):
+    return 0.5 * x * (1.0 + np.tanh(np.sqrt(2.0 / np.pi) * (x + 0.044715 * np.power(x, 3))))
+
+
+def _silu_reference(x):
+    return x / (1.0 + np.exp(-x))
+
+
+class TestPinnedNumerics:
+    def test_softmax_bitwise_pinned(self):
+        rng = np.random.default_rng(7)
+        for shape in [(5,), (4, 7), (2, 4, 8, 8)]:
+            x = rng.standard_normal(shape) * 10.0
+            np.testing.assert_array_equal(softmax(x.copy()), _softmax_reference(x))
+
+    def test_softmax_bitwise_pinned_with_mask(self):
+        rng = np.random.default_rng(8)
+        x = rng.standard_normal((3, 6))
+        x[:, 4:] = -np.inf
+        np.testing.assert_array_equal(softmax(x.copy()), _softmax_reference(x))
+
+    def test_softmax_does_not_mutate_input(self):
+        x = np.random.default_rng(9).standard_normal((3, 5))
+        original = x.copy()
+        softmax(x)
+        np.testing.assert_array_equal(x, original)
+
+    def test_gelu_bitwise_pinned(self):
+        rng = np.random.default_rng(10)
+        for shape in [(9,), (4, 6), (2, 3, 5)]:
+            x = rng.standard_normal(shape) * 4.0
+            np.testing.assert_array_equal(gelu(x.copy()), _gelu_reference(x))
+
+    def test_gelu_does_not_mutate_input(self):
+        x = np.random.default_rng(11).standard_normal(16)
+        original = x.copy()
+        gelu(x)
+        np.testing.assert_array_equal(x, original)
+
+    def test_silu_bitwise_pinned(self):
+        rng = np.random.default_rng(12)
+        for shape in [(9,), (4, 6), (2, 3, 5)]:
+            x = rng.standard_normal(shape) * 4.0
+            np.testing.assert_array_equal(silu(x.copy()), _silu_reference(x))
+
+    def test_silu_does_not_mutate_input(self):
+        x = np.random.default_rng(13).standard_normal(16)
+        original = x.copy()
+        silu(x)
+        np.testing.assert_array_equal(x, original)
+
+
+class TestMaskMemoization:
+    def test_causal_mask_cached_object_reused(self):
+        assert causal_mask(11) is causal_mask(11)
+
+    def test_causal_mask_is_readonly(self):
+        mask = causal_mask(5)
+        assert not mask.flags.writeable
+        with pytest.raises(ValueError):
+            mask[0, 0] = 1.0
+
+    def test_causal_mask_matches_reference(self):
+        n = 6
+        reference = np.zeros((n, n))
+        reference[np.triu_indices(n, k=1)] = -np.inf
+        np.testing.assert_array_equal(causal_mask(n), reference)
+
+    def test_padding_mask_cached_object_reused(self):
+        lengths = np.array([3, 7, 1])
+        assert padding_mask(lengths, 8) is padding_mask(lengths.copy(), 8)
+
+    def test_padding_mask_distinct_lengths_distinct_entries(self):
+        a = padding_mask(np.array([2, 2]), 4)
+        b = padding_mask(np.array([2, 3]), 4)
+        assert a is not b
+
+    def test_padding_mask_is_readonly(self):
+        mask = padding_mask(np.array([1, 2]), 4)
+        assert not mask.flags.writeable
+
+    def test_padding_mask_matches_reference(self):
+        lengths = np.array([2, 4, 0])
+        seq_len = 4
+        positions = np.arange(seq_len)
+        reference = np.where(
+            positions[None, :] >= lengths[:, None], -np.inf, 0.0
+        )[:, None, None, :]
+        np.testing.assert_array_equal(padding_mask(lengths, seq_len), reference)
+
+
+class TestRaggedPacking:
+    def test_pack_concatenates_along_leading_axis(self):
+        rng = np.random.default_rng(14)
+        arrays = [rng.standard_normal((n, 3, 4)) for n in (2, 5, 1)]
+        packed, sizes = pack_ragged(arrays)
+        assert sizes == (2, 5, 1)
+        np.testing.assert_array_equal(packed, np.concatenate(arrays, axis=0))
+
+    def test_solo_pack_is_zero_copy(self):
+        x = np.zeros((3, 2))
+        packed, sizes = pack_ragged([x])
+        assert packed is x
+        assert sizes == (3,)
+
+    def test_unpack_roundtrip_views(self):
+        rng = np.random.default_rng(15)
+        arrays = [rng.standard_normal((n, 4)) for n in (1, 4, 2)]
+        packed, sizes = pack_ragged(arrays)
+        parts = unpack_ragged(packed, sizes)
+        assert len(parts) == 3
+        for part, original in zip(parts, arrays):
+            np.testing.assert_array_equal(part, original)
+            assert part.base is packed  # zero-copy view

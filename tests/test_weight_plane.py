@@ -212,11 +212,11 @@ class TestFailureReleasesRefcounts:
         original = engine.model.forward_layer
         calls = {"n": 0}
 
-        def failing_forward(state, layer):
+        def failing_forward(state, layer, **kwargs):
             calls["n"] += 1
             if calls["n"] == 3:
                 raise RuntimeError("injected mid-pass failure")
-            return original(state, layer)
+            return original(state, layer, **kwargs)
 
         monkeypatch.setattr(engine.model, "forward_layer", failing_forward)
         task = engine.start(make_batch(), 5)
@@ -253,7 +253,7 @@ class TestFailureReleasesRefcounts:
         for idx in range(4):
             scheduler.submit(make_batch(query_idx=idx), 4)
 
-        def failing_forward(state, layer):
+        def failing_forward(state, layer, **kwargs):
             raise RuntimeError("first gang member dies")
 
         monkeypatch.setattr(engine.model, "forward_layer", failing_forward)
@@ -276,7 +276,7 @@ class TestFailureReleasesRefcounts:
 
         original = engine.model.forward_layer
 
-        def failing_forward(state, layer):
+        def failing_forward(state, layer, **kwargs):
             raise RuntimeError("victim dies")
 
         monkeypatch.setattr(engine.model, "forward_layer", failing_forward)
