@@ -19,6 +19,18 @@ fails when either
 wall-times before comparing — the CI job uses it to prove the gate
 actually fails on a >20% regression (see ``docs/performance.md``).
 
+The gate also covers the data plane (DESIGN.md §12) when
+``--data-plane-baseline``/``--data-plane-fresh`` point at
+``BENCH_data_plane.json`` artifacts.  ``speedup_cached`` is the
+same-run cache-on / cache-off throughput ratio on the *virtual* clock,
+so it is machine-independent and compared directly: the gate fails
+when the fresh speedup falls below ``--min-cache-speedup`` (default
+2.0x — the tentpole's acceptance floor), regresses more than
+``--threshold`` against the committed baseline, or the artifact
+reports non-identical selections (an inexact cache is a bug, not a
+speedup).  ``--inject-slowdown`` divides the fresh cached speedup,
+so the same self-test proves this check can fire too.
+
 Stdlib-only on purpose: the gate must run before (and regardless of)
 the package install step.
 
@@ -27,7 +39,10 @@ Usage::
     python benchmarks/perf_gate.py \
         --baseline benchmarks/results/BENCH_hotpath.json \
         --fresh fresh/BENCH_hotpath.json [--threshold 0.2] \
-        [--min-speedup-n8 1.4] [--inject-slowdown 1.0]
+        [--min-speedup-n8 1.4] [--inject-slowdown 1.0] \
+        [--data-plane-baseline benchmarks/results/BENCH_data_plane.json \
+         --data-plane-fresh fresh/BENCH_data_plane.json \
+         --min-cache-speedup 2.0]
 """
 
 from __future__ import annotations
@@ -114,6 +129,53 @@ def check(
     return failures
 
 
+def load_data_plane(path: Path) -> dict[str, object]:
+    """Read the data-plane metrics out of a ``BENCH_data_plane.json``."""
+    try:
+        payload = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise GateError(f"{path}: unreadable artifact: {exc}") from exc
+    metrics = payload.get("metrics", {})
+    speedup = metrics.get("speedup_cached")
+    if not isinstance(speedup, (int, float)) or speedup <= 0:
+        raise GateError(f"{path}: missing/non-positive metrics.speedup_cached")
+    identical = metrics.get("identical_selections")
+    if not isinstance(identical, bool):
+        raise GateError(f"{path}: missing metrics.identical_selections")
+    return {"speedup_cached": float(speedup), "identical_selections": identical}
+
+
+def check_data_plane(
+    baseline: dict[str, object],
+    fresh: dict[str, object],
+    threshold: float,
+    min_cache_speedup: float,
+) -> list[str]:
+    """Gate the §12 cached-fleet speedup; returns failures (empty = pass)."""
+    base_speedup = float(baseline["speedup_cached"])
+    fresh_speedup = float(fresh["speedup_cached"])
+    regression = fresh_speedup / base_speedup - 1.0
+    print(
+        f"data-plane cached speedup: base {base_speedup:.2f}x, "
+        f"fresh {fresh_speedup:.2f}x ({regression:+.1%}; "
+        f"floor {min_cache_speedup:.2f}x, threshold {-threshold:+.1%})"
+    )
+    failures: list[str] = []
+    if fresh_speedup < min_cache_speedup:
+        failures.append(
+            f"cached speedup {fresh_speedup:.2f}x below the "
+            f"{min_cache_speedup:.2f}x floor"
+        )
+    if regression < -threshold:
+        failures.append(
+            f"cached speedup regressed {regression:+.1%} "
+            f"(more than {threshold:.0%}) vs baseline"
+        )
+    if not fresh["identical_selections"]:
+        failures.append("fresh data-plane run reports non-identical selections")
+    return failures
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--baseline", type=Path, required=True,
@@ -126,11 +188,23 @@ def main(argv: list[str] | None = None) -> int:
                         help="floor on the fresh batched N=8 speedup")
     parser.add_argument("--inject-slowdown", type=float, default=1.0,
                         help="multiply fresh non-anchor wall-times (gate self-test)")
+    parser.add_argument("--data-plane-baseline", type=Path, default=None,
+                        help="committed BENCH_data_plane.json to compare against")
+    parser.add_argument("--data-plane-fresh", type=Path, default=None,
+                        help="BENCH_data_plane.json from this run")
+    parser.add_argument("--min-cache-speedup", type=float, default=2.0,
+                        help="floor on the fresh data-plane cached speedup")
     args = parser.parse_args(argv)
+    if (args.data_plane_baseline is None) != (args.data_plane_fresh is None):
+        parser.error("--data-plane-baseline and --data-plane-fresh go together")
 
     try:
         baseline = load_walls(args.baseline)
         fresh = load_walls(args.fresh)
+        plane_baseline = plane_fresh = None
+        if args.data_plane_baseline is not None:
+            plane_baseline = load_data_plane(args.data_plane_baseline)
+            plane_fresh = load_data_plane(args.data_plane_fresh)
     except GateError as exc:
         print(f"perf-gate: ERROR: {exc}", file=sys.stderr)
         return 2
@@ -141,8 +215,18 @@ def main(argv: list[str] | None = None) -> int:
             name: wall * (args.inject_slowdown if name != ANCHOR else 1.0)
             for name, wall in fresh.items()
         }
+        if plane_fresh is not None:
+            plane_fresh = dict(
+                plane_fresh,
+                speedup_cached=float(plane_fresh["speedup_cached"])
+                / args.inject_slowdown,
+            )
 
     failures = check(baseline, fresh, args.threshold, args.min_speedup_n8)
+    if plane_baseline is not None and plane_fresh is not None:
+        failures += check_data_plane(
+            plane_baseline, plane_fresh, args.threshold, args.min_cache_speedup
+        )
     if failures:
         for failure in failures:
             print(f"perf-gate: FAIL: {failure}", file=sys.stderr)

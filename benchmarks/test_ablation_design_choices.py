@@ -20,7 +20,7 @@ from conftest import run_once
 
 from repro.core.config import PrismConfig
 from repro.data.datasets import get_dataset
-from repro.harness.reporting import format_table, ms
+from repro.harness.reporting import format_table, ms, pct
 from repro.harness.runner import run_system
 from repro.model.zoo import QWEN3_0_6B
 
@@ -154,14 +154,28 @@ def test_lru_cache_vs_full_table(benchmark, record_artifact):
     record_artifact(
         "ablation_embedding_cache",
         format_table(
-            ("embedding policy", "latency", "peak MiB"),
+            ("embedding policy", "latency", "peak MiB", "hit rate"),
             [
-                ("10% LRU cache", ms(cached.mean_latency), f"{cached.peak_mib:.0f}"),
-                ("full table resident", ms(full.mean_latency), f"{full.peak_mib:.0f}"),
+                (
+                    "10% LRU cache",
+                    ms(cached.mean_latency),
+                    f"{cached.peak_mib:.0f}",
+                    pct(cached.embedding_hit_rate),
+                ),
+                (
+                    "full table resident",
+                    ms(full.mean_latency),
+                    f"{full.peak_mib:.0f}",
+                    pct(full.embedding_hit_rate),  # no cache: "-", not 100%
+                ),
             ],
             title="Ablation — LRU embedding cache vs full table",
         ),
     )
+    # The cached run consulted its cache; the full-table run has none —
+    # a never-used cache reports None (rendered "-"), never a fake 100%.
+    assert cached.embedding_hit_rate is not None
+    assert full.embedding_hit_rate is None
     assert cached.peak_mib < full.peak_mib - 150  # ~296 MB table vs ~30 MB cache
     # Cache misses cost only milliseconds per request.
     assert cached.mean_latency - full.mean_latency < 0.05

@@ -241,3 +241,20 @@ __all__ += [
     "run_trace",
     "summarize_events",
 ]
+from .data_plane import (  # noqa: E402  (appended export)
+    DataPlane,
+    DataPlaneConfig,
+    DataPlaneStats,
+    EmbeddingPin,
+    SharedEmbeddingCache,
+    clone_result,
+)
+
+__all__ += [
+    "DataPlane",
+    "DataPlaneConfig",
+    "DataPlaneStats",
+    "EmbeddingPin",
+    "SharedEmbeddingCache",
+    "clone_result",
+]

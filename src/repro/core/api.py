@@ -99,6 +99,11 @@ class SelectionRequest:
         this many milliseconds after arrival, duplicate it onto a
         second healthy replica — first result wins, the loser is
         cancelled at its next layer boundary (DESIGN.md §9).
+    memoize:
+        Data-plane opt-out (DESIGN.md §12): ``False`` bypasses the
+        request memo/coalescing cache entirely and forces a full pass;
+        ``None``/``True`` lets the serving tier's plane (when one is
+        attached) answer from cache.
     metadata:
         Free-form caller annotations, echoed untouched.
     """
@@ -111,6 +116,7 @@ class SelectionRequest:
     deadline: float | None = None
     sample: bool | None = None
     hedge_after_ms: float | None = None
+    memoize: bool | None = None
     metadata: Mapping[str, object] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
@@ -155,6 +161,10 @@ class SelectionResponse:
     policy: str | None = None  # scheduling / routing policy in effect
     fused_group: int | None = None  # gang id in the fused schedule trace
     threshold: float | None = None  # dispersion threshold in effect
+    #: Data-plane provenance (DESIGN.md §12): ``"hit"`` (memoized),
+    #: ``"coalesced"`` (attached to an in-flight leader) or ``None``
+    #: (served by a full or residue pass).
+    cache: str | None = None
     # ---- resilience provenance (DESIGN.md §9) -------------------------
     attempts: int = 1  # dispatch attempts the request consumed
     failed_over_from: tuple[int, ...] = ()  # replicas that failed it first
@@ -491,6 +501,7 @@ class DeviceServer(ServerBase):
                     policy=self.policy,
                     fused_group=fused_groups.get(outcome.request_id),
                     threshold=threshold,
+                    cache=outcome.cache,
                 )
             )
         responses.extend(
@@ -537,6 +548,7 @@ class FleetServer(ServerBase):
                 client_id=request.request_id,
                 sample=request.sample,
                 hedge_after_ms=request.hedge_after_ms,
+                memoize=request.memoize if request.memoize is not None else True,
             )
             by_fleet_id[fleet_id] = request
         drop_mark = len(fleet.dropped_requests)
@@ -570,6 +582,7 @@ class FleetServer(ServerBase):
                     attempts=outcome.attempts,
                     failed_over_from=outcome.failed_over_from,
                     hedged=outcome.hedged,
+                    cache=outcome.cache,
                 )
             )
         responses.extend(

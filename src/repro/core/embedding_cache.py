@@ -35,9 +35,11 @@ class CacheLookup:
     io_seconds: float
 
     @property
-    def hit_rate(self) -> float:
+    def hit_rate(self) -> float | None:
+        """Hit fraction, or ``None`` when the lookup resolved nothing
+        (mirrors the FleetStats empty-sample helpers)."""
         if self.unique_tokens == 0:
-            return 1.0
+            return None
         return self.hits / self.unique_tokens
 
 
@@ -93,15 +95,18 @@ class EmbeddingCache:
         if not self._allocated:
             raise RuntimeError("EmbeddingCache.lookup before allocate()")
         unique = np.unique(np.asarray(token_ids).ravel())
-        hits = misses = 0
-        missing: list[int] = []
-        for token in unique.tolist():
-            if token in self._resident:
-                self._resident.move_to_end(token)
-                hits += 1
-            else:
-                misses += 1
-                missing.append(token)
+        tokens = unique.tolist()
+        resident = self._resident
+        # One set-based membership pass instead of a per-token probe
+        # loop; the LRU touch order over hits is unchanged (ascending
+        # unique order, exactly as the loop produced).
+        miss_set = set(tokens).difference(resident.keys())
+        missing = [token for token in tokens if token in miss_set]
+        hits = len(tokens) - len(missing)
+        misses = len(missing)
+        for token in tokens:
+            if token not in miss_set:
+                resident.move_to_end(token)
 
         io_seconds = 0.0
         miss_bytes = len(missing) * self.row_nbytes
@@ -140,8 +145,10 @@ class EmbeddingCache:
         return token in self._resident
 
     @property
-    def hit_rate(self) -> float:
+    def hit_rate(self) -> float | None:
+        """Lifetime hit fraction, or ``None`` for a never-used cache
+        (1.0 would fake a perfect cache in the ablation tables)."""
         total = self.total_hits + self.total_misses
         if total == 0:
-            return 1.0
+            return None
         return self.total_hits / total

@@ -110,6 +110,12 @@ class TaskContext:
 
     request_id: int
     plane_pass: PlanePass | None = None
+    #: Refcounted pins on fleet-shared embedding rows (DESIGN.md §12):
+    #: appended by the pass's embedding stage, released at the pass
+    #: boundary (normal and fault/cancel teardown alike) so the shared
+    #: cache never evicts a row under an in-flight reader.  The list is
+    #: mutable state inside a frozen record, like a refcount cell.
+    embedding_pins: list = field(default_factory=list)
 
     @property
     def prefix(self) -> str:
@@ -462,6 +468,7 @@ class PrismEngine(EngineBase):
         model: CrossEncoderModel,
         device: Device,
         config: PrismConfig | None = None,
+        embedding_plane=None,
     ) -> None:
         self.config = config or PrismConfig()
         super().__init__(model, device, quantized=self.config.quantized)
@@ -471,6 +478,10 @@ class PrismEngine(EngineBase):
             exact_rank_mode=self.config.exact_rank_mode,
         )
         self.embedding_cache: EmbeddingCache | None = None
+        #: Fleet-shared embedding residency (DESIGN.md §12): when set,
+        #: it replaces the private per-engine cache — one directory
+        #: serves every attached replica, with refcounted row pins.
+        self.embedding_plane = embedding_plane
 
     # ------------------------------------------------------------------
     def _prepare_impl(self) -> None:
@@ -481,7 +492,14 @@ class PrismEngine(EngineBase):
         if self.config.layer_streaming and self.config.shared_weight_plane:
             self.weight_plane = WeightPlane(self.store, self.executor)
 
-        if self.config.embedding_cache:
+        if self.embedding_plane is not None:
+            # Plane-scoped residency (DESIGN.md §12): this device still
+            # charges its own fixed slab, but the row directory is
+            # shared fleet-wide.
+            self.embedding_plane.attach(
+                self.executor, cfg.vocab_size, self.store.embedding_row_nbytes()
+            )
+        elif self.config.embedding_cache:
             capacity = max(1, int(cfg.vocab_size * self.config.embedding_cache_fraction))
             self.embedding_cache = EmbeddingCache(
                 capacity_rows=capacity,
@@ -518,10 +536,16 @@ class PrismEngine(EngineBase):
         except BaseException:
             # A failing pass (OOM under load, a cancelled generator)
             # must drop its plane refcounts, or shared buffers would
-            # stay pinned for every surviving request.
+            # stay pinned for every surviving request.  Same for the
+            # embedding-row pins: a fault/cancel must unpin, or the
+            # shared cache could never evict those rows again.
             if streamer is not None:
                 streamer.fail_pass()
+            for pin in ctx.embedding_pins:
+                pin.release()
             raise
+        for pin in ctx.embedding_pins:
+            pin.release()
         return result
 
     def _pass_impl(
@@ -539,7 +563,10 @@ class PrismEngine(EngineBase):
         t0, stall0 = executor.now, executor.io_stall_seconds
 
         # ---------------- embedding stage ------------------------------
-        if self.embedding_cache is not None:
+        if self.embedding_plane is not None:
+            _, pin = self.embedding_plane.lookup(batch.tokens, self.executor)
+            ctx.embedding_pins.append(pin)
+        elif self.embedding_cache is not None:
             self.embedding_cache.lookup(batch.tokens)
         self._charge_embedding(batch.size, seq_len)
         state = self.model.embed(batch, numerics=prism_cfg.numerics)

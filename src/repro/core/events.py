@@ -70,6 +70,12 @@ EVENT_FAILOVER = "failover"
 EVENT_HEDGE = "hedge"
 #: The autoscaler changed fleet capacity.
 EVENT_SCALE = "scale"
+#: The data plane served a request from cache (memo/coalesced/overlap)
+#: without a full engine pass (DESIGN.md §12).
+EVENT_CACHE_HIT = "cache_hit"
+#: The data plane dropped entries (LRU pressure, epoch invalidation,
+#: or a poisoned pending leader) (DESIGN.md §12).
+EVENT_CACHE_EVICT = "cache_evict"
 
 #: Every kind an :class:`Event` may carry.
 EVENT_KINDS = (
@@ -90,6 +96,8 @@ EVENT_KINDS = (
     EVENT_FAILOVER,
     EVENT_HEDGE,
     EVENT_SCALE,
+    EVENT_CACHE_HIT,
+    EVENT_CACHE_EVICT,
 )
 
 #: The terminal kinds: every admitted request ends in exactly one.

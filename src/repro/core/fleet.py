@@ -54,6 +54,13 @@ from ..device.faults import FAULT_BANDWIDTH_DEGRADATION, DeviceFault, FaultPlan
 from ..device.platforms import DeviceProfile
 from ..model.transformer import CandidateBatch, CrossEncoderModel
 from .config import PrismConfig
+from .data_plane import (
+    DataPlane,
+    DataPlaneConfig,
+    DataPlaneStats,
+    SharedEmbeddingCache,
+    clone_result,
+)
 from .engine import RerankResult
 from .resilience import AutoscalerConfig, ReplicaHealth, ResilienceConfig, ScalingEvent
 from .scheduler import LANE_BATCH, SCHEDULING_POLICIES, DroppedRequest
@@ -98,6 +105,20 @@ class FleetConfig:
     max_skew:
         Group-join bound of the ``fusion`` intra-replica policy
         (seconds); see :class:`~repro.core.scheduler.SchedulerConfig`.
+    data_plane:
+        Attach the fleet-shared semantic result & candidate cache
+        (DESIGN.md §12): request memoization, in-flight coalescing and
+        partial-overlap candidate reuse.  ``False`` (the default)
+        serves every request by a full pass — byte-identical to a
+        fleet built before the plane existed.
+    data_plane_config:
+        Tunables of the plane (:class:`~repro.core.data_plane.DataPlaneConfig`);
+        ``None`` takes the defaults.  Only meaningful with
+        ``data_plane=True``.
+    shared_embedding_cache:
+        Promote the per-engine §4.4 embedding row cache to one
+        fleet-shared refcounted directory (DESIGN.md §12 layer 3): a
+        row any replica faulted in is a hit for every replica.
     """
 
     max_batch: int = 4
@@ -109,6 +130,9 @@ class FleetConfig:
     intra_policy: str = "round_robin"
     shared_weight_plane: bool = False
     max_skew: float = 0.0
+    data_plane: bool = False
+    data_plane_config: DataPlaneConfig | None = None
+    shared_embedding_cache: bool = False
 
     def __post_init__(self) -> None:
         if self.max_batch < 1:
@@ -283,6 +307,9 @@ class FleetRequest:
     #: Earliest fleet instant this request may start service — a
     #: failover retry cannot begin before the fault that spawned it.
     not_before: float = 0.0
+    #: Data-plane opt-out (DESIGN.md §12): ``False`` bypasses the
+    #: request memo/coalescing cache and forces a full pass.
+    memoize: bool = True
 
 
 @dataclass
@@ -296,7 +323,9 @@ class RequestOutcome:
     """
 
     request_id: int
-    replica: int
+    #: Serving replica, or ``None`` for a data-plane memo hit — a hit
+    #: never occupies a replica (DESIGN.md §12).
+    replica: int | None
     arrival: float
     start: float  # the batch's dispatch instant (shared by the whole batch)
     finish: float
@@ -319,6 +348,10 @@ class RequestOutcome:
     #: A hedge duplicate was launched for this request; ``replica`` is
     #: the replica whose copy won.
     hedged: bool = False
+    #: Data-plane provenance (DESIGN.md §12): ``"hit"`` (memoized),
+    #: ``"coalesced"`` (attached to an in-flight leader) or ``None``
+    #: (served by a full or residue pass).
+    cache: str | None = None
 
     @property
     def queue_wait(self) -> float:
@@ -373,6 +406,10 @@ class FleetStats:
     scaling_events: list[ScalingEvent] = field(default_factory=list)
     #: (fleet time, live replica count) after every capacity change.
     capacity_samples: list[tuple[float, int]] = field(default_factory=list)
+    # ---- data plane (DESIGN.md §12) -----------------------------------
+    #: Cache-plane counters, mirroring the weight plane's PlaneStats;
+    #: ``None`` when the fleet serves without a data plane.
+    data_plane: DataPlaneStats | None = None
 
     def _latencies(self) -> np.ndarray:
         return np.array([o.latency for o in self.outcomes])
@@ -491,12 +528,43 @@ class FleetService:
         self._model = model
         self._config = config
         self._service_kwargs = dict(service_kwargs)
+        #: Fleet-shared semantic cache plane (DESIGN.md §12); ``None``
+        #: serves every request by a full pass.  The fleet — not the
+        #: replicas — owns admission, so replica services are built
+        #: without a plane of their own (no double admission).
+        self.data_plane: DataPlane | None = None
+        if self.fleet_config.data_plane:
+            self.data_plane = DataPlane(
+                self.fleet_config.data_plane_config,
+                model_key=f"{model.config.name}:{model.config.model_seed}",
+            )
+            self.data_plane.attach_event_log(event_log, tier="fleet")
+        #: Fleet-shared embedding residency (§12 layer 3); every
+        #: replica's engine resolves rows against this one directory.
+        self.embedding_plane: SharedEmbeddingCache | None = None
+        if self.fleet_config.shared_embedding_cache:
+            fraction = (
+                config.embedding_cache_fraction
+                if config is not None
+                else PrismConfig().embedding_cache_fraction
+            )
+            self.embedding_plane = SharedEmbeddingCache(fraction=fraction)
+        #: fp of each in-flight plane leader, by fleet request id.
+        self._plane_fp: dict[int, str] = {}
+        #: (shared, residue) row positions of overlap leaders.
+        self._overlap_plans: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+        #: Followers stranded by a dead leader, awaiting re-dispatch.
+        self._plane_redispatch: list[FleetRequest] = []
         #: Profile the autoscaler clones for replicas added at runtime.
         self._scale_profile = profiles[0]
         self.replicas: list[ReplicaHandle] = []
         for profile in profiles:
             self._spawn_replica(profile)
         self._stride = SampleStride(self.replicas[0].service.sample_rate)
+        if self.data_plane is not None:
+            # Seed the plane's recorded threshold so the first real
+            # consensus change (not the seed) bumps the epoch.
+            self.data_plane.on_threshold(self.threshold, at=0.0)
         self._next_request_id = 0
         self._pending: list[FleetRequest] = []
         self._pending_client_ids: set[str | int] = set()
@@ -529,6 +597,7 @@ class FleetService:
             config=self._config,
             max_concurrency=self.fleet_config.intra_concurrency,
             shared_weights=self.fleet_config.shared_weight_plane,
+            embedding_plane=self.embedding_plane,
             event_log=self.events,
             events_replica=index,
             **self._service_kwargs,
@@ -630,6 +699,7 @@ class FleetService:
         client_id: str | int | None = None,
         sample: bool | None = None,
         hedge_after_ms: float | None = None,
+        memoize: bool = True,
     ) -> int:
         """Admit one request with full intent; returns its fleet id.
 
@@ -674,6 +744,7 @@ class FleetService:
             client_id=client_id,
             sample=sample,
             hedge_after_ms=hedge_after_ms,
+            memoize=memoize,
         )
         self._next_request_id += 1
         self._pending.append(request)
@@ -734,14 +805,42 @@ class FleetService:
         completed: list[RequestOutcome] = []
         now = self.clock.now
         i = 0
-        while i < len(pending) or queue:
+        while i < len(pending) or queue or self._plane_redispatch:
             while i < len(pending) and pending[i].arrival <= now:
-                queue.append(pending[i])
-                self._emit("queue", at=now, request=pending[i], depth=len(queue))
+                request = pending[i]
                 i += 1
+                if self.data_plane is not None:
+                    # Plane admission first (DESIGN.md §12): a memo hit
+                    # or coalesced follower never enters the dispatch
+                    # queue and never occupies a replica.
+                    routed = self._plane_route(request, now)
+                    if routed is not None:
+                        if isinstance(routed, RequestOutcome):
+                            completed.append(routed)
+                        continue
+                queue.append(request)
+                self._emit("queue", at=now, request=request, depth=len(queue))
                 self._queue_depth_samples.append((now, len(queue)))
+            if self._plane_redispatch:
+                # Followers stranded by a dead leader re-enter here:
+                # the first becomes the new leader, siblings re-coalesce.
+                stranded, self._plane_redispatch = self._plane_redispatch, []
+                for follower in stranded:
+                    follower = replace(
+                        follower, not_before=max(follower.not_before, now)
+                    )
+                    routed = self._plane_route(follower, now)
+                    if routed is not None:
+                        if isinstance(routed, RequestOutcome):
+                            completed.append(routed)
+                        continue
+                    queue.append(follower)
+                    self._emit("queue", at=now, request=follower, depth=len(queue))
+                    self._queue_depth_samples.append((now, len(queue)))
             self._autoscale(now, len(queue))
             if not queue:
+                if i >= len(pending):
+                    continue  # the plane absorbed the stragglers
                 now = max(now, pending[i].arrival)
                 # Traffic gap: give the controller one look at the
                 # idle fleet before the next arrival is admitted, so
@@ -769,6 +868,23 @@ class FleetService:
             flush, queue = queue[:max_batch], queue[max_batch:]
             outcomes, retries = self._dispatch(flush, now, pool)
             completed.extend(outcomes)
+            if self.data_plane is not None and retries:
+                # A failover retry whose pending entry was invalidated
+                # re-enters through the plane: it may memo-hit a result
+                # completed meanwhile, or coalesce onto a new leader.
+                # A retry that is still the live leader of its own
+                # pending entry must keep running (coalescing onto
+                # itself would strand it and its followers forever).
+                survivors = []
+                for retry in retries:
+                    if retry.request_id not in self._plane_fp:
+                        routed = self._plane_route(retry, retry.not_before)
+                        if routed is not None:
+                            if isinstance(routed, RequestOutcome):
+                                completed.append(routed)
+                            continue
+                    survivors.append(retry)
+                retries = survivors
             queue.extend(retries)
             for retry in retries:
                 self._emit(
@@ -829,20 +945,32 @@ class FleetService:
                 local_now = replica.local_now
                 if self._drop_due(request, local_now):
                     continue
+                plan = self._overlap_plans.pop(request.request_id, None)
                 try:
-                    result = replica.service._serve_solo(
-                        request.batch,
-                        request.k,
-                        sample=self._request_sample(request),
-                        cancel_at=(
-                            request.cancel_at + replica.origin
-                            if request.cancel_at is not None
-                            else None
-                        ),
-                    )
+                    if plan is not None:
+                        # Partial-overlap leader (DESIGN.md §12): the
+                        # replica executes only the residue rows; the
+                        # exact full-batch selection is recovered by a
+                        # zero-cost shadow replay.
+                        result = self._serve_overlap(replica, request, plan)
+                    else:
+                        result = replica.service._serve_solo(
+                            request.batch,
+                            request.k,
+                            sample=self._request_sample(request),
+                            cancel_at=(
+                                request.cancel_at + replica.origin
+                                if request.cancel_at is not None
+                                else None
+                            ),
+                        )
                 except DeviceFault as fault:
                     at = replica.local_now
                     self._record_failure(replica, at)
+                    # The faulted leader must never poison the memo:
+                    # its pending entry dies with it, and its followers
+                    # re-dispatch (DESIGN.md §12).
+                    self._plane_invalidate(requests[index], at, fault.kind)
                     # The faulted request and everything still queued
                     # behind it on this replica fail over together.
                     retries.extend(
@@ -877,7 +1005,10 @@ class FleetService:
                 self._record_success(
                     replica, finish - local_now, result.layers_executed + 1
                 )
-                self._maybe_hedge(request, outcome, replica, pool)
+                if plan is None:
+                    # An overlap leader already served a reduced pass;
+                    # racing a full-pass duplicate would undo the win.
+                    self._maybe_hedge(request, outcome, replica, pool)
                 # After hedging: a winning duplicate already rewrote the
                 # outcome, so the event carries the final provenance.
                 self._emit(
@@ -889,6 +1020,9 @@ class FleetService:
                     attempts=outcome.attempts,
                     hedged=outcome.hedged,
                 )
+                # Memoize after hedging so the memo holds the final
+                # result; followers resolve against it (DESIGN.md §12).
+                outcomes.extend(self._plane_complete(request, outcome, replica))
         replica.busy_until = replica.local_now
         replica.busy_seconds += replica.busy_until - start
         # Hedge-won outcomes already counted for the winning backup.
@@ -916,18 +1050,42 @@ class FleetService:
         cfg = self.fleet_config
         origin_fleet = replica.local_now  # wave origin on the fleet axis
         wave_inputs: list[tuple[FleetRequest, SelectionRequest, float | None]] = []
+        outcomes: list[RequestOutcome] = []
+        plans: dict[int, tuple[np.ndarray, np.ndarray]] = {}
         for request in requests:
             if self._drop_due(request, origin_fleet):
                 continue
+            plan = self._overlap_plans.pop(request.request_id, None)
+            if plan is not None and plan[1].size == 0:
+                # Every candidate row is cached: no residue to execute.
+                # The exact selection comes from the zero-cost shadow
+                # replay; the replica is never occupied (DESIGN.md §12).
+                outcome = self._complete_overlap_instant(
+                    request, replica, plan, origin_fleet
+                )
+                outcomes.append(outcome)
+                outcomes.extend(self._plane_complete(request, outcome, replica))
+                continue
+            if plan is not None:
+                plans[request.request_id] = plan
             cancel = (
                 request.cancel_at - origin_fleet if request.cancel_at is not None else None
             )
+            shared, residue = plan if plan is not None else (None, None)
             wave_inputs.append(
                 (
                     request,
                     SelectionRequest(
-                        batch=request.batch,
-                        k=request.k,
+                        batch=(
+                            request.batch.select(residue)
+                            if residue is not None
+                            else request.batch
+                        ),
+                        k=(
+                            min(request.k, int(residue.size))
+                            if residue is not None
+                            else request.k
+                        ),
                         request_id=request.request_id,
                         priority=request.priority,
                         deadline=(
@@ -935,26 +1093,46 @@ class FleetService:
                             if request.deadline is not None
                             else None
                         ),
-                        sample=self._request_sample(request),
+                        # Overlap leaders serve a residue sub-batch —
+                        # not the request the calibration log expects —
+                        # so they never feed the idle-check samples.
+                        sample=(
+                            False
+                            if residue is not None
+                            else self._request_sample(request)
+                        ),
                     ),
                     max(0.0, cancel) if cancel is not None else None,
                 )
             )
         if not wave_inputs:
-            return [], []
+            return outcomes, []
         wave = replica.service.serve_requests(
             [selection for _, selection, _ in wave_inputs],
             policy=cfg.intra_policy,
             max_skew=cfg.max_skew,
             cancels=[cancel for _, _, cancel in wave_inputs],
         )
-        outcomes = []
         by_scheduler_id = {
             scheduler_id: request
             for scheduler_id, (request, _, _) in zip(wave.request_ids, wave_inputs)
         }
         for scheduled_outcome in wave.outcomes:
             request = by_scheduler_id[scheduled_outcome.request_id]
+            plan = plans.get(request.request_id)
+            if plan is not None:
+                # The scheduler served only the residue rows; recover
+                # the exact full-batch selection by shadow replay and
+                # credit the skipped rows to the plane (DESIGN.md §12).
+                result = self._finish_overlap(
+                    replica,
+                    request,
+                    plan,
+                    residue_result=scheduled_outcome.result,
+                    residue_seconds=scheduled_outcome.service_seconds,
+                )
+            else:
+                result = scheduled_outcome.result
             self._emit(
                 "complete",
                 at=scheduled_outcome.finish - replica.origin,
@@ -964,23 +1142,22 @@ class FleetService:
                 attempts=request.attempts,
                 hedged=False,
             )
-            outcomes.append(
-                RequestOutcome(
-                    request_id=request.request_id,
-                    replica=replica.index,
-                    arrival=request.arrival,
-                    start=start,
-                    finish=scheduled_outcome.finish - replica.origin,
-                    result=scheduled_outcome.result,
-                    client_id=request.client_id,
-                    lane=request.priority,
-                    deadline=request.deadline,
-                    service_start=scheduled_outcome.start - replica.origin,
-                    service_seconds=scheduled_outcome.service_seconds,
-                    attempts=request.attempts,
-                    failed_over_from=request.failed_over_from,
-                )
+            outcome = RequestOutcome(
+                request_id=request.request_id,
+                replica=replica.index,
+                arrival=request.arrival,
+                start=start,
+                finish=scheduled_outcome.finish - replica.origin,
+                result=result,
+                client_id=request.client_id,
+                lane=request.priority,
+                deadline=request.deadline,
+                service_start=scheduled_outcome.start - replica.origin,
+                service_seconds=scheduled_outcome.service_seconds,
+                attempts=request.attempts,
+                failed_over_from=request.failed_over_from,
             )
+            outcomes.append(outcome)
             # Under multiplexing, result.latency_seconds spans other
             # requests' interleaved steps; the scheduler's service
             # time is the true per-request cost EWMA must learn.
@@ -990,12 +1167,14 @@ class FleetService:
                 scheduled_outcome.service_seconds,
                 scheduled_outcome.result.layers_executed + 1,
             )
+            outcomes.extend(self._plane_complete(request, outcome, replica))
         retries: list[FleetRequest] = []
         failed: list[tuple[FleetRequest, float, str]] = []
         for drop in wave.dropped:
             request = by_scheduler_id[drop.request_id]
             at = drop.at - replica.origin
             if drop.reason == "failed":
+                self._plane_invalidate(request, at, drop.detail or "device_fault")
                 failed.append((request, at, drop.detail))
             else:
                 self._drop(request, drop.reason, at)
@@ -1062,6 +1241,284 @@ class FleetService:
             replica=failed_on,
             detail=detail,
             attempts=request.attempts,
+        )
+        # A dropped plane leader must never poison the memo: its
+        # pending entry dies and its followers re-dispatch (§12).
+        self._plane_invalidate(request, at, reason)
+
+    # ------------------------------------------------------------------
+    # data plane (DESIGN.md §12)
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _plane_label(request: FleetRequest) -> str | int:
+        return request.client_id if request.client_id is not None else request.request_id
+
+    def _full_weight_bytes(self, replica: ReplicaHandle, result: RerankResult) -> int:
+        """SSD weight traffic a pass of this result's depth swept."""
+        store = replica.service.engine.store
+        return sum(
+            store.layer_nbytes(layer) for layer in range(result.layers_executed)
+        )
+
+    def _plane_route(
+        self, request: FleetRequest, at: float
+    ) -> RequestOutcome | str | None:
+        """Route one due request through the plane (DESIGN.md §12).
+
+        Returns a completed :class:`RequestOutcome` for a memo hit,
+        ``"coalesced"`` for a follower attached to an in-flight leader
+        (its outcome materialises when the leader completes), or
+        ``None`` when the request must dispatch — as a plane leader
+        (its fingerprint is registered) or as a plain request
+        (``memoize=False`` opt-out, or a cancel/deadline already due,
+        which the ordinary drop path must account for).
+        """
+        plane = self.data_plane
+        if plane is None or not request.memoize:
+            return None
+        if request.cancel_at is not None and request.cancel_at <= at:
+            return None
+        if request.deadline is not None and request.deadline <= at:
+            return None
+        fp = plane.fingerprint(
+            request.batch,
+            request.k,
+            threshold=self.threshold,
+            sample_rate=self._stride.rate,
+        )
+        decision = plane.admit(
+            fp,
+            request.batch,
+            payload=request,
+            at=at,
+            request=self._plane_label(request),
+        )
+        if decision.kind == "coalesced":
+            return "coalesced"
+        if decision.kind == "leader":
+            self._plane_fp[request.request_id] = fp
+            if decision.shared is not None and decision.residue is not None:
+                self._overlap_plans[request.request_id] = (
+                    decision.shared,
+                    decision.residue,
+                )
+            return None
+        outcome = RequestOutcome(
+            request_id=request.request_id,
+            replica=None,
+            arrival=request.arrival,
+            start=at,
+            finish=at,
+            result=decision.result,
+            client_id=request.client_id,
+            lane=request.priority,
+            deadline=request.deadline,
+            service_start=at,
+            service_seconds=0.0,
+            attempts=request.attempts,
+            failed_over_from=request.failed_over_from,
+            cache="hit",
+        )
+        self._emit(
+            "complete",
+            at=at,
+            request=request,
+            replica=None,
+            latency=at - request.arrival,
+            attempts=request.attempts,
+            hedged=False,
+            cache="hit",
+        )
+        return outcome
+
+    def _plane_complete(
+        self, request: FleetRequest, outcome: RequestOutcome, replica: ReplicaHandle
+    ) -> list[RequestOutcome]:
+        """A plane leader finished: memoize and resolve its followers."""
+        if self.data_plane is None:
+            return []
+        fp = self._plane_fp.pop(request.request_id, None)
+        if fp is None:
+            return []
+        result = outcome.result
+        followers = self.data_plane.complete(
+            fp,
+            request.batch,
+            result,
+            service_seconds=(
+                outcome.service_seconds if outcome.service_seconds is not None else 0.0
+            ),
+            weight_bytes=self._full_weight_bytes(replica, result),
+            at=outcome.finish,
+            request=self._plane_label(request),
+        )
+        resolved: list[RequestOutcome] = []
+        for follower, attached_at in followers:
+            finish = max(outcome.finish, attached_at)
+            if follower.cancel_at is not None and follower.cancel_at < finish:
+                # The follower's cancel fired while it waited on the
+                # leader: it drops, never having occupied a replica.
+                self._drop(follower, "cancelled", follower.cancel_at)
+                continue
+            resolved.append(
+                RequestOutcome(
+                    request_id=follower.request_id,
+                    replica=outcome.replica,
+                    arrival=follower.arrival,
+                    start=attached_at,
+                    finish=finish,
+                    result=clone_result(result),
+                    client_id=follower.client_id,
+                    lane=follower.priority,
+                    deadline=follower.deadline,
+                    service_start=finish,
+                    service_seconds=0.0,
+                    attempts=follower.attempts,
+                    failed_over_from=follower.failed_over_from,
+                    cache="coalesced",
+                )
+            )
+            self._emit(
+                "complete",
+                at=finish,
+                request=follower,
+                replica=outcome.replica,
+                latency=finish - follower.arrival,
+                attempts=follower.attempts,
+                hedged=False,
+                cache="coalesced",
+            )
+        return resolved
+
+    def _plane_invalidate(self, request: FleetRequest, at: float, reason: str) -> None:
+        """A plane leader died: drop its pending entry; its followers
+        join the re-dispatch buffer the drain loop absorbs."""
+        if self.data_plane is None:
+            return
+        self._overlap_plans.pop(request.request_id, None)
+        fp = self._plane_fp.pop(request.request_id, None)
+        if fp is None:
+            return
+        followers = self.data_plane.invalidate(
+            fp, at=at, reason=reason, request=self._plane_label(request)
+        )
+        self._plane_redispatch.extend(payload for payload, _ in followers)
+
+    def _serve_overlap(
+        self,
+        replica: ReplicaHandle,
+        request: FleetRequest,
+        plan: tuple[np.ndarray, np.ndarray],
+    ) -> RerankResult | None:
+        """Serial overlap leader: residue pass + exact shadow replay.
+
+        The replica's clock advances only for the residue rows — the
+        shared rows' scores are already determined (ScoreDynamics keys
+        them on (model_seed, uid, relevance, layer), independent of
+        batch composition), so the full-batch replay on a shadow
+        engine is zero-cost and byte-identical to a full serving pass.
+        """
+        shared, residue = plan
+        service = replica.service
+        if residue.size:
+            before = service.device.clock.now
+            partial = service._serve_solo(
+                request.batch.select(residue),
+                min(request.k, int(residue.size)),
+                sample=False,
+                cancel_at=(
+                    request.cancel_at + replica.origin
+                    if request.cancel_at is not None
+                    else None
+                ),
+            )
+            if partial is None:  # cancelled mid-residue
+                return None
+            residue_seconds = service.device.clock.now - before
+            residue_bytes = service._weight_bytes(partial)
+        else:
+            residue_seconds = 0.0
+            residue_bytes = 0
+        return self._replay_overlap(
+            service, request, shared, residue, residue_seconds, residue_bytes
+        )
+
+    def _finish_overlap(
+        self,
+        replica: ReplicaHandle,
+        request: FleetRequest,
+        plan: tuple[np.ndarray, np.ndarray],
+        *,
+        residue_result: RerankResult,
+        residue_seconds: float,
+    ) -> RerankResult:
+        """Concurrent overlap leader: swap the residue result for the
+        exact full-batch replay after its wave completed."""
+        shared, residue = plan
+        service = replica.service
+        return self._replay_overlap(
+            service,
+            request,
+            shared,
+            residue,
+            residue_seconds,
+            service._weight_bytes(residue_result),
+        )
+
+    def _replay_overlap(
+        self,
+        service: SemanticSelectionService,
+        request: FleetRequest,
+        shared: np.ndarray,
+        residue: np.ndarray,
+        residue_seconds: float,
+        residue_bytes: int,
+    ) -> RerankResult:
+        result = service.replay_selection(request.batch, request.k)
+        if residue.size:
+            saved_seconds = residue_seconds * (float(shared.size) / float(residue.size))
+        else:
+            saved_seconds = result.latency_seconds
+        full_bytes = service._weight_bytes(result)
+        assert self.data_plane is not None
+        self.data_plane.note_saved(saved_seconds, max(0, full_bytes - residue_bytes))
+        return result
+
+    def _complete_overlap_instant(
+        self,
+        request: FleetRequest,
+        replica: ReplicaHandle,
+        plan: tuple[np.ndarray, np.ndarray],
+        at: float,
+    ) -> RequestOutcome:
+        """An all-shared overlap leader: pure replay, zero service time."""
+        shared, residue = plan
+        result = self._replay_overlap(
+            replica.service, request, shared, residue, 0.0, 0
+        )
+        self._emit(
+            "complete",
+            at=at,
+            request=request,
+            replica=replica.index,
+            latency=at - request.arrival,
+            attempts=request.attempts,
+            hedged=False,
+        )
+        return RequestOutcome(
+            request_id=request.request_id,
+            replica=replica.index,
+            arrival=request.arrival,
+            start=at,
+            finish=at,
+            result=result,
+            client_id=request.client_id,
+            lane=request.priority,
+            deadline=request.deadline,
+            service_start=at,
+            service_seconds=0.0,
+            attempts=request.attempts,
+            failed_over_from=request.failed_over_from,
         )
 
     # ------------------------------------------------------------------
@@ -1345,6 +1802,10 @@ class FleetService:
         consensus = float(np.median(thresholds))
         for replica in replicas:
             replica.service.apply_threshold(consensus)
+        if self.data_plane is not None:
+            # Recalibration moves the selection frontier: stale memo
+            # entries would replay pre-recalibration selections (§12).
+            self.data_plane.on_threshold(consensus, at=self.clock.now)
         self._maintenance_rounds += 1
         return FleetMaintenanceReport(
             replica_reports=replica_reports,
@@ -1383,4 +1844,7 @@ class FleetService:
             hedges_won=self._hedges_won,
             scaling_events=list(self._scaling_events),
             capacity_samples=list(self._capacity_samples),
+            data_plane=(
+                self.data_plane.stats() if self.data_plane is not None else None
+            ),
         )

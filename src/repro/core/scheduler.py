@@ -179,6 +179,10 @@ class ScheduledOutcome:
     result: RerankResult
     sample: bool | None = None
     deadline: float | None = None  # absolute device-clock deadline, if any
+    #: Data-plane provenance (DESIGN.md §12): ``"hit"`` (memoized,
+    #: never occupied a scheduler slot), ``"coalesced"`` (attached to
+    #: an in-flight leader) or ``None`` (served by a full pass).
+    cache: str | None = None
 
     @property
     def queue_wait(self) -> float:

@@ -39,6 +39,7 @@ from typing import TYPE_CHECKING, Sequence
 from ..device.platforms import Device, DeviceProfile
 from ..model.transformer import CandidateBatch, CrossEncoderModel
 from .config import PrismConfig
+from .data_plane import DataPlane, SharedEmbeddingCache, clone_result
 from .engine import PrismEngine, RerankResult
 from .metrics import top_k_overlap
 from .scheduler import (
@@ -170,6 +171,8 @@ class SemanticSelectionService:
         max_threshold: float = 1.5,
         max_concurrency: int = 1,
         shared_weights: bool = False,
+        data_plane: DataPlane | None = None,
+        embedding_plane: SharedEmbeddingCache | None = None,
         event_log=None,
         events_replica: int | None = None,
     ) -> None:
@@ -196,8 +199,24 @@ class SemanticSelectionService:
         self.max_concurrency = max_concurrency
 
         self.device: Device = profile.create()
-        self.engine = PrismEngine(model, self.device, self.config)
+        #: Fleet-shared embedding residency (DESIGN.md §12 layer 3);
+        #: ``None`` keeps the engine's private §4.4 cache.
+        self.embedding_plane = embedding_plane
+        self.engine = PrismEngine(
+            model, self.device, self.config, embedding_plane=embedding_plane
+        )
         self.engine.prepare()
+        #: Device-tier data plane (DESIGN.md §12 layers 1+2, memoization
+        #: and coalescing only — partial-overlap reuse is the fleet
+        #: coordinator's job).  ``None`` serves every request by a full
+        #: pass, byte-identical to a service built without the plane.
+        self.data_plane = data_plane
+        if data_plane is not None:
+            data_plane.on_threshold(self.threshold, at=self.device.clock.now)
+            if event_log is not None:
+                data_plane.attach_event_log(
+                    event_log, tier="device", replica=events_replica
+                )
         #: Observability sink (DESIGN.md §10), attached *after* prepare
         #: so the log carries serving-time events, not the one-time
         #: weight-load prologue.  ``None`` observes nothing.
@@ -222,6 +241,10 @@ class SemanticSelectionService:
         value = float(np.clip(value, self.min_threshold, self.max_threshold))
         self.engine.pruner.dispersion_threshold = value
         self.config = replace(self.config, dispersion_threshold=value)
+        if self.data_plane is not None:
+            # Recalibration invalidates cached selections (DESIGN.md
+            # §12): the plane bumps its epoch when the value changed.
+            self.data_plane.on_threshold(value, at=self.device.clock.now)
 
     def apply_threshold(self, value: float) -> float:
         """Externally set the operating threshold (clamped); returns it.
@@ -385,10 +408,46 @@ class SemanticSelectionService:
         ``sample`` override); only completed requests enter the
         idle-check log.  The scheduler stays reachable as
         :attr:`last_scheduler` for ``stats()`` and ``trace_text()``.
+
+        With a :attr:`data_plane` attached (DESIGN.md §12), requests
+        first pass through the plane: memo hits and coalesced followers
+        resolve without ever occupying a scheduler slot (their outcomes
+        carry negative synthetic ids and ``cache`` provenance); only
+        leaders — and requests opting out via ``memoize=False`` — enter
+        the scheduler wave.
         """
         requests = list(requests)
         if cancels is not None and len(cancels) != len(requests):
             raise ValueError("cancels must match requests")
+        if self.data_plane is not None:
+            return self._serve_requests_plane(
+                requests,
+                policy=policy,
+                quantum_layers=quantum_layers,
+                max_skew=max_skew,
+                edf=edf,
+                cancels=cancels,
+            )
+        return self._serve_wave(
+            requests,
+            policy=policy,
+            quantum_layers=quantum_layers,
+            max_skew=max_skew,
+            edf=edf,
+            cancels=cancels,
+        )
+
+    def _serve_wave(
+        self,
+        requests: "list[SelectionRequest]",
+        *,
+        policy: str,
+        quantum_layers: int,
+        max_skew: float,
+        edf: bool,
+        cancels: Sequence[float | None] | None,
+    ) -> DeviceWave:
+        """The plane-less scheduler wave (the pre-§12 serving core)."""
         if self.engine.weight_plane is not None and policy == "fifo" and len(requests) > 1:
             # Run-to-completion over the plane keeps every admitted
             # task's frontier at layer 0 while the first runs, so
@@ -456,6 +515,330 @@ class SemanticSelectionService:
             outcomes=outcomes,
             dropped=list(scheduler.dropped),
             scheduler=scheduler,
+            origin=origin,
+            request_ids=request_ids,
+        )
+
+    # ------------------------------------------------------------------
+    # data-plane serving path (DESIGN.md §12)
+    # ------------------------------------------------------------------
+    def _weight_bytes(self, result: RerankResult) -> int:
+        """SSD weight traffic a pass of this result's depth swept."""
+        store = self.engine.store
+        return sum(
+            store.layer_nbytes(layer) for layer in range(result.layers_executed)
+        )
+
+    def replay_selection(self, batch: CandidateBatch, k: int) -> RerankResult:
+        """Full-batch selection replay on a zero-cost shadow engine.
+
+        Pruning stays ON at the current config, so the replay is
+        byte-identical to serving the batch solo (cross-tier
+        determinism, DESIGN.md §8) — but it runs on a shadow device
+        like :meth:`_ground_truth`, so serving clocks and memory are
+        untouched.  This is how the fleet's partial-overlap path
+        (DESIGN.md §12) recovers the exact full-batch selection after
+        executing only the residue rows.
+        """
+        shadow = self.profile.create()
+        engine = PrismEngine(self.model, shadow, self.config)
+        engine.prepare()
+        result = engine.start(batch, k).run()
+        assert result is not None  # shadow passes are never cancelled
+        return result
+
+    def _serve_requests_plane(
+        self,
+        requests: "list[SelectionRequest]",
+        *,
+        policy: str,
+        quantum_layers: int,
+        max_skew: float,
+        edf: bool,
+        cancels: Sequence[float | None] | None,
+    ) -> DeviceWave:
+        """Device-tier plane serving: memoization + in-flight coalescing.
+
+        Synthetic outcomes (memo hits, resolved followers) carry
+        negative scheduler ids ``-(input_index + 1)`` so they can never
+        collide with the wave scheduler's 0-based ids, and ``cache``
+        provenance (``"hit"``/``"coalesced"``).  A leader that is
+        dropped (shed/cancelled/faulted) invalidates its pending entry
+        and its followers re-dispatch — the first becomes the new
+        leader on the serving engine, siblings re-coalesce — so a dead
+        leader never poisons the memo and never strands a follower.
+        """
+        plane = self.data_plane
+        assert plane is not None
+        origin = self.device.clock.now
+        request_ids: list[int] = [0] * len(requests)
+        synthetic_outcomes: list[ScheduledOutcome] = []
+        synthetic_drops: list[DroppedRequest] = []
+        leaders: list[tuple[int, "SelectionRequest", float | None, str | None]] = []
+        redispatch: list[tuple[int, "SelectionRequest", float | None]] = []
+
+        def abs_cancel(cancel: float | None) -> float | None:
+            return origin + cancel if cancel is not None else None
+
+        def synth_hit(index: int, request: "SelectionRequest", result, at: float) -> None:
+            arrival = origin + request.arrival_offset
+            self.stats.requests_served += 1
+            synthetic_outcomes.append(
+                ScheduledOutcome(
+                    request_id=-(index + 1),
+                    priority=request.priority,
+                    arrival=arrival,
+                    start=at,
+                    finish=at,
+                    service_seconds=0.0,
+                    preempted=False,
+                    result=result,
+                    sample=False,
+                    deadline=(
+                        arrival + request.deadline
+                        if request.deadline is not None
+                        else None
+                    ),
+                    cache="hit",
+                )
+            )
+
+        def resolve_followers(followers, result, finish: float) -> None:
+            """Hand a completed leader's result to its followers."""
+            for payload, attached_at in followers:
+                f_index, f_request, f_cancel = payload
+                f_cancel_abs = abs_cancel(f_cancel)
+                done = max(finish, attached_at)
+                if f_cancel_abs is not None and f_cancel_abs < done:
+                    self.stats.requests_dropped += 1
+                    synthetic_drops.append(
+                        DroppedRequest(
+                            request_id=-(f_index + 1),
+                            priority=f_request.priority,
+                            arrival=origin + f_request.arrival_offset,
+                            at=f_cancel_abs,
+                            reason="cancelled",
+                            deadline=(
+                                origin + f_request.arrival_offset + f_request.deadline
+                                if f_request.deadline is not None
+                                else None
+                            ),
+                            client_id=f_request.request_id,
+                        )
+                    )
+                    continue
+                self.stats.requests_served += 1
+                synthetic_outcomes.append(
+                    ScheduledOutcome(
+                        request_id=-(f_index + 1),
+                        priority=f_request.priority,
+                        arrival=attached_at,
+                        start=done,
+                        finish=done,
+                        service_seconds=0.0,
+                        preempted=False,
+                        result=clone_result(result),
+                        sample=False,
+                        deadline=(
+                            origin + f_request.arrival_offset + f_request.deadline
+                            if f_request.deadline is not None
+                            else None
+                        ),
+                        cache="coalesced",
+                    )
+                )
+
+        # ---- plane admission (input order) ---------------------------
+        for index, request in enumerate(requests):
+            cancel = cancels[index] if cancels is not None else None
+            request_ids[index] = -(index + 1)
+            if request.memoize is False:
+                leaders.append((index, request, cancel, None))
+                continue
+            arrival = origin + request.arrival_offset
+            cancel_abs = abs_cancel(cancel)
+            if cancel_abs is not None and cancel_abs <= arrival:
+                # Cancelled before it could arrive: the ordinary
+                # scheduler drop path handles it, bypassing the plane.
+                leaders.append((index, request, cancel, None))
+                continue
+            fp = plane.fingerprint(
+                request.batch,
+                request.k,
+                threshold=self.threshold,
+                sample_rate=self.sample_rate,
+            )
+            decision = plane.admit(
+                fp,
+                request.batch,
+                payload=(index, request, cancel),
+                at=arrival,
+                request=request.request_id,
+                overlap=False,
+            )
+            if decision.kind == "hit":
+                synth_hit(index, request, decision.result, arrival)
+            elif decision.kind == "coalesced":
+                pass  # resolved when its leader completes or dies
+            else:
+                leaders.append((index, request, cancel, fp))
+
+        # ---- leader wave through the ordinary scheduler --------------
+        wave = self._serve_wave(
+            [request for _, request, _, _ in leaders],
+            policy=policy,
+            quantum_layers=quantum_layers,
+            max_skew=max_skew,
+            edf=edf,
+            cancels=[cancel for _, _, cancel, _ in leaders],
+        )
+        by_id = {outcome.request_id: outcome for outcome in wave.outcomes}
+        dropped_by_id = {drop.request_id: drop for drop in wave.dropped}
+        for (index, request, cancel, fp), scheduler_id in zip(
+            leaders, wave.request_ids
+        ):
+            request_ids[index] = scheduler_id
+            if fp is None:
+                continue
+            outcome = by_id.get(scheduler_id)
+            if outcome is not None:
+                followers = plane.complete(
+                    fp,
+                    request.batch,
+                    outcome.result,
+                    service_seconds=outcome.service_seconds,
+                    weight_bytes=self._weight_bytes(outcome.result),
+                    at=outcome.finish,
+                    request=request.request_id,
+                )
+                resolve_followers(followers, outcome.result, outcome.finish)
+            else:
+                drop = dropped_by_id[scheduler_id]
+                redispatch.extend(
+                    payload
+                    for payload, _ in plane.invalidate(
+                        fp, at=drop.at, reason=drop.reason, request=request.request_id
+                    )
+                )
+
+        # ---- continuation: re-dispatch stranded followers ------------
+        # Served solo on the serving engine at the post-wave clock; the
+        # first stranded follower of each dead leader becomes the new
+        # leader, later siblings re-coalesce onto it.  Terminates: every
+        # follower either completes, coalesces onto a completing
+        # leader, or drops on an already-due cancel/deadline.
+        pending = list(redispatch)
+        while pending:
+            f_index, f_request, f_cancel = pending.pop(0)
+            sid = -(f_index + 1)
+            now = self.device.clock.now
+            cancel_abs = abs_cancel(f_cancel)
+            arrival = origin + f_request.arrival_offset
+            deadline_abs = (
+                arrival + f_request.deadline if f_request.deadline is not None else None
+            )
+            if cancel_abs is not None and cancel_abs <= now:
+                self.stats.requests_dropped += 1
+                synthetic_drops.append(
+                    DroppedRequest(
+                        request_id=sid,
+                        priority=f_request.priority,
+                        arrival=arrival,
+                        at=max(arrival, cancel_abs),
+                        reason="cancelled",
+                        deadline=deadline_abs,
+                        client_id=f_request.request_id,
+                    )
+                )
+                continue
+            if deadline_abs is not None and now >= deadline_abs:
+                self.stats.requests_dropped += 1
+                synthetic_drops.append(
+                    DroppedRequest(
+                        request_id=sid,
+                        priority=f_request.priority,
+                        arrival=arrival,
+                        at=now,
+                        reason="shed",
+                        deadline=deadline_abs,
+                        client_id=f_request.request_id,
+                    )
+                )
+                continue
+            fp = plane.fingerprint(
+                f_request.batch,
+                f_request.k,
+                threshold=self.threshold,
+                sample_rate=self.sample_rate,
+            )
+            decision = plane.admit(
+                fp,
+                f_request.batch,
+                payload=(f_index, f_request, f_cancel),
+                at=now,
+                request=f_request.request_id,
+                overlap=False,
+            )
+            if decision.kind == "hit":
+                synth_hit(f_index, f_request, decision.result, now)
+                continue
+            if decision.kind == "coalesced":
+                continue
+            start = self.device.clock.now
+            result = self._serve_solo(
+                f_request.batch, f_request.k, sample=False, cancel_at=cancel_abs
+            )
+            finish = self.device.clock.now
+            if result is None:  # cancelled mid-pass (already counted)
+                synthetic_drops.append(
+                    DroppedRequest(
+                        request_id=sid,
+                        priority=f_request.priority,
+                        arrival=arrival,
+                        at=finish,
+                        reason="cancelled",
+                        deadline=deadline_abs,
+                        client_id=f_request.request_id,
+                    )
+                )
+                pending.extend(
+                    payload
+                    for payload, _ in plane.invalidate(
+                        fp, at=finish, reason="cancelled", request=f_request.request_id
+                    )
+                )
+                continue
+            followers = plane.complete(
+                fp,
+                f_request.batch,
+                result,
+                service_seconds=finish - start,
+                weight_bytes=self._weight_bytes(result),
+                at=finish,
+                request=f_request.request_id,
+            )
+            synthetic_outcomes.append(
+                ScheduledOutcome(
+                    request_id=sid,
+                    priority=f_request.priority,
+                    arrival=arrival,
+                    start=start,
+                    finish=finish,
+                    service_seconds=finish - start,
+                    preempted=False,
+                    result=result,
+                    sample=False,
+                    deadline=deadline_abs,
+                )
+            )
+            resolve_followers(followers, result, finish)
+
+        outcomes = wave.outcomes + synthetic_outcomes
+        outcomes.sort(key=lambda o: (o.finish, o.request_id))
+        return DeviceWave(
+            outcomes=outcomes,
+            dropped=wave.dropped + synthetic_drops,
+            scheduler=wave.scheduler,
             origin=origin,
             request_ids=request_ids,
         )

@@ -104,3 +104,76 @@ def make_query(
         query_length=query_length,
         candidates=tuple(candidates),
     )
+
+
+def zipf_request_stream(
+    rng: np.random.Generator,
+    base_queries: "list[RerankQuery]",
+    num_requests: int,
+    zipf_s: float = 1.1,
+    partial_overlap_rate: float = 0.0,
+    resample_fraction: float = 0.5,
+) -> "list[RerankQuery]":
+    """Draw a Zipf-skewed stream of repeated reranking requests.
+
+    Retrieval traffic is head-heavy: a few hot queries dominate.  The
+    stream draws ``num_requests`` queries from ``base_queries`` with
+    truncated-Zipf rank weights (rank ``r`` drawn with probability
+    proportional to ``r ** -zipf_s``), so popular queries repeat —
+    the request-overlap regime the data plane (DESIGN.md §12) caches.
+
+    With probability ``partial_overlap_rate`` a draw is *mutated*
+    instead of repeated verbatim: it keeps the first
+    ``1 - resample_fraction`` of the base query's candidates (the
+    shared prefix the plane's layer 2 can reuse) and replaces the rest
+    with freshly drawn candidates (the residue a reduced pass must
+    score).  Mutations are cached per base query, so the same mutated
+    variant can itself repeat and memo-hit.
+    """
+    if not base_queries:
+        raise ValueError("base_queries must be non-empty")
+    if num_requests < 0:
+        raise ValueError("num_requests must be >= 0")
+    if zipf_s < 0:
+        raise ValueError("zipf_s must be >= 0")
+    if not 0.0 <= partial_overlap_rate <= 1.0:
+        raise ValueError("partial_overlap_rate must lie in [0, 1]")
+    if not 0.0 < resample_fraction <= 1.0:
+        raise ValueError("resample_fraction must lie in (0, 1]")
+
+    ranks = np.arange(1, len(base_queries) + 1, dtype=np.float64)
+    weights = ranks**-zipf_s
+    weights /= weights.sum()
+
+    def mutate(query: RerankQuery) -> RerankQuery:
+        keep = max(1, int(round(len(query.candidates) * (1.0 - resample_fraction))))
+        fresh = []
+        for _ in range(len(query.candidates) - keep):
+            relevance = float(rng.uniform(0.05, 0.95))
+            fresh.append(
+                CandidateSpec(
+                    uid=int(rng.integers(0, 2**31 - 1)),
+                    seed=int(rng.integers(0, 2**31 - 1)),
+                    length=int(query.candidates[0].length),
+                    relevance=relevance,
+                    is_relevant=relevance >= 0.5,
+                )
+            )
+        return RerankQuery(
+            query_id=query.query_id,
+            seed=query.seed,
+            query_length=query.query_length,
+            candidates=query.candidates[:keep] + tuple(fresh),
+        )
+
+    mutated: dict[int, RerankQuery] = {}
+    stream: list[RerankQuery] = []
+    for _ in range(num_requests):
+        index = int(rng.choice(len(base_queries), p=weights))
+        if partial_overlap_rate > 0.0 and rng.random() < partial_overlap_rate:
+            if index not in mutated:
+                mutated[index] = mutate(base_queries[index])
+            stream.append(mutated[index])
+        else:
+            stream.append(base_queries[index])
+    return stream

@@ -11,6 +11,7 @@ Usage::
     python -m repro.harness.cli shared_weights --quick
     python -m repro.harness.cli deadline --quick
     python -m repro.harness.cli resilience --quick
+    python -m repro.harness.cli cache --quick
     python -m repro.harness.cli serve requests.json --tier fleet
 
 ``--quick`` shrinks workloads (fewer datasets/queries) for smoke runs;
@@ -134,6 +135,12 @@ _EXPERIMENTS: dict[str, tuple[Callable[[], object], Callable[[], object]]] = {
     "resilience": (
         lambda: ex.resilience_serving(),
         lambda: ex.resilience_serving(num_requests=12, num_candidates=8),
+    ),
+    "cache": (
+        lambda: ex.data_plane_serving(),
+        lambda: ex.data_plane_serving(
+            unique_queries=4, num_requests=16, partial_overlap_rate=0.4
+        ),
     ),
 }
 

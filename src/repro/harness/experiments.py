@@ -1850,3 +1850,202 @@ def overlap_window_sweep(
             )
         )
     return result
+
+
+# ----------------------------------------------------------------------
+# Extension — data-plane caching (DESIGN.md §12)
+# ----------------------------------------------------------------------
+@dataclass
+class DataPlanePoint:
+    """One fleet mode (cache off / cache on) over the Zipf stream."""
+
+    mode: str
+    throughput_rps: float
+    p50_latency: float
+    p95_latency: float
+    memo_hits: int
+    coalesced: int
+    overlap_hits: int
+    misses: int
+    hit_rate: float | None
+    bytes_saved: int
+    seconds_saved: float
+
+
+@dataclass
+class DataPlaneResult:
+    """Cache-on vs cache-off serving of a Zipf-skewed request stream."""
+
+    model: str
+    platform: str
+    num_replicas: int
+    num_requests: int
+    unique_queries: int
+    k: int
+    partial_overlap_rate: float
+    identical_selections: bool = False
+    speedup_cached: float = 0.0
+    memo_entries: int = 0
+    row_entries: int = 0
+    evictions: int = 0
+    invalidations: int = 0
+    redispatched: int = 0
+    epoch: int = 0
+    points: list[DataPlanePoint] = field(default_factory=list)
+
+    def find(self, mode: str) -> DataPlanePoint:
+        for point in self.points:
+            if point.mode == mode:
+                return point
+        raise KeyError(f"no data-plane point for mode {mode!r}")
+
+    def render(self) -> str:
+        rows = [
+            (
+                point.mode,
+                f"{point.throughput_rps:.2f}/s",
+                ms(point.p50_latency),
+                ms(point.p95_latency),
+                point.memo_hits,
+                point.coalesced,
+                point.overlap_hits,
+                point.misses,
+                pct(point.hit_rate),
+                f"{point.bytes_saved / 2**20:.0f} MiB",
+                ms(point.seconds_saved),
+            )
+            for point in self.points
+        ]
+        table = format_table(
+            (
+                "mode",
+                "throughput",
+                "p50",
+                "p95",
+                "memo hits",
+                "coalesced",
+                "overlap",
+                "misses",
+                "hit rate",
+                "bytes saved",
+                "vtime saved",
+            ),
+            rows,
+            title=(
+                f"Data-plane caching ({self.model}, {self.platform}, "
+                f"{self.num_replicas} replicas, {self.num_requests} requests "
+                f"over {self.unique_queries} unique queries)"
+            ),
+        )
+        identical = "yes" if self.identical_selections else "NO"
+        return table + (
+            f"\nspeedup (cached vs uncached): {self.speedup_cached:.2f}x; "
+            f"selections byte-identical: {identical}"
+            f"\nplane: {self.memo_entries} memo entries, "
+            f"{self.row_entries} row entries, "
+            f"{self.evictions} evictions, "
+            f"{self.invalidations} invalidations, "
+            f"{self.redispatched} redispatched, epoch {self.epoch}"
+        )
+
+
+def data_plane_serving(
+    model_name: str = "qwen3-reranker-0.6b",
+    platform: str = "nvidia_5070",
+    num_replicas: int = 2,
+    unique_queries: int = 8,
+    num_requests: int = 48,
+    num_candidates: int = 20,
+    k: int = 10,
+    zipf_s: float = 1.1,
+    partial_overlap_rate: float = 0.25,
+    arrival_interval_ms: float = 5.0,
+    max_batch: int = 4,
+    seed: int = 0,
+    dataset: str = "wikipedia",
+) -> DataPlaneResult:
+    """Fleet-wide semantic caching study (DESIGN.md §12).
+
+    A Zipf-skewed stream of repeated (and partially-overlapping)
+    queries is served twice through otherwise-identical fleets — data
+    plane off, then on — and the study reports the cache's throughput
+    win plus its hit taxonomy.  Selections are asserted byte-identical
+    between the two runs: memoization, coalescing and overlap replay
+    are exact by construction, so the speedup is free of quality drift.
+    """
+    from ..data.workloads import zipf_request_stream
+
+    model_config = get_model_config(model_name)
+    model = shared_model(model_config)
+    tokenizer = shared_tokenizer(model_config)
+    profile = get_profile(platform)
+    rng = np.random.default_rng(seed)
+    base = get_dataset(dataset).queries(unique_queries, num_candidates)
+    stream = zipf_request_stream(
+        rng,
+        base,
+        num_requests,
+        zipf_s=zipf_s,
+        partial_overlap_rate=partial_overlap_rate,
+    )
+    batches = [build_batch(q, tokenizer, model_config.max_seq_len) for q in stream]
+
+    def run(cache_on: bool):
+        fleet = FleetService.homogeneous(
+            model,
+            profile,
+            num_replicas,
+            fleet_config=FleetConfig(max_batch=max_batch, data_plane=cache_on),
+            config=PrismConfig(numerics=False),
+        )
+        for index, batch in enumerate(batches):
+            fleet.submit_request(batch, k, at=index * arrival_interval_ms * 1e-3)
+        outcomes = sorted(fleet.drain(), key=lambda o: o.request_id)
+        return fleet.stats(), [
+            (o.result.top_indices.tobytes(), o.result.top_scores.tobytes())
+            for o in outcomes
+        ]
+
+    result = DataPlaneResult(
+        model=model_name,
+        platform=platform,
+        num_replicas=num_replicas,
+        num_requests=num_requests,
+        unique_queries=unique_queries,
+        k=k,
+        partial_overlap_rate=partial_overlap_rate,
+    )
+    off_stats, off_selections = run(False)
+    on_stats, on_selections = run(True)
+    result.identical_selections = off_selections == on_selections
+    result.speedup_cached = (
+        on_stats.throughput_rps / off_stats.throughput_rps
+        if off_stats.throughput_rps > 0
+        else 0.0
+    )
+    plane_stats = on_stats.data_plane
+    if plane_stats is not None:
+        result.memo_entries = plane_stats.memo_entries
+        result.row_entries = plane_stats.row_entries
+        result.evictions = plane_stats.evictions
+        result.invalidations = plane_stats.invalidations
+        result.redispatched = plane_stats.redispatched
+        result.epoch = plane_stats.epoch
+    for mode, stats in (("cache_off", off_stats), ("cache_on", on_stats)):
+        plane = stats.data_plane
+        result.points.append(
+            DataPlanePoint(
+                mode=mode,
+                throughput_rps=stats.throughput_rps,
+                p50_latency=stats.p50_latency,
+                p95_latency=stats.p95_latency,
+                memo_hits=plane.memo_hits if plane is not None else 0,
+                coalesced=plane.coalesced if plane is not None else 0,
+                overlap_hits=plane.overlap_hits if plane is not None else 0,
+                misses=plane.misses if plane is not None else 0,
+                hit_rate=plane.hit_rate if plane is not None else None,
+                bytes_saved=plane.bytes_saved if plane is not None else 0,
+                seconds_saved=plane.seconds_saved if plane is not None else 0.0,
+            )
+        )
+    return result

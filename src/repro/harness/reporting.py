@@ -41,8 +41,10 @@ def format_series(name: str, xs: Sequence[float], ys: Sequence[float]) -> str:
     return f"{name}: {pairs}"
 
 
-def pct(value: float) -> str:
-    """Format a ratio as a percentage string."""
+def pct(value: float | None) -> str:
+    """Format a ratio as a percentage string (``None`` — no samples — as "-")."""
+    if value is None:
+        return "-"
     return f"{100.0 * value:.1f}%"
 
 

@@ -101,6 +101,9 @@ class RunStats:
     full_candidate_layers: int = 0
     timeline: list[TimelinePoint] = field(default_factory=list)
     results: list[RerankResult] = field(default_factory=list)
+    #: LRU embedding-cache hit fraction; None when the system has no
+    #: cache, or when the cache was never consulted (never 1.0-by-default).
+    embedding_hit_rate: float | None = None
 
     @property
     def mean_latency(self) -> float:
@@ -168,6 +171,9 @@ def run_system(
     mem = device.memory.stats()
     stats.peak_mib = mem.peak_bytes / MiB
     stats.avg_mib = mem.avg_bytes / MiB
+    cache = getattr(engine, "embedding_cache", None)
+    if cache is not None:
+        stats.embedding_hit_rate = cache.hit_rate
     if keep_timeline:
         stats.timeline = [
             TimelinePoint(point.time - request_start, point.in_use)

@@ -1,0 +1,7 @@
+"""Unit-test package.
+
+Being a package gives these modules qualified import names
+(``tests.test_data_plane``), so a basename may be shared with the
+top-level benchmark modules (``benchmarks/test_data_plane.py``)
+without colliding in pytest's default import mode.
+"""

@@ -51,6 +51,9 @@ class TestParser:
     def test_resilience_extension_registered(self):
         assert "resilience" in _EXPERIMENTS
 
+    def test_cache_extension_registered(self):
+        assert "cache" in _EXPERIMENTS
+
     def test_serve_parser_tiers(self):
         parser = build_serve_parser()
         args = parser.parse_args(["requests.json", "--tier", "fleet"])
@@ -78,6 +81,15 @@ class TestExecution:
     def test_main_runs_single_experiment(self, capsys):
         assert main(["fig2", "--quick"]) == 0
         assert "gamma" in capsys.readouterr().out
+
+    def test_cache_run_prints_plane_stats(self, capsys):
+        """``cli cache`` renders the DataPlaneStats taxonomy (§12)."""
+        assert main(["cache", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "memo hits" in out
+        assert "speedup (cached vs uncached)" in out
+        assert "memo entries" in out
+        assert "selections byte-identical: yes" in out
 
 
 class TestServe:

@@ -34,7 +34,7 @@ def source_citations() -> list[tuple[str, int]]:
 
 def test_design_md_exists_with_numbered_sections():
     assert DESIGN_MD.is_file(), "DESIGN.md is missing from the repo root"
-    assert design_sections() >= {1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+    assert design_sections() >= {1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12}
 
 
 def test_scheduler_sources_cite_section_6():
@@ -89,6 +89,15 @@ def test_gang_kernel_sources_cite_section_11():
         "src/repro/model/tensor_ops.py",
     ):
         assert module in cited_by, f"{module} no longer cites DESIGN.md §11"
+
+
+def test_data_plane_sources_cite_section_12():
+    """The §12 citation net is live: the data plane must anchor its
+    memoization/coalescing/overlap design in DESIGN.md §12."""
+    cited_by = {source for source, section in source_citations() if section == 12}
+    assert "src/repro/core/data_plane.py" in cited_by, (
+        "src/repro/core/data_plane.py no longer cites DESIGN.md §12"
+    )
 
 
 def test_sources_cite_design_sections():
@@ -208,7 +217,34 @@ def test_performance_docs_cover_hotpath_and_gate():
     assert "pytest -q benchmarks/test_hotpath.py" in doc
 
 
+def test_performance_docs_cover_data_plane_gate():
+    """docs/performance.md must document the §12 cache story: the
+    Zipf bench, the artifact's gated fields, and the gate flags."""
+    doc = (REPO_ROOT / "docs" / "performance.md").read_text()
+    for concept in (
+        "BENCH_data_plane.json",
+        "speedup_cached",
+        "identical_selections",
+        "zipf_request_stream",
+        "--data-plane-baseline",
+        "--data-plane-fresh",
+        "--min-cache-speedup",
+        "cache_hit",
+        "cache_evict",
+        "test_data_plane.py",
+        "DataPlaneStats",
+    ):
+        assert concept in doc, f"docs/performance.md no longer covers {concept}"
+    assert "pytest -q benchmarks/test_data_plane.py" in doc
+
+
 def test_readme_points_at_observability_docs():
     readme = (REPO_ROOT / "README.md").read_text()
     assert "docs/observability.md" in readme
     assert "trace record" in readme
+
+
+def test_readme_points_at_data_plane():
+    readme = (REPO_ROOT / "README.md").read_text()
+    assert "cli cache" in readme
+    assert "DataPlaneStats" in readme

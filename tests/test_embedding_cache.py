@@ -85,7 +85,50 @@ class TestLookups:
         cache = make_cache(executor)
         result = cache.lookup(np.array([], dtype=np.int64))
         assert result.unique_tokens == 0
-        assert result.hit_rate == 1.0
+        # Resolving nothing is "no samples", not a perfect hit rate.
+        assert result.hit_rate is None
+
+    def test_never_used_cache_reports_no_hit_rate(self, executor):
+        """A cache nobody consulted must report None (rendered "-"),
+        never a fake 100%."""
+        cache = make_cache(executor)
+        assert cache.hit_rate is None
+        cache.lookup(np.array([1]))
+        assert cache.hit_rate == 0.0
+
+    def test_vectorised_lookup_matches_reference_loop(self, executor):
+        """The set-based membership pass is a pure speedup: hit/miss
+        accounting and the LRU order (hence every future eviction) are
+        bitwise what the per-token probe loop produced."""
+        from collections import OrderedDict
+
+        reference: OrderedDict[int, None] = OrderedDict()
+
+        def reference_lookup(cache, tokens):
+            unique = np.unique(np.asarray(tokens).ravel()).tolist()
+            hits = misses = 0
+            missing = []
+            for token in unique:  # the pre-vectorisation probe loop
+                if token in reference:
+                    hits += 1
+                    reference.move_to_end(token)
+                else:
+                    misses += 1
+                    missing.append(token)
+            for token in missing:
+                while len(reference) >= cache.capacity_rows:
+                    reference.popitem(last=False)
+                reference[token] = None
+            return hits, misses
+
+        cache = make_cache(executor, capacity=8)
+        rng = np.random.default_rng(3)
+        for _ in range(40):
+            tokens = rng.integers(0, 24, size=rng.integers(0, 12))
+            want_hits, want_misses = reference_lookup(cache, tokens)
+            result = cache.lookup(tokens)
+            assert (result.hits, result.misses) == (want_hits, want_misses)
+            assert list(cache._resident) == list(reference)
 
     def test_2d_token_batch_flattened(self, executor):
         cache = make_cache(executor)

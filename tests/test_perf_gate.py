@@ -105,3 +105,88 @@ def test_malformed_artifact_is_an_error(tmp_path):
     path.write_text("{not json")
     good = artifact(tmp_path, "baseline", WALLS)
     assert perf_gate.main(["--baseline", str(good), "--fresh", str(path)]) == 2
+
+
+#: A healthy data-plane artifact: well over the 2.0x floor.
+PLANE_METRICS = {"speedup_cached": 4.5, "identical_selections": True}
+
+
+def plane_artifact(tmp_path, name, metrics):
+    path = tmp_path / f"{name}.json"
+    path.write_text(
+        json.dumps(
+            {"name": "data_plane", "config": {"quick": True}, "metrics": metrics}
+        )
+    )
+    return path
+
+
+def run_gate_with_plane(tmp_path, fresh_metrics, *extra,
+                        baseline_metrics=PLANE_METRICS):
+    return run_gate(
+        tmp_path,
+        dict(WALLS),
+        "--data-plane-baseline",
+        str(plane_artifact(tmp_path, "plane_baseline", baseline_metrics)),
+        "--data-plane-fresh",
+        str(plane_artifact(tmp_path, "plane_fresh", fresh_metrics)),
+        *extra,
+    )
+
+
+def test_data_plane_identical_runs_pass(tmp_path):
+    assert run_gate_with_plane(tmp_path, dict(PLANE_METRICS)) == 0
+
+
+def test_data_plane_lost_speedup_fails(tmp_path):
+    """The cached speedup falling under the 2.0x floor fails the gate
+    even with zero regression vs the (equally bad) baseline."""
+    lost = dict(PLANE_METRICS, speedup_cached=1.5)
+    assert run_gate_with_plane(tmp_path, lost, baseline_metrics=lost) == 1
+
+
+def test_data_plane_regression_fails(tmp_path):
+    """Above the floor but >20% below the committed baseline: a real
+    regression the floor alone would wave through."""
+    regressed = dict(PLANE_METRICS, speedup_cached=3.0)
+    assert run_gate_with_plane(tmp_path, regressed) == 1
+
+
+def test_data_plane_small_regression_passes(tmp_path):
+    assert run_gate_with_plane(
+        tmp_path, dict(PLANE_METRICS, speedup_cached=4.0)
+    ) == 0
+
+
+def test_data_plane_floor_is_configurable(tmp_path):
+    steady = dict(PLANE_METRICS, speedup_cached=4.5)
+    assert run_gate_with_plane(
+        tmp_path, steady, "--min-cache-speedup", "5.0"
+    ) == 1
+
+
+def test_data_plane_inexact_selections_fail(tmp_path):
+    """A cache that changes answers must never pass, whatever the speedup."""
+    inexact = dict(PLANE_METRICS, identical_selections=False)
+    assert run_gate_with_plane(tmp_path, inexact) == 1
+
+
+def test_data_plane_injected_slowdown_demonstrates_failure(tmp_path):
+    """The CI self-test covers the data-plane check too: the injected
+    factor divides the fresh cached speedup below the floor."""
+    assert run_gate_with_plane(tmp_path, dict(PLANE_METRICS),
+                               "--inject-slowdown", "3.0") == 1
+
+
+def test_data_plane_malformed_artifact_is_an_error(tmp_path):
+    assert run_gate_with_plane(tmp_path, {"speedup_cached": "fast"}) == 2
+
+
+def test_data_plane_flags_go_together(tmp_path):
+    with pytest.raises(SystemExit):
+        run_gate(
+            tmp_path,
+            dict(WALLS),
+            "--data-plane-fresh",
+            str(plane_artifact(tmp_path, "plane_fresh", PLANE_METRICS)),
+        )
