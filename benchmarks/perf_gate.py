@@ -31,6 +31,17 @@ reports non-identical selections (an inexact cache is a bug, not a
 speedup).  ``--inject-slowdown`` divides the fresh cached speedup,
 so the same self-test proves this check can fire too.
 
+The multi-tenant contracts (DESIGN.md §13) are gated when
+``--multitenant-baseline``/``--multitenant-fresh`` point at
+``BENCH_multitenant.json`` artifacts.  Both are *correctness*
+contracts on the virtual clock, so they are asserted absolutely, never
+ratio-compared: the gate fails when the fresh run reports any
+shed-bound violation (a tenant shed more than its SLO class allows),
+any starved tenant, or a lowest-weight tenant that completed nothing;
+the baseline artifact is validated to keep the committed file honest.
+``--inject-slowdown`` flips the fresh violation count for the
+self-test.
+
 Stdlib-only on purpose: the gate must run before (and regardless of)
 the package install step.
 
@@ -42,7 +53,9 @@ Usage::
         [--min-speedup-n8 1.4] [--inject-slowdown 1.0] \
         [--data-plane-baseline benchmarks/results/BENCH_data_plane.json \
          --data-plane-fresh fresh/BENCH_data_plane.json \
-         --min-cache-speedup 2.0]
+         --min-cache-speedup 2.0] \
+        [--multitenant-baseline benchmarks/results/BENCH_multitenant.json \
+         --multitenant-fresh fresh/BENCH_multitenant.json]
 """
 
 from __future__ import annotations
@@ -176,6 +189,62 @@ def check_data_plane(
     return failures
 
 
+def load_multitenant(path: Path) -> dict[str, object]:
+    """Read the §13 contract metrics out of a ``BENCH_multitenant.json``."""
+    try:
+        payload = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise GateError(f"{path}: unreadable artifact: {exc}") from exc
+    metrics = payload.get("metrics", {})
+    out: dict[str, object] = {}
+    for key in ("bound_violations", "starved_tenants", "min_weight_completed"):
+        value = metrics.get(key)
+        if not isinstance(value, int) or value < 0:
+            raise GateError(f"{path}: missing/invalid metrics.{key}")
+        out[key] = value
+    per_class = metrics.get("per_class")
+    if not isinstance(per_class, dict) or not per_class:
+        raise GateError(f"{path}: missing metrics.per_class")
+    out["per_class"] = per_class
+    return out
+
+
+def check_multitenant(
+    baseline: dict[str, object], fresh: dict[str, object]
+) -> list[str]:
+    """Gate the §13 contracts; returns failures (empty = pass).
+
+    Absolute, not ratio-based: both contracts must hold outright in
+    the fresh run (the baseline was already validated at load).
+    """
+    print(
+        f"multitenant contracts: bound_violations={fresh['bound_violations']} "
+        f"starved_tenants={fresh['starved_tenants']} "
+        f"min_weight_completed={fresh['min_weight_completed']}"
+    )
+    failures: list[str] = []
+    for slo, entry in sorted(fresh["per_class"].items()):  # type: ignore[union-attr]
+        rate = entry.get("max_shed_rate")
+        bound = entry.get("shed_bound")
+        if not isinstance(rate, (int, float)) or not isinstance(bound, (int, float)):
+            failures.append(f"per_class[{slo}] missing max_shed_rate/shed_bound")
+            continue
+        print(f"  {slo:<12} max shed {rate:.1%} vs bound {bound:.1%}")
+        if rate > bound:
+            failures.append(
+                f"{slo} tenants shed up to {rate:.1%}, over the {bound:.1%} SLO bound"
+            )
+    if fresh["bound_violations"]:
+        failures.append(
+            f"{fresh['bound_violations']} tenant(s) exceeded their SLO shed bound"
+        )
+    if fresh["starved_tenants"]:
+        failures.append(f"{fresh['starved_tenants']} tenant(s) starved under overload")
+    if not fresh["min_weight_completed"]:
+        failures.append("the lowest-weight tenant completed no requests")
+    return failures
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--baseline", type=Path, required=True,
@@ -194,9 +263,15 @@ def main(argv: list[str] | None = None) -> int:
                         help="BENCH_data_plane.json from this run")
     parser.add_argument("--min-cache-speedup", type=float, default=2.0,
                         help="floor on the fresh data-plane cached speedup")
+    parser.add_argument("--multitenant-baseline", type=Path, default=None,
+                        help="committed BENCH_multitenant.json to validate")
+    parser.add_argument("--multitenant-fresh", type=Path, default=None,
+                        help="BENCH_multitenant.json from this run")
     args = parser.parse_args(argv)
     if (args.data_plane_baseline is None) != (args.data_plane_fresh is None):
         parser.error("--data-plane-baseline and --data-plane-fresh go together")
+    if (args.multitenant_baseline is None) != (args.multitenant_fresh is None):
+        parser.error("--multitenant-baseline and --multitenant-fresh go together")
 
     try:
         baseline = load_walls(args.baseline)
@@ -205,6 +280,10 @@ def main(argv: list[str] | None = None) -> int:
         if args.data_plane_baseline is not None:
             plane_baseline = load_data_plane(args.data_plane_baseline)
             plane_fresh = load_data_plane(args.data_plane_fresh)
+        tenant_baseline = tenant_fresh = None
+        if args.multitenant_baseline is not None:
+            tenant_baseline = load_multitenant(args.multitenant_baseline)
+            tenant_fresh = load_multitenant(args.multitenant_fresh)
     except GateError as exc:
         print(f"perf-gate: ERROR: {exc}", file=sys.stderr)
         return 2
@@ -221,12 +300,18 @@ def main(argv: list[str] | None = None) -> int:
                 speedup_cached=float(plane_fresh["speedup_cached"])
                 / args.inject_slowdown,
             )
+        if tenant_fresh is not None:
+            # The self-test analogue for an absolute contract: pretend
+            # one tenant blew its bound and make sure the gate fires.
+            tenant_fresh = dict(tenant_fresh, bound_violations=1)
 
     failures = check(baseline, fresh, args.threshold, args.min_speedup_n8)
     if plane_baseline is not None and plane_fresh is not None:
         failures += check_data_plane(
             plane_baseline, plane_fresh, args.threshold, args.min_cache_speedup
         )
+    if tenant_baseline is not None and tenant_fresh is not None:
+        failures += check_multitenant(tenant_baseline, tenant_fresh)
     if failures:
         for failure in failures:
             print(f"perf-gate: FAIL: {failure}", file=sys.stderr)

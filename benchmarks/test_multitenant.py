@@ -1,0 +1,90 @@
+"""Extension study — multi-tenant fair admission at 10x overload (DESIGN.md §13).
+
+Trace-driven open-loop traffic offers the fleet ten times its measured
+capacity across 1000+ Zipf-popular tenants, each carrying an SLO class
+(interactive / batch / best_effort).  Tenant-aware admission — WFQ
+ordering plus per-tenant token buckets — must shed the overload
+*fairly*: no tenant's shed rate may exceed its class's bound, and even
+the lowest-weight tenant must still complete requests (the
+starvation-freedom guarantee, which holds by construction because
+buckets start full with ``burst >= 1`` and the drain loop serves
+everything admitted).
+
+``BENCH_multitenant.json`` records the per-class shed rollup and the
+two contract witnesses; ``benchmarks/perf_gate.py
+--multitenant-fresh`` gates CI on both staying clean.
+"""
+
+from conftest import BENCH_QUICK, run_once
+
+from repro.harness.experiments import multitenant_serving
+
+#: 10x overload over 1000 tenants is the acceptance bar's regime; the
+#: CI smoke shrinks the population and span (the contracts are
+#: scale-free — they must hold at any overload, at any size).
+SIZE = (
+    dict(num_tenants=150, duration_s=5.0, overload=10.0, probe_requests=8)
+    if BENCH_QUICK
+    else dict(num_tenants=1000, duration_s=15.0, overload=10.0)
+)
+
+
+def test_multitenant_no_starvation_at_overload(benchmark, record_artifact, record_metrics):
+    result = run_once(benchmark, multitenant_serving, **SIZE)
+    record_artifact("multitenant", result.render())
+
+    record_metrics(
+        "multitenant",
+        dict(
+            SIZE,
+            num_replicas=result.num_replicas,
+            process=result.process,
+        ),
+        {
+            "capacity_rps": result.capacity_rps,
+            "offered_rps": result.offered_rps,
+            "num_requests": result.num_requests,
+            "completed": result.completed,
+            "shed": result.shed,
+            "starved_tenants": result.starved_tenants,
+            "bound_violations": result.bound_violations,
+            "min_weight_completed": result.min_weight_completed,
+            "per_class": {
+                point.slo: {
+                    "tenants": point.tenants,
+                    "submitted": point.submitted,
+                    "completed": point.completed,
+                    "shed": point.shed,
+                    "max_shed_rate": point.max_shed_rate,
+                    "shed_bound": point.shed_bound,
+                    "within_bound": point.within_bound,
+                }
+                for point in result.points
+            },
+        },
+    )
+
+    # The workload really is overload: far more offered than served.
+    assert result.offered_rps >= 5.0 * result.capacity_rps
+    assert result.shed > 0
+
+    # Contract 1 — SLO shed bounds: no tenant of any class sheds more
+    # than its class allows, even at 10x overload.
+    assert result.bound_violations == 0
+    for point in result.points:
+        assert point.within_bound, (
+            f"{point.slo}: max shed {point.max_shed_rate:.2%} "
+            f"exceeds bound {point.shed_bound:.2%}"
+        )
+
+    # Contract 2 — starvation-freedom: every arriving tenant completed
+    # at least one request, including the lowest-weight one.
+    assert result.starved_tenants == 0
+    assert result.min_weight_completed >= 1
+
+    # Interactive traffic is protected outright: its admit headroom
+    # means overload lands on the best-effort tier, not on it.
+    interactive = result.find("interactive")
+    assert interactive.shed == 0
+    best_effort = result.find("best_effort")
+    assert best_effort.shed > 0

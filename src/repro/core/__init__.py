@@ -258,3 +258,35 @@ __all__ += [
     "SharedEmbeddingCache",
     "clone_result",
 ]
+
+# The multi-tenant workload plane (DESIGN.md §13): SLO classes,
+# per-tenant policy, and tenant-aware fair admission for the fleet.
+from .tenancy import (  # noqa: E402  (appended export)
+    SLO_BATCH,
+    SLO_BEST_EFFORT,
+    SLO_CLASSES,
+    SLO_INTERACTIVE,
+    FairAdmission,
+    SLOClass,
+    TenancyConfig,
+    TenantPolicy,
+    TenantStats,
+    TokenBucket,
+    selection_requests_from_trace,
+    tenancy_from_trace,
+)
+
+__all__ += [
+    "FairAdmission",
+    "SLO_BATCH",
+    "SLO_BEST_EFFORT",
+    "SLO_CLASSES",
+    "SLO_INTERACTIVE",
+    "SLOClass",
+    "TenancyConfig",
+    "TenantPolicy",
+    "TenantStats",
+    "TokenBucket",
+    "selection_requests_from_trace",
+    "tenancy_from_trace",
+]

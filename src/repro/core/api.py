@@ -39,6 +39,7 @@ refcounts at the next layer boundary.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Mapping, Protocol, Sequence, runtime_checkable
 
@@ -104,6 +105,16 @@ class SelectionRequest:
         request memo/coalescing cache entirely and forces a full pass;
         ``None``/``True`` lets the serving tier's plane (when one is
         attached) answer from cache.
+    tenant:
+        Submitting tenant id for the multi-tenant workload plane
+        (DESIGN.md §13).  On the fleet tier with a
+        :class:`~repro.core.tenancy.TenancyConfig` attached, fair
+        admission charges this tenant's token bucket and orders the
+        flush by its fair-queueing tag; the id is echoed into
+        :class:`SelectionResponse`, :class:`~repro.core.fleet.RequestOutcome`
+        and every emitted event.  ``None`` = untenanted.  (Before §13
+        callers smuggled the id through ``metadata["tenant"]``; that
+        spelling still works but is deprecated — see ``__post_init__``.)
     metadata:
         Free-form caller annotations, echoed untouched.
     """
@@ -117,9 +128,20 @@ class SelectionRequest:
     sample: bool | None = None
     hedge_after_ms: float | None = None
     memoize: bool | None = None
+    tenant: str | None = None
     metadata: Mapping[str, object] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
+        if self.tenant is None and "tenant" in self.metadata:
+            # Deprecation shim: pre-§13 callers tagged tenants via
+            # metadata; promote the value to the first-class field.
+            warnings.warn(
+                "passing the tenant id via SelectionRequest.metadata['tenant'] "
+                "is deprecated; use the first-class SelectionRequest.tenant field",
+                DeprecationWarning,
+                stacklevel=3,
+            )
+            object.__setattr__(self, "tenant", str(self.metadata["tenant"]))
         if self.k <= 0:
             raise ValueError("k must be positive")
         if self.priority < 0:
@@ -165,6 +187,8 @@ class SelectionResponse:
     #: ``"coalesced"`` (attached to an in-flight leader) or ``None``
     #: (served by a full or residue pass).
     cache: str | None = None
+    #: Submitting tenant id (DESIGN.md §13); ``None`` = untenanted.
+    tenant: str | None = None
     # ---- resilience provenance (DESIGN.md §9) -------------------------
     attempts: int = 1  # dispatch attempts the request consumed
     failed_over_from: tuple[int, ...] = ()  # replicas that failed it first
@@ -362,6 +386,7 @@ class EngineServer(ServerBase):
                     tier=self.tier,
                     request=request.request_id,
                     replica=device.events_replica,
+                    tenant=request.tenant,
                     **data,
                 )
 
@@ -389,6 +414,7 @@ class EngineServer(ServerBase):
                 arrival=arrival,
                 deadline=deadline,
                 threshold=self._threshold(),
+                tenant=request.tenant,
             )
             responses.append(response)
             if cancel_at is not None and cancel_at <= max(arrival, clock.now):
@@ -502,6 +528,7 @@ class DeviceServer(ServerBase):
                     fused_group=fused_groups.get(outcome.request_id),
                     threshold=threshold,
                     cache=outcome.cache,
+                    tenant=request.tenant,
                 )
             )
         responses.extend(
@@ -549,6 +576,7 @@ class FleetServer(ServerBase):
                 sample=request.sample,
                 hedge_after_ms=request.hedge_after_ms,
                 memoize=request.memoize if request.memoize is not None else True,
+                tenant=request.tenant,
             )
             by_fleet_id[fleet_id] = request
         drop_mark = len(fleet.dropped_requests)
@@ -583,6 +611,7 @@ class FleetServer(ServerBase):
                     failed_over_from=outcome.failed_over_from,
                     hedged=outcome.hedged,
                     cache=outcome.cache,
+                    tenant=outcome.tenant,
                 )
             )
         responses.extend(
@@ -617,6 +646,7 @@ def _drop_response(
         policy=policy,
         attempts=drop.attempts,
         failed_over_from=drop.failed_over_from,
+        tenant=drop.tenant if drop.tenant is not None else request.tenant,
     )
 
 

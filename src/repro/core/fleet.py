@@ -65,6 +65,7 @@ from .engine import RerankResult
 from .resilience import AutoscalerConfig, ReplicaHealth, ResilienceConfig, ScalingEvent
 from .scheduler import LANE_BATCH, SCHEDULING_POLICIES, DroppedRequest
 from .service import MaintenanceReport, SampleStride, SemanticSelectionService
+from .tenancy import FairAdmission, TenancyConfig, TenantStats
 
 
 @dataclass(frozen=True)
@@ -310,6 +311,9 @@ class FleetRequest:
     #: Data-plane opt-out (DESIGN.md §12): ``False`` bypasses the
     #: request memo/coalescing cache and forces a full pass.
     memoize: bool = True
+    #: Submitting tenant (DESIGN.md §13); drives token-bucket admission
+    #: and weighted fair queuing when the fleet has a tenancy plane.
+    tenant: str | None = None
 
 
 @dataclass
@@ -352,6 +356,9 @@ class RequestOutcome:
     #: ``"coalesced"`` (attached to an in-flight leader) or ``None``
     #: (served by a full or residue pass).
     cache: str | None = None
+    #: Submitting tenant (DESIGN.md §13); ``None`` outside the
+    #: tenancy plane.
+    tenant: str | None = None
 
     @property
     def queue_wait(self) -> float:
@@ -410,6 +417,10 @@ class FleetStats:
     #: Cache-plane counters, mirroring the weight plane's PlaneStats;
     #: ``None`` when the fleet serves without a data plane.
     data_plane: DataPlaneStats | None = None
+    # ---- tenancy plane (DESIGN.md §13) --------------------------------
+    #: Per-tenant rollups (p50/p99, shed rate, token debt); empty when
+    #: the fleet serves without a tenancy plane.
+    tenants: dict[str | None, TenantStats] = field(default_factory=dict)
 
     def _latencies(self) -> np.ndarray:
         return np.array([o.latency for o in self.outcomes])
@@ -462,6 +473,33 @@ class FleetStats:
         """Most live replicas at any point (capacity timeline maximum)."""
         return max((count for _, count in self.capacity_samples), default=0)
 
+    # ---- tenancy rollups (DESIGN.md §13) ------------------------------
+    def tenants_by_class(self) -> dict[str, list[TenantStats]]:
+        """Tenant rollups grouped by SLO class name."""
+        grouped: dict[str, list[TenantStats]] = {}
+        for stats in self.tenants.values():
+            grouped.setdefault(stats.slo, []).append(stats)
+        return grouped
+
+    @property
+    def starved_tenants(self) -> list[TenantStats]:
+        """Tenants that submitted traffic but completed nothing — the
+        set the §13 starvation-freedom guarantee requires to be empty."""
+        return [
+            stats
+            for stats in self.tenants.values()
+            if stats.submitted > 0 and stats.completed == 0
+        ]
+
+    @property
+    def shed_bound_violations(self) -> list[TenantStats]:
+        """Tenants whose shed rate exceeded their SLO class's bound."""
+        return [
+            stats
+            for stats in self.tenants.values()
+            if stats.submitted > 0 and not stats.within_bound
+        ]
+
 
 class FleetService:
     """Batched, sharded selection serving over N device replicas.
@@ -510,6 +548,7 @@ class FleetService:
         fault_plan: FaultPlan | None = None,
         resilience: ResilienceConfig | None = None,
         autoscaler: AutoscalerConfig | None = None,
+        tenancy: TenancyConfig | None = None,
         event_log=None,
         **service_kwargs,
     ) -> None:
@@ -519,6 +558,12 @@ class FleetService:
         self.fault_plan = fault_plan
         self.resilience = resilience or ResilienceConfig()
         self.autoscaler = autoscaler
+        #: Multi-tenant admission plane (DESIGN.md §13): token-bucket
+        #: rate limits + weighted fair queuing ahead of the dispatch
+        #: lanes.  ``None`` (the default) admits everything in arrival
+        #: order — byte-identical to a fleet built before the plane.
+        self.tenancy = tenancy
+        self._admission = FairAdmission(tenancy) if tenancy is not None else None
         #: Observability sink (DESIGN.md §10), shared with every
         #: replica's device; ``None`` observes nothing and changes
         #: nothing — fleet timelines stay byte-identical.
@@ -700,6 +745,7 @@ class FleetService:
         sample: bool | None = None,
         hedge_after_ms: float | None = None,
         memoize: bool = True,
+        tenant: str | None = None,
     ) -> int:
         """Admit one request with full intent; returns its fleet id.
 
@@ -711,7 +757,9 @@ class FleetService:
         requests raises ``ValueError`` instead of silently colliding in
         outcome correlation.  ``sample`` overrides the fleet-wide
         sampling stride, and ``hedge_after_ms`` arms a straggler hedge
-        (DESIGN.md §9).
+        (DESIGN.md §9).  ``tenant`` names the submitting tenant for
+        the §13 admission plane (token buckets + fair queuing); it is
+        carried end-to-end into the outcome and the event log.
         """
         arrival = self.clock.now if at is None else float(at)
         if arrival < self.clock.now:
@@ -745,6 +793,7 @@ class FleetService:
             sample=sample,
             hedge_after_ms=hedge_after_ms,
             memoize=memoize,
+            tenant=tenant,
         )
         self._next_request_id += 1
         self._pending.append(request)
@@ -767,10 +816,12 @@ class FleetService:
         """Publish a fleet-tier event (DESIGN.md §10); no-op without a sink."""
         if self.events is not None:
             label = None
+            tenant = None
             if request is not None:
                 label = request.client_id if request.client_id is not None else request.request_id
+                tenant = request.tenant
             self.events.emit(
-                kind, at=at, tier="fleet", request=label, replica=replica, **data
+                kind, at=at, tier="fleet", request=label, replica=replica, tenant=tenant, **data
             )
 
     # ------------------------------------------------------------------
@@ -812,11 +863,23 @@ class FleetService:
                 if self.data_plane is not None:
                     # Plane admission first (DESIGN.md §12): a memo hit
                     # or coalesced follower never enters the dispatch
-                    # queue and never occupies a replica.
+                    # queue, never occupies a replica — and costs the
+                    # fleet nothing, so it consumes no tenant token.
                     routed = self._plane_route(request, now)
                     if routed is not None:
                         if isinstance(routed, RequestOutcome):
                             completed.append(routed)
+                        continue
+                if self._admission is not None:
+                    # Tenancy admission (DESIGN.md §13): the bucket is
+                    # refilled to the request's *arrival* instant, so
+                    # the verdict depends only on the arrival stream,
+                    # never on dispatch batching order.
+                    verdict = self._admission.admit(
+                        request.tenant, request.request_id, request.arrival
+                    )
+                    if verdict is not None:
+                        self._drop(request, "shed", now, detail=verdict)
                         continue
                 queue.append(request)
                 self._emit("queue", at=now, request=request, depth=len(queue))
@@ -834,6 +897,12 @@ class FleetService:
                         if isinstance(routed, RequestOutcome):
                             completed.append(routed)
                         continue
+                    if self._admission is not None:
+                        # Already charged at first admission: a
+                        # re-dispatched follower keeps its token.
+                        self._admission.note_queued(
+                            follower.tenant, follower.request_id
+                        )
                     queue.append(follower)
                     self._emit("queue", at=now, request=follower, depth=len(queue))
                     self._queue_depth_samples.append((now, len(queue)))
@@ -857,7 +926,11 @@ class FleetService:
                 )
                 continue
             if len(queue) < max_batch:
-                deadline = queue[0].arrival + max_wait
+                deadline = (
+                    queue[0].arrival
+                    if self._admission is None
+                    else min(request.arrival for request in queue)
+                ) + max_wait
                 more = i < len(pending)
                 if more and pending[i].arrival <= deadline:
                     # The batch can still grow before its deadline.
@@ -865,7 +938,13 @@ class FleetService:
                     continue
                 if more and now < deadline:
                     now = deadline
+            if self._admission is not None:
+                # Weighted fair order (DESIGN.md §13): smallest SFQ
+                # start tags flush first; ties keep admission order.
+                queue.sort(key=self._admission.order_key)
             flush, queue = queue[:max_batch], queue[max_batch:]
+            if self._admission is not None:
+                self._admission.on_flush(flush)
             outcomes, retries = self._dispatch(flush, now, pool)
             completed.extend(outcomes)
             if self.data_plane is not None and retries:
@@ -885,6 +964,10 @@ class FleetService:
                             continue
                     survivors.append(retry)
                 retries = survivors
+            if self._admission is not None:
+                # A failover retry keeps its original token and tag.
+                for retry in retries:
+                    self._admission.note_queued(retry.tenant, retry.request_id)
             queue.extend(retries)
             for retry in retries:
                 self._emit(
@@ -995,6 +1078,7 @@ class FleetService:
                     service_seconds=finish - local_now,
                     attempts=request.attempts,
                     failed_over_from=request.failed_over_from,
+                    tenant=request.tenant,
                 )
                 outcomes.append(outcome)
                 self._update_ewma(replica, len(outcomes), result.latency_seconds)
@@ -1156,6 +1240,7 @@ class FleetService:
                 service_seconds=scheduled_outcome.service_seconds,
                 attempts=request.attempts,
                 failed_over_from=request.failed_over_from,
+                tenant=request.tenant,
             )
             outcomes.append(outcome)
             # Under multiplexing, result.latency_seconds spans other
@@ -1231,6 +1316,7 @@ class FleetService:
                     if failed_on is not None
                     else request.failed_over_from
                 ),
+                tenant=request.tenant,
             )
         )
         kind = {"shed": "shed", "cancelled": "cancel", "failed": "fail"}[reason]
@@ -1318,6 +1404,7 @@ class FleetService:
             attempts=request.attempts,
             failed_over_from=request.failed_over_from,
             cache="hit",
+            tenant=request.tenant,
         )
         self._emit(
             "complete",
@@ -1376,6 +1463,7 @@ class FleetService:
                     attempts=follower.attempts,
                     failed_over_from=follower.failed_over_from,
                     cache="coalesced",
+                    tenant=follower.tenant,
                 )
             )
             self._emit(
@@ -1519,6 +1607,7 @@ class FleetService:
             service_seconds=0.0,
             attempts=request.attempts,
             failed_over_from=request.failed_over_from,
+            tenant=request.tenant,
         )
 
     # ------------------------------------------------------------------
@@ -1846,5 +1935,10 @@ class FleetService:
             capacity_samples=list(self._capacity_samples),
             data_plane=(
                 self.data_plane.stats() if self.data_plane is not None else None
+            ),
+            tenants=(
+                self._admission.tenant_stats(self._outcomes, self._dropped)
+                if self._admission is not None
+                else {}
             ),
         )

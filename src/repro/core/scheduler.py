@@ -153,6 +153,9 @@ class DroppedRequest:
     #: dispatch attempts consumed and the replicas that failed them.
     attempts: int = 1
     failed_over_from: tuple[int, ...] = ()
+    #: Submitting tenant on tiers with multi-tenant admission
+    #: (DESIGN.md §13); ``None`` outside the tenancy plane.
+    tenant: str | None = None
 
 
 @dataclass

@@ -9,7 +9,9 @@ sequence limits.  :func:`build_batch` turns one query into the
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import hashlib
+from dataclasses import dataclass, replace
+from typing import Callable
 
 import numpy as np
 
@@ -30,12 +32,18 @@ class CandidateSpec:
 
 @dataclass(frozen=True)
 class RerankQuery:
-    """One reranking request: a query against a candidate pool."""
+    """One reranking request: a query against a candidate pool.
+
+    ``tenant`` tags the query with its submitting tenant for the
+    multi-tenant workload plane (DESIGN.md §13); ``None`` (the
+    default) keeps single-tenant workloads byte-identical.
+    """
 
     query_id: int
     seed: int
     query_length: int
     candidates: tuple[CandidateSpec, ...]
+    tenant: str | None = None
 
     @property
     def num_candidates(self) -> int:
@@ -113,6 +121,7 @@ def zipf_request_stream(
     zipf_s: float = 1.1,
     partial_overlap_rate: float = 0.0,
     resample_fraction: float = 0.5,
+    tenant_of: "Callable[[int], str] | None" = None,
 ) -> "list[RerankQuery]":
     """Draw a Zipf-skewed stream of repeated reranking requests.
 
@@ -129,6 +138,17 @@ def zipf_request_stream(
     with freshly drawn candidates (the residue a reduced pass must
     score).  Mutations are cached per base query, so the same mutated
     variant can itself repeat and memo-hit.
+
+    ``tenant_of`` tags the stream for the multi-tenant workload plane
+    (DESIGN.md §13): draw ``i``'s query carries
+    ``tenant=tenant_of(i)``, and each tenant's mutations are drawn
+    from its own deterministic RNG substream (derived from one base
+    seed plus a stable digest of the tenant id), so adding or removing
+    one tenant never perturbs another tenant's variants.  Mutation
+    caching is then keyed ``(base index, tenant)``.  With
+    ``tenant_of=None`` (the default) the untagged code path runs
+    unchanged and the stream is byte-identical to one drawn before the
+    hook existed.
     """
     if not base_queries:
         raise ValueError("base_queries must be non-empty")
@@ -145,15 +165,15 @@ def zipf_request_stream(
     weights = ranks**-zipf_s
     weights /= weights.sum()
 
-    def mutate(query: RerankQuery) -> RerankQuery:
+    def mutate(query: RerankQuery, source: np.random.Generator) -> RerankQuery:
         keep = max(1, int(round(len(query.candidates) * (1.0 - resample_fraction))))
         fresh = []
         for _ in range(len(query.candidates) - keep):
-            relevance = float(rng.uniform(0.05, 0.95))
+            relevance = float(source.uniform(0.05, 0.95))
             fresh.append(
                 CandidateSpec(
-                    uid=int(rng.integers(0, 2**31 - 1)),
-                    seed=int(rng.integers(0, 2**31 - 1)),
+                    uid=int(source.integers(0, 2**31 - 1)),
+                    seed=int(source.integers(0, 2**31 - 1)),
                     length=int(query.candidates[0].length),
                     relevance=relevance,
                     is_relevant=relevance >= 0.5,
@@ -164,16 +184,51 @@ def zipf_request_stream(
             seed=query.seed,
             query_length=query.query_length,
             candidates=query.candidates[:keep] + tuple(fresh),
+            tenant=query.tenant,
         )
 
-    mutated: dict[int, RerankQuery] = {}
-    stream: list[RerankQuery] = []
-    for _ in range(num_requests):
+    if tenant_of is None:
+        # The untagged path: byte-identical to the pre-§13 generator
+        # (every draw comes from ``rng``, in the original order).
+        mutated: dict[int, RerankQuery] = {}
+        stream: list[RerankQuery] = []
+        for _ in range(num_requests):
+            index = int(rng.choice(len(base_queries), p=weights))
+            if partial_overlap_rate > 0.0 and rng.random() < partial_overlap_rate:
+                if index not in mutated:
+                    mutated[index] = mutate(base_queries[index], rng)
+                stream.append(mutated[index])
+            else:
+                stream.append(base_queries[index])
+        return stream
+
+    # Tagged path: per-tenant deterministic RNG substreams.  The base
+    # entropy is drawn from ``rng`` once; each tenant's substream seeds
+    # from (base, sha256(tenant id)) — stable across runs and across
+    # tenant-set changes, unlike Python's salted hash().
+    base_entropy = int(rng.integers(0, 2**31 - 1))
+    substreams: dict[str, np.random.Generator] = {}
+
+    def substream(tenant: str) -> np.random.Generator:
+        if tenant not in substreams:
+            digest = hashlib.sha256(tenant.encode("utf-8")).digest()
+            substreams[tenant] = np.random.default_rng(
+                [base_entropy, int.from_bytes(digest[:8], "big")]
+            )
+        return substreams[tenant]
+
+    tenant_mutated: dict[tuple[int, str], RerankQuery] = {}
+    stream = []
+    for draw in range(num_requests):
         index = int(rng.choice(len(base_queries), p=weights))
+        tenant = tenant_of(draw)
         if partial_overlap_rate > 0.0 and rng.random() < partial_overlap_rate:
-            if index not in mutated:
-                mutated[index] = mutate(base_queries[index])
-            stream.append(mutated[index])
+            key = (index, tenant)
+            if key not in tenant_mutated:
+                tenant_mutated[key] = mutate(
+                    replace(base_queries[index], tenant=tenant), substream(tenant)
+                )
+            stream.append(tenant_mutated[key])
         else:
-            stream.append(base_queries[index])
+            stream.append(replace(base_queries[index], tenant=tenant))
     return stream

@@ -12,6 +12,7 @@ Usage::
     python -m repro.harness.cli deadline --quick
     python -m repro.harness.cli resilience --quick
     python -m repro.harness.cli cache --quick
+    python -m repro.harness.cli tenants --quick
     python -m repro.harness.cli serve requests.json --tier fleet
 
 ``--quick`` shrinks workloads (fewer datasets/queries) for smoke runs;
@@ -33,9 +34,21 @@ arrival), ``cancel_at`` (offset seconds — exercises cancellation),
 ``hedge_after_ms`` (fleet-tier straggler hedging, DESIGN.md §9),
 ``dataset`` (workload generator, default wikipedia).
 
+``serve`` also accepts a ``repro.traffic`` v1 JSONL trace (DESIGN.md
+§13) in place of the JSON list: the trace's arrivals, tenant ids and
+SLO lanes are replayed, and on the fleet tier the trace's per-tenant
+admission profiles (WFQ weights + token buckets) are attached, so an
+overloaded trace exercises tenant-aware shedding end to end.
+
 ``serve`` exits non-zero when any request did not complete — shed,
 cancelled, or failed — and prints a one-line summary count, so shell
 pipelines (and CI) can gate on clean serving runs.
+
+The ``traffic`` subcommand generates and inspects multi-tenant
+workload traces (DESIGN.md §13)::
+
+    python -m repro.harness.cli traffic generate out.jsonl --tenants 200 --rate 50
+    python -m repro.harness.cli traffic summary out.jsonl
 
 The ``trace`` subcommand drives the observability plane (DESIGN.md
 §10)::
@@ -142,6 +155,12 @@ _EXPERIMENTS: dict[str, tuple[Callable[[], object], Callable[[], object]]] = {
             unique_queries=4, num_requests=16, partial_overlap_rate=0.4
         ),
     ),
+    "tenants": (
+        lambda: ex.multitenant_serving(),
+        lambda: ex.multitenant_serving(
+            num_tenants=150, duration_s=5.0, probe_requests=8
+        ),
+    ),
 }
 
 
@@ -196,7 +215,7 @@ def build_serve_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _build_server(args: argparse.Namespace):
+def _build_server(args: argparse.Namespace, tenancy=None):
     """Construct the requested tier's Server adapter."""
     from ..core.api import DeviceServer, EngineServer, FleetServer
     from ..core.config import PrismConfig
@@ -222,7 +241,11 @@ def _build_server(args: argparse.Namespace):
         )
         return DeviceServer(service, policy=args.policy, edf=args.edf), model_config
     fleet = FleetService.homogeneous(
-        model, profile, args.replicas, config=PrismConfig(numerics=False)
+        model,
+        profile,
+        args.replicas,
+        config=PrismConfig(numerics=False),
+        tenancy=tenancy,
     )
     return FleetServer(fleet), model_config
 
@@ -230,37 +253,51 @@ def _build_server(args: argparse.Namespace):
 def run_serve(argv: list[str]) -> int:
     """The ``serve`` subcommand: replay requests, print provenance."""
     from ..core.api import SelectionRequest
+    from ..core.tenancy import selection_requests_from_trace, tenancy_from_trace
     from ..data.datasets import get_dataset
+    from ..data.traffic import is_traffic_file, read_traffic_trace
     from ..data.workloads import build_batch
     from .reporting import format_table, ms
     from .runner import shared_tokenizer
 
     args = build_serve_parser().parse_args(argv)
-    entries = json.loads(args.requests.read_text())
-    if not isinstance(entries, list) or not entries:
-        raise SystemExit("request file must hold a non-empty JSON list")
 
-    server, model_config = _build_server(args)
-    tokenizer = shared_tokenizer(model_config)
-    handles = []
-    for index, entry in enumerate(entries):
-        spec = get_dataset(entry.get("dataset", "wikipedia"))
-        num_candidates = int(entry.get("num_candidates", 8))
-        query = spec.queries(index + 1, num_candidates)[index]
-        batch = build_batch(query, tokenizer, model_config.max_seq_len)
-        request = SelectionRequest(
-            batch=batch,
-            k=int(entry.get("k", 3)),
-            request_id=entry.get("id", f"q{index}"),
-            priority=int(entry.get("priority", 1)),
-            arrival=entry.get("arrival"),
-            deadline=entry.get("deadline"),
-            hedge_after_ms=entry.get("hedge_after_ms"),
-        )
-        handle = server.submit(request)
-        if entry.get("cancel_at") is not None:
-            handle.cancel(at=float(entry["cancel_at"]))
-        handles.append(handle)
+    if is_traffic_file(args.requests):
+        # A repro.traffic v1 trace (DESIGN.md §13): replay its arrivals
+        # with tenant ids and SLO lanes; the fleet tier additionally
+        # attaches the trace's per-tenant admission profiles.
+        trace = read_traffic_trace(args.requests)
+        tenancy = tenancy_from_trace(trace) if args.tier == "fleet" else None
+        server, model_config = _build_server(args, tenancy=tenancy)
+        tokenizer = shared_tokenizer(model_config)
+        for request in selection_requests_from_trace(
+            trace, tokenizer, model_config.max_seq_len
+        ):
+            server.submit(request)
+    else:
+        entries = json.loads(args.requests.read_text())
+        if not isinstance(entries, list) or not entries:
+            raise SystemExit("request file must hold a non-empty JSON list")
+        server, model_config = _build_server(args)
+        tokenizer = shared_tokenizer(model_config)
+        for index, entry in enumerate(entries):
+            spec = get_dataset(entry.get("dataset", "wikipedia"))
+            num_candidates = int(entry.get("num_candidates", 8))
+            query = spec.queries(index + 1, num_candidates)[index]
+            batch = build_batch(query, tokenizer, model_config.max_seq_len)
+            request = SelectionRequest(
+                batch=batch,
+                k=int(entry.get("k", 3)),
+                request_id=entry.get("id", f"q{index}"),
+                priority=int(entry.get("priority", 1)),
+                arrival=entry.get("arrival"),
+                deadline=entry.get("deadline"),
+                hedge_after_ms=entry.get("hedge_after_ms"),
+                tenant=entry.get("tenant"),
+            )
+            handle = server.submit(request)
+            if entry.get("cancel_at") is not None:
+                handle.cancel(at=float(entry["cancel_at"]))
     responses = server.drain()
 
     rows = [
@@ -268,6 +305,7 @@ def run_serve(argv: list[str]) -> int:
             response.request_id,
             response.status,
             response.tier,
+            response.tenant or "-",
             response.lane,
             "-" if response.replica is None else response.replica,
             response.policy or "-",
@@ -286,6 +324,7 @@ def run_serve(argv: list[str]) -> int:
                 "request",
                 "status",
                 "tier",
+                "tenant",
                 "lane",
                 "replica",
                 "policy",
@@ -315,6 +354,91 @@ def run_serve(argv: list[str]) -> int:
             f"failed={counts['failed']})"
         )
         return 1
+    return 0
+
+
+def build_traffic_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.harness.cli traffic",
+        description="Generate / inspect multi-tenant traffic traces (DESIGN.md §13).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    generate = sub.add_parser("generate", help="write a repro.traffic v1 JSONL trace")
+    generate.add_argument("out", type=Path, help="trace file to write")
+    generate.add_argument("--tenants", type=int, default=100, help="tenant population")
+    generate.add_argument(
+        "--duration", type=float, default=10.0, help="trace span in virtual seconds"
+    )
+    generate.add_argument(
+        "--rate", type=float, default=50.0, help="mean offered arrival rate (rps)"
+    )
+    generate.add_argument(
+        "--process",
+        choices=("poisson", "mmpp", "diurnal"),
+        default="poisson",
+        help="arrival process",
+    )
+    generate.add_argument("--seed", type=int, default=0, help="generator seed")
+    generate.add_argument(
+        "--max-candidates", type=int, default=16, help="largest candidate set"
+    )
+
+    summary = sub.add_parser("summary", help="aggregate view of a traffic trace")
+    summary.add_argument("trace", type=Path, help="trace file to read")
+    return parser
+
+
+def run_traffic_cmd(argv: list[str]) -> int:
+    """The ``traffic`` subcommand: generate / summarize workload traces."""
+    from ..data.traffic import (
+        TrafficConfig,
+        generate_traffic,
+        read_traffic_trace,
+        summarize_traffic,
+        write_traffic_trace,
+    )
+    from .reporting import format_table
+
+    args = build_traffic_parser().parse_args(argv)
+
+    if args.command == "generate":
+        config = TrafficConfig(
+            num_tenants=args.tenants,
+            duration_s=args.duration,
+            rate_rps=args.rate,
+            process=args.process,
+            seed=args.seed,
+            max_candidates=args.max_candidates,
+        )
+        trace = generate_traffic(config)
+        write_traffic_trace(trace, args.out)
+        print(
+            f"generated {trace.num_requests} arrivals over {args.duration:.1f}s "
+            f"({args.process}, {len(trace.arriving_tenants())} of "
+            f"{args.tenants} tenants arriving) -> {args.out}"
+        )
+        return 0
+
+    summary = summarize_traffic(read_traffic_trace(args.trace))
+    rows = [
+        (slo, count, f"{count / summary.num_requests:.1%}")
+        for slo, count in sorted(summary.per_class.items())
+    ]
+    print(
+        format_table(
+            ("class", "requests", "share"),
+            rows,
+            title=f"traffic summary ({args.trace})",
+        )
+    )
+    lo, hi, mean = summary.candidate_sizes
+    print(
+        f"{summary.num_requests} requests over {summary.duration_s:.1f}s "
+        f"(mean {summary.mean_rate_rps:.1f} rps); "
+        f"{summary.arriving_tenants} of {summary.num_tenants} tenants arriving; "
+        f"candidate sets {lo}..{hi} (mean {mean:.1f})"
+    )
     return 0
 
 
@@ -462,6 +586,8 @@ def main(argv: list[str] | None = None) -> int:
         return run_serve(argv[1:])
     if argv and argv[0] == "trace":
         return run_trace_cmd(argv[1:])
+    if argv and argv[0] == "traffic":
+        return run_traffic_cmd(argv[1:])
     args = build_parser().parse_args(argv)
     if args.experiment == "list":
         for name in sorted(_EXPERIMENTS):

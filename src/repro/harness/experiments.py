@@ -2049,3 +2049,228 @@ def data_plane_serving(
             )
         )
     return result
+
+
+# ----------------------------------------------------------------------
+# Extension — multi-tenant workload plane (DESIGN.md §13)
+# ----------------------------------------------------------------------
+@dataclass
+class TenantClassPoint:
+    """One SLO class's rollup over the tenant population."""
+
+    slo: str
+    tenants: int
+    submitted: int
+    completed: int
+    shed: int
+    #: Median of per-tenant p50/p99 (None when no tenant completed).
+    p50_latency: float | None
+    p99_latency: float | None
+    max_shed_rate: float
+    shed_bound: float
+    max_token_debt: float
+
+    @property
+    def within_bound(self) -> bool:
+        return self.max_shed_rate <= self.shed_bound
+
+
+@dataclass
+class MultiTenantResult:
+    """Tenant-aware fair admission under open-loop overload.
+
+    ``starved_tenants`` / ``bound_violations`` are the starvation-
+    freedom and SLO contracts ``benchmarks/test_multitenant.py`` pins
+    and ``perf_gate.py`` enforces in CI: both must be zero at any
+    overload.  ``min_weight_completed`` witnesses that even the
+    lowest-weight arriving tenant completed requests.
+    """
+
+    model: str
+    platform: str
+    num_replicas: int
+    num_tenants: int
+    arriving_tenants: int
+    duration_s: float
+    process: str
+    overload: float
+    capacity_rps: float
+    offered_rps: float
+    num_requests: int = 0
+    completed: int = 0
+    shed: int = 0
+    starved_tenants: int = 0
+    bound_violations: int = 0
+    min_weight_tenant: str = ""
+    min_weight_completed: int = 0
+    points: list[TenantClassPoint] = field(default_factory=list)
+
+    def find(self, slo: str) -> TenantClassPoint:
+        for point in self.points:
+            if point.slo == slo:
+                return point
+        raise KeyError(f"no class point for SLO {slo!r}")
+
+    def render(self) -> str:
+        rows = [
+            (
+                point.slo,
+                point.tenants,
+                point.submitted,
+                point.completed,
+                point.shed,
+                ms(point.p50_latency),
+                ms(point.p99_latency),
+                pct(point.max_shed_rate),
+                pct(point.shed_bound),
+                f"{point.max_token_debt:.1f}",
+                "yes" if point.within_bound else "VIOLATED",
+            )
+            for point in self.points
+        ]
+        table = format_table(
+            (
+                "class",
+                "tenants",
+                "submitted",
+                "completed",
+                "shed",
+                "p50",
+                "p99",
+                "max shed",
+                "bound",
+                "max debt",
+                "within",
+            ),
+            rows,
+            title=(
+                f"Multi-tenant fair admission ({self.model}, {self.platform}, "
+                f"{self.num_replicas} replicas, {self.num_tenants} tenants, "
+                f"{self.overload:.0f}x overload, {self.process})"
+            ),
+        )
+        return table + (
+            f"\noffered {self.offered_rps:.1f} rps vs capacity "
+            f"{self.capacity_rps:.1f} rps; {self.num_requests} arrivals, "
+            f"{self.completed} completed, {self.shed} shed"
+            f"\nstarved tenants: {self.starved_tenants}; "
+            f"shed-bound violations: {self.bound_violations}; "
+            f"lowest-weight tenant {self.min_weight_tenant or '-'} completed "
+            f"{self.min_weight_completed}"
+        )
+
+
+def multitenant_serving(
+    model_name: str = "qwen3-reranker-0.6b",
+    platform: str = "nvidia_5070",
+    num_replicas: int = 2,
+    num_tenants: int = 1000,
+    duration_s: float = 15.0,
+    overload: float = 10.0,
+    process: str = "poisson",
+    max_batch: int = 8,
+    max_wait_ms: float = 5.0,
+    num_candidates: int = 8,
+    probe_requests: int = 16,
+    seed: int = 0,
+) -> MultiTenantResult:
+    """Fair admission under trace-driven open-loop overload (DESIGN.md §13).
+
+    A closed burst first calibrates the fleet's capacity; the traffic
+    generator then offers ``overload``× that rate across
+    ``num_tenants`` Zipf-popular tenants, and the same fleet — with
+    tenant-aware WFQ + token-bucket admission attached — serves the
+    trace.  The study reports the per-class shed/latency rollup and
+    certifies the two §13 contracts: no tenant starves, and no
+    tenant's shed rate exceeds its SLO class's bound.
+    """
+    from ..core.tenancy import selection_requests_from_trace, tenancy_from_trace
+    from ..data.traffic import TrafficConfig, generate_traffic
+
+    model_config = get_model_config(model_name)
+    model = shared_model(model_config)
+    tokenizer = shared_tokenizer(model_config)
+    profile = get_profile(platform)
+
+    def build_fleet(tenancy=None) -> FleetService:
+        return FleetService.homogeneous(
+            model,
+            profile,
+            num_replicas,
+            fleet_config=FleetConfig(max_batch=max_batch, max_wait_ms=max_wait_ms),
+            config=PrismConfig(numerics=False),
+            tenancy=tenancy,
+        )
+
+    # 1. Calibrate: a closed back-to-back burst measures capacity.
+    probe = build_fleet()
+    for query in get_dataset("wikipedia").queries(probe_requests, num_candidates):
+        probe.submit_request(build_batch(query, tokenizer, model_config.max_seq_len), 1)
+    probe.drain()
+    capacity_rps = probe.stats().throughput_rps
+
+    # 2. Offer overload x capacity across the tenant population.
+    config = TrafficConfig(
+        num_tenants=num_tenants,
+        duration_s=duration_s,
+        rate_rps=overload * capacity_rps,
+        process=process,
+        seed=seed,
+        max_candidates=num_candidates,
+    )
+    trace = generate_traffic(config)
+    fleet = build_fleet(tenancy_from_trace(trace))
+    serve_all(
+        FleetServer(fleet),
+        selection_requests_from_trace(trace, tokenizer, model_config.max_seq_len),
+    )
+    stats = fleet.stats()
+
+    result = MultiTenantResult(
+        model=model_name,
+        platform=platform,
+        num_replicas=num_replicas,
+        num_tenants=num_tenants,
+        arriving_tenants=len(trace.arriving_tenants()),
+        duration_s=duration_s,
+        process=process,
+        overload=overload,
+        capacity_rps=capacity_rps,
+        offered_rps=config.rate_rps,
+        num_requests=trace.num_requests,
+    )
+    arrived = [t for t in stats.tenants.values() if t.submitted > 0]
+    result.completed = sum(t.completed for t in arrived)
+    result.shed = sum(t.shed for t in arrived)
+    result.starved_tenants = len(stats.starved_tenants)
+    result.bound_violations = len(stats.shed_bound_violations)
+    # The starvation-freedom witness: the lowest-weight arriving tenant
+    # (ties broken by tenant id) must still have completed requests.
+    profiles = trace.tenants
+    witnesses = sorted(
+        arrived, key=lambda t: (profiles[t.tenant].weight, t.tenant)
+    )
+    if witnesses:
+        result.min_weight_tenant = witnesses[0].tenant or ""
+        result.min_weight_completed = witnesses[0].completed
+    for slo, rows in sorted(stats.tenants_by_class().items()):
+        active = [t for t in rows if t.submitted > 0]
+        if not active:
+            continue
+        p50s = [t.p50_latency for t in active if t.p50_latency is not None]
+        p99s = [t.p99_latency for t in active if t.p99_latency is not None]
+        result.points.append(
+            TenantClassPoint(
+                slo=slo,
+                tenants=len(active),
+                submitted=sum(t.submitted for t in active),
+                completed=sum(t.completed for t in active),
+                shed=sum(t.shed for t in active),
+                p50_latency=float(np.median(p50s)) if p50s else None,
+                p99_latency=float(np.median(p99s)) if p99s else None,
+                max_shed_rate=max(t.shed_rate for t in active),
+                shed_bound=active[0].shed_bound,
+                max_token_debt=max(t.token_debt for t in active),
+            )
+        )
+    return result

@@ -34,7 +34,7 @@ def source_citations() -> list[tuple[str, int]]:
 
 def test_design_md_exists_with_numbered_sections():
     assert DESIGN_MD.is_file(), "DESIGN.md is missing from the repo root"
-    assert design_sections() >= {1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12}
+    assert design_sections() >= {1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13}
 
 
 def test_scheduler_sources_cite_section_6():
@@ -98,6 +98,17 @@ def test_data_plane_sources_cite_section_12():
     assert "src/repro/core/data_plane.py" in cited_by, (
         "src/repro/core/data_plane.py no longer cites DESIGN.md §12"
     )
+
+
+def test_tenancy_sources_cite_section_13():
+    """The §13 citation net is live: the traffic generator and the
+    fair-admission plane must anchor their design in DESIGN.md §13."""
+    cited_by = {source for source, section in source_citations() if section == 13}
+    for module in (
+        "src/repro/core/tenancy.py",
+        "src/repro/data/traffic.py",
+    ):
+        assert module in cited_by, f"{module} no longer cites DESIGN.md §13"
 
 
 def test_sources_cite_design_sections():
@@ -190,6 +201,36 @@ def test_observability_docs_cover_event_plane():
     # The documented fixture-regeneration command must reference the
     # real CLI entry point.
     assert "repro.harness.cli trace record" in doc
+
+
+def test_serving_docs_cover_multitenant_plane():
+    """docs/serving.md must document the §13 multi-tenant workload
+    plane: traffic generation, fair admission and the contract views."""
+    serving = (REPO_ROOT / "docs" / "serving.md").read_text()
+    assert "Multi-tenant admission" in serving
+    for concept in (
+        "TrafficConfig",
+        "generate_traffic",
+        "TenancyConfig",
+        "TenantPolicy",
+        "tenancy_from_trace",
+        "selection_requests_from_trace",
+        "rate_limit",
+        "queue_limit",
+        "starvation-freedom",
+        "shed_bound",
+        "starved_tenants",
+        "shed_bound_violations",
+        "traffic generate",
+        "traffic summary",
+        "BENCH_multitenant.json",
+        "--multitenant-fresh",
+    ):
+        assert concept in serving, f"docs/serving.md multi-tenant section misses {concept}"
+    # The README points readers at the study and the traffic CLI.
+    readme = (REPO_ROOT / "README.md").read_text()
+    assert "cli tenants" in readme
+    assert "traffic generate" in readme
 
 
 def test_performance_docs_cover_hotpath_and_gate():

@@ -73,3 +73,82 @@ class TestBuildBatch:
         a = build_batch(query, tokenizer, 512)
         b = build_batch(query, tokenizer, 512)
         assert np.array_equal(a.tokens, b.tokens)
+
+
+class TestZipfRequestStream:
+    @pytest.fixture
+    def base_queries(self):
+        rng = np.random.default_rng(42)
+        queries = []
+        for qid in range(8):
+            relevance = rng.uniform(0.05, 0.95, size=6)
+            queries.append(
+                make_query(
+                    rng,
+                    query_id=qid,
+                    labels=relevance >= 0.5,
+                    relevance=relevance,
+                    query_length=8,
+                    doc_length_mean=40,
+                )
+            )
+        return queries
+
+    def _stream(self, base_queries, seed=0, **kwargs):
+        from repro.data.workloads import zipf_request_stream
+
+        return zipf_request_stream(
+            np.random.default_rng(seed), base_queries, 64, **kwargs
+        )
+
+    def test_untagged_stream_deterministic_and_untenanted(self, base_queries):
+        a = self._stream(base_queries, partial_overlap_rate=0.4)
+        b = self._stream(base_queries, partial_overlap_rate=0.4)
+        assert a == b
+        assert all(query.tenant is None for query in a)
+
+    def test_tagged_stream_deterministic(self, base_queries):
+        tenant_of = lambda i: f"t{i % 3}"  # noqa: E731
+        a = self._stream(base_queries, partial_overlap_rate=0.4, tenant_of=tenant_of)
+        b = self._stream(base_queries, partial_overlap_rate=0.4, tenant_of=tenant_of)
+        assert a == b
+        assert all(query.tenant == f"t{i % 3}" for i, query in enumerate(a))
+
+    def test_tenant_substreams_independent(self, base_queries):
+        # Swapping one tenant's identity (b -> c) must not perturb the
+        # other tenant's variants: each tenant mutates from its own
+        # sha256-derived substream, not from the shared draw RNG.
+        ab = self._stream(
+            base_queries,
+            partial_overlap_rate=0.6,
+            tenant_of=lambda i: "a" if i % 2 == 0 else "b",
+        )
+        ac = self._stream(
+            base_queries,
+            partial_overlap_rate=0.6,
+            tenant_of=lambda i: "a" if i % 2 == 0 else "c",
+        )
+        a_variants = [q for q in ab if q.tenant == "a"]
+        assert a_variants == [q for q in ac if q.tenant == "a"]
+        b_variants = [q for q in ab if q.tenant == "b"]
+        c_variants = [q for q in ac if q.tenant == "c"]
+        assert [q.query_id for q in b_variants] == [q.query_id for q in c_variants]
+
+    def test_mutation_cache_keyed_per_tenant(self, base_queries):
+        # Two tenants mutating the same hot base query must get
+        # *different* variants (cache key is (base index, tenant)), and
+        # a repeat within one tenant must reuse its cached variant.
+        stream = self._stream(
+            base_queries,
+            partial_overlap_rate=1.0,
+            tenant_of=lambda i: "a" if i % 2 == 0 else "b",
+        )
+        by_tenant = {}
+        for query in stream:
+            by_tenant.setdefault((query.tenant, query.query_id), []).append(query)
+        for (tenant, qid), variants in by_tenant.items():
+            assert all(v == variants[0] for v in variants)  # cached repeat
+            other = "b" if tenant == "a" else "a"
+            twin = by_tenant.get((other, qid))
+            if twin is not None:
+                assert twin[0].candidates != variants[0].candidates
