@@ -20,6 +20,8 @@ import time
 
 from conftest import BENCH_QUICK, run_once
 
+from repro.harness.reporting import format_table
+
 from repro.core.config import PrismConfig
 from repro.core.engine import PrismEngine
 from repro.core.scheduler import DeviceScheduler, SchedulerConfig
@@ -90,10 +92,38 @@ def _measure_all() -> dict[str, float]:
     return {name: min(times) for name, times in samples.items()}
 
 
-def test_batched_gang_kernels_cut_wall_clock(benchmark, record_metrics):
+def test_batched_gang_kernels_cut_wall_clock(benchmark, record_artifact, record_metrics):
     wall = run_once(benchmark, _measure_all)
     speedup_n4 = wall["sequential_gang_n4"] / wall["batched_gang_n4"]
     speedup_n8 = wall["sequential_gang_n8"] / wall["batched_gang_n8"]
+    speedup = {
+        "solo": 1.0,
+        "sequential_gang_n4": 1.0,
+        "batched_gang_n4": speedup_n4,
+        "sequential_gang_n8": 1.0,
+        "batched_gang_n8": speedup_n8,
+    }
+    record_artifact(
+        "hotpath",
+        format_table(
+            ("scenario", "gang", "kernels", "wall/step", "vs sequential"),
+            [
+                (
+                    name,
+                    size,
+                    "batched" if batched else "sequential",
+                    f"{wall[name] * 1e6:.1f}us",
+                    f"{speedup[name]:.2f}x",
+                )
+                for name, size, batched in SCENARIOS
+            ],
+            title=(
+                "Hot-path microbench: harness wall-clock per simulated layer step "
+                f"(qwen3-0.6b, nvidia_5070, {NUM_CANDIDATES} candidates/member, "
+                f"best of {REPEATS})"
+            ),
+        ),
+    )
     record_metrics(
         "hotpath",
         {

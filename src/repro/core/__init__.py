@@ -290,3 +290,32 @@ __all__ += [
     "selection_requests_from_trace",
     "tenancy_from_trace",
 ]
+
+# The live telemetry plane (DESIGN.md §14): bounded event-log
+# subscriptions and the metrics registry derived from the stream.
+from .events import EventSubscription  # noqa: E402  (appended export)
+from .telemetry import (  # noqa: E402  (appended export)
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    TelemetryCollector,
+    fleet_equivalence_report,
+    parse_exposition,
+    slo_lookup,
+)
+from .trace import timeline_events, write_timeline  # noqa: E402  (appended export)
+
+__all__ += [
+    "Counter",
+    "EventSubscription",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "TelemetryCollector",
+    "fleet_equivalence_report",
+    "parse_exposition",
+    "slo_lookup",
+    "timeline_events",
+    "write_timeline",
+]

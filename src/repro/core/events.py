@@ -27,6 +27,7 @@ invariant suite in ``tests/test_event_invariants.py`` pins.
 from __future__ import annotations
 
 import json
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Iterator
 
@@ -179,6 +180,93 @@ class Event:
         return "  ".join(parts)
 
 
+class EventSubscription:
+    """A bounded live tap on an :class:`EventLog` (DESIGN.md §14).
+
+    Fan-out is *zero-perturbation by construction*: :meth:`_offer` is
+    the only producer-side operation and it either appends to a bounded
+    queue or bumps :attr:`dropped` — it never blocks, never raises into
+    the emitter, and never touches a clock.  A subscriber slower than
+    the event rate therefore loses events (accounted, never silent)
+    instead of stalling the simulation, and a run with N subscribers
+    attached executes byte-identically to an unobserved run.
+
+    The queue is a :class:`collections.deque`; producer ``append`` and
+    consumer ``popleft`` are each atomic under the GIL, so one emitting
+    thread and one draining thread (the live-server pump,
+    :mod:`repro.harness.live`) need no further locking.
+
+    ``kinds`` / ``tiers`` / ``tenants`` restrict delivery at fan-out
+    time; events filtered out count toward neither ``delivered`` nor
+    ``dropped``.
+    """
+
+    def __init__(
+        self,
+        log: "EventLog",
+        capacity: int = 4096,
+        kinds: tuple[str, ...] | None = None,
+        tiers: tuple[str, ...] | None = None,
+        tenants: tuple[str, ...] | None = None,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError("subscription capacity must be >= 1")
+        for kind in kinds or ():
+            if kind not in EVENT_KINDS:
+                known = ", ".join(EVENT_KINDS)
+                raise ValueError(f"unknown event kind {kind!r}; known: {known}")
+        self._log = log
+        self.capacity = capacity
+        self.kinds = tuple(kinds) if kinds else None
+        self.tiers = tuple(tiers) if tiers else None
+        self.tenants = tuple(tenants) if tenants else None
+        self._queue: deque[Event] = deque()
+        #: Events appended to the queue so far (filtered-out ones excluded).
+        self.delivered = 0
+        #: Events that matched but found the queue full — the explicit
+        #: slow-consumer accounting the §14 contract requires.
+        self.dropped = 0
+        self.closed = False
+
+    # -- producer side (called by EventLog.emit) -----------------------
+    def matches(self, event: Event) -> bool:
+        return (
+            (self.kinds is None or event.kind in self.kinds)
+            and (self.tiers is None or event.tier in self.tiers)
+            and (self.tenants is None or event.tenant in self.tenants)
+        )
+
+    def _offer(self, event: Event) -> None:
+        if self.closed or not self.matches(event):
+            return
+        if len(self._queue) >= self.capacity:
+            self.dropped += 1
+            return
+        self._queue.append(event)
+        self.delivered += 1
+
+    # -- consumer side --------------------------------------------------
+    @property
+    def backlog(self) -> int:
+        """Events queued and not yet polled."""
+        return len(self._queue)
+
+    def poll(self, limit: int | None = None) -> list[Event]:
+        """Pop up to ``limit`` queued events (all of them by default)."""
+        drained: list[Event] = []
+        while self._queue and (limit is None or len(drained) < limit):
+            try:
+                drained.append(self._queue.popleft())
+            except IndexError:  # pragma: no cover - racing consumer
+                break
+        return drained
+
+    def close(self) -> None:
+        """Detach from the log; pending events stay pollable."""
+        self.closed = True
+        self._log.unsubscribe(self)
+
+
 class EventLog:
     """An append-only sink every layer publishes into (DESIGN.md §10).
 
@@ -188,10 +276,18 @@ class EventLog:
     simulation it observes.  Layers guard their hooks with
     ``if log is not None``, so the unobserved hot path costs one
     attribute check.
+
+    Live consumers attach through :meth:`subscribe` (DESIGN.md §14):
+    each subscriber gets a bounded queue that :meth:`emit` fans events
+    into without ever blocking — a slow subscriber drops (counted on
+    its :attr:`EventSubscription.dropped`) rather than perturbing the
+    simulation, and the no-subscriber fast path costs one truthiness
+    check on an empty list.
     """
 
     def __init__(self) -> None:
         self.events: list[Event] = []
+        self._subscribers: list[EventSubscription] = []
 
     def emit(
         self,
@@ -218,7 +314,39 @@ class EventLog:
             data=data,
         )
         self.events.append(event)
+        if self._subscribers:
+            for subscription in self._subscribers:
+                subscription._offer(event)
         return event
+
+    # ------------------------------------------------------------------
+    # live fan-out (DESIGN.md §14)
+    # ------------------------------------------------------------------
+    def subscribe(
+        self,
+        capacity: int = 4096,
+        kinds: tuple[str, ...] | None = None,
+        tiers: tuple[str, ...] | None = None,
+        tenants: tuple[str, ...] | None = None,
+    ) -> EventSubscription:
+        """Attach a bounded live tap; see :class:`EventSubscription`."""
+        subscription = EventSubscription(
+            self, capacity=capacity, kinds=kinds, tiers=tiers, tenants=tenants
+        )
+        self._subscribers.append(subscription)
+        return subscription
+
+    def unsubscribe(self, subscription: EventSubscription) -> None:
+        """Detach a subscription; unknown subscriptions are a no-op."""
+        subscription.closed = True
+        try:
+            self._subscribers.remove(subscription)
+        except ValueError:
+            pass
+
+    @property
+    def subscriber_count(self) -> int:
+        return len(self._subscribers)
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:

@@ -879,7 +879,16 @@ class FleetService:
                         request.tenant, request.request_id, request.arrival
                     )
                     if verdict is not None:
-                        self._drop(request, "shed", now, detail=verdict)
+                        # ``debt=`` feeds the live token-debt gauge
+                        # (DESIGN.md §14); tenancy sheds appear in no
+                        # golden fixture, so the field is additive.
+                        self._drop(
+                            request,
+                            "shed",
+                            now,
+                            detail=verdict,
+                            debt=self._admission.state(request.tenant).bucket.debt,
+                        )
                         continue
                 queue.append(request)
                 self._emit("queue", at=now, request=request, depth=len(queue))
@@ -1299,6 +1308,7 @@ class FleetService:
         at: float,
         detail: str = "",
         failed_on: int | None = None,
+        **data,
     ) -> None:
         self._dropped.append(
             DroppedRequest(
@@ -1327,6 +1337,7 @@ class FleetService:
             replica=failed_on,
             detail=detail,
             attempts=request.attempts,
+            **data,
         )
         # A dropped plane leader must never poison the memo: its
         # pending entry dies and its followers re-dispatch (§12).

@@ -569,6 +569,20 @@ class DeviceScheduler:
             return (deadline, request.arrival, request.request_id)
         return (request.arrival, request.request_id)
 
+    def drop_counts(self) -> dict[str, int]:
+        """Drops so far, keyed ``reason`` or ``reason/detail`` (§14).
+
+        The same normalization the live telemetry plane applies to shed
+        events — a bare deadline shed (empty detail) counts under its
+        reason alone — so a scheduler-level rollup can be compared
+        directly against ``repro_requests_shed_total`` label values.
+        """
+        counts: dict[str, int] = {}
+        for drop in self.dropped:
+            key = f"{drop.reason}/{drop.detail}" if drop.detail else drop.reason
+            counts[key] = counts.get(key, 0) + 1
+        return counts
+
     def _drop(self, request: ScheduledRequest, reason: str, detail: str = "") -> None:
         self.dropped.append(
             DroppedRequest(

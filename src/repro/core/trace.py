@@ -43,6 +43,7 @@ from .engine import PrismEngine
 from .events import (
     EVENTS_VERSION,
     SERVING_TIERS,
+    TERMINAL_KINDS,
     Event,
     EventLog,
 )
@@ -583,3 +584,132 @@ def summarize_events(events: Sequence[Event]) -> TraceSummary:
             int(e.data.get("nbytes", 0)) for e in events if e.kind == "fetch"
         ),
     )
+
+
+# ---------------------------------------------------------------------------
+# timeline export (cli trace timeline, DESIGN.md §14)
+# ---------------------------------------------------------------------------
+#: Event kinds rendered as instants inside a request's span.
+_TIMELINE_INSTANTS = ("step", "fetch", "fuse", "hedge", "cache_hit")
+
+
+def _span(name: str, pid: int, tid: int, start: float, end: float, args=None) -> dict:
+    event: dict[str, Any] = {
+        "name": name,
+        "ph": "X",
+        "pid": pid,
+        "tid": tid,
+        "ts": round(start * 1e6, 3),
+        "dur": round(max(0.0, end - start) * 1e6, 3),
+        "cat": "request",
+    }
+    if args:
+        event["args"] = args
+    return event
+
+
+def timeline_events(events: Sequence[Event]) -> list[dict]:
+    """Chrome trace-event JSON objects for a recorded log (§14).
+
+    Each serving tier becomes a process and each (replica, request)
+    lane a thread; every request renders as nested duration spans —
+    the whole lifetime (``admit → terminal``), the queue wait
+    (``admit → dispatch``) and the service pass (``dispatch →
+    terminal``) — with ``step``/``fetch``/``fuse``/``hedge``/
+    ``cache_hit`` instants inside.  Virtual seconds map to trace
+    microseconds.  Wrap the list as ``{"traceEvents": [...]}`` (see
+    :func:`write_timeline`) and the file loads directly in Perfetto /
+    ``chrome://tracing``.
+    """
+    out: list[dict] = []
+    pids = {tier: index + 1 for index, tier in enumerate(SERVING_TIERS)}
+    tids: dict[tuple, int] = {}
+    open_spans: dict[tuple, dict[str, Any]] = {}
+    named_pids: set[int] = set()
+
+    def lane(event: Event) -> tuple:
+        if event.tier == "fleet":
+            return (event.tier, event.request)
+        return (event.tier, event.replica, event.request)
+
+    def tid_of(key: tuple, event: Event) -> int:
+        if key not in tids:
+            tids[key] = len(tids) + 1
+            label = str(event.request)
+            if event.tier != "fleet" and event.replica is not None:
+                label = f"replica{event.replica}/{label}"
+            out.append(
+                {
+                    "name": "thread_name",
+                    "ph": "M",
+                    "pid": pids[event.tier],
+                    "tid": tids[key],
+                    "args": {"name": label},
+                }
+            )
+        return tids[key]
+
+    for event in events:
+        if event.tier not in pids:
+            continue
+        pid = pids[event.tier]
+        if pid not in named_pids:
+            named_pids.add(pid)
+            out.append(
+                {
+                    "name": "process_name",
+                    "ph": "M",
+                    "pid": pid,
+                    "args": {"name": f"{event.tier} tier"},
+                }
+            )
+        key = lane(event)
+        tid = tid_of(key, event)
+        if event.kind == "admit":
+            open_spans[key] = {
+                "admit": float(event.data.get("arrival", event.at)),
+                "dispatch": None,
+                "tenant": event.tenant,
+            }
+        elif event.kind == "dispatch":
+            if key in open_spans:
+                open_spans[key]["dispatch"] = event.at
+        elif event.kind in _TIMELINE_INSTANTS:
+            out.append(
+                {
+                    "name": event.kind,
+                    "ph": "i",
+                    "s": "t",
+                    "pid": pid,
+                    "tid": tid,
+                    "ts": round(event.at * 1e6, 3),
+                    "cat": event.kind,
+                }
+            )
+        elif event.kind in TERMINAL_KINDS:
+            span = open_spans.pop(key, None)
+            if span is None:
+                continue
+            admit, dispatch = span["admit"], span["dispatch"]
+            args = {
+                "status": event.kind,
+                "tenant": span["tenant"],
+                "detail": event.data.get("detail", ""),
+            }
+            out.append(_span(f"request {event.request}", pid, tid, admit, event.at, args))
+            if dispatch is not None:
+                out.append(_span("queued", pid, tid, admit, dispatch))
+                out.append(_span("service", pid, tid, dispatch, event.at))
+            else:
+                out.append(_span("queued", pid, tid, admit, event.at))
+    return out
+
+
+def write_timeline(events: Sequence[Event], path: str | Path) -> int:
+    """Write a log's :func:`timeline_events` as a Perfetto-loadable
+    ``{"traceEvents": [...]}`` JSON file; returns the span/event count."""
+    rendered = timeline_events(events)
+    Path(path).write_text(
+        json.dumps({"traceEvents": rendered, "displayTimeUnit": "ms"}) + "\n"
+    )
+    return len(rendered)

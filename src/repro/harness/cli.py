@@ -62,9 +62,31 @@ The ``trace`` subcommand drives the observability plane (DESIGN.md
 :data:`repro.harness.traces.SCENARIOS`) with the event log attached and
 writes the JSONL trace; ``replay`` reconstructs the workload from a
 recorded trace, re-executes it, and exits non-zero on the first
-divergent event line; ``tail`` prints the last events human-readably;
-``summary`` aggregates a log into the per-tier fleet dashboard
-(throughput, p50/p95/p99, shed/fault/hedge counts).
+divergent event line; ``tail`` prints the last events human-readably
+(``--follow`` switches to incremental live tailing from the last byte
+offset, with ``--poll`` / ``--idle-timeout`` controls); ``summary``
+aggregates a log into the per-tier fleet dashboard (throughput,
+p50/p95/p99, shed/fault/hedge counts); ``timeline`` exports a
+Perfetto-loadable Chrome trace-event JSON.
+
+The live telemetry plane (DESIGN.md §14) rides ``serve`` and two
+sibling commands::
+
+    python -m repro.harness.cli serve trace.jsonl --tier fleet \
+        --live-port 9137 --live-linger 30 --timeline run.timeline.json
+    python -m repro.harness.cli live http://127.0.0.1:9137 --watch
+    python -m repro.harness.cli trace timeline out.jsonl
+
+``serve --live-port`` publishes Prometheus ``/metrics``, an SSE
+``/events`` stream and ``/healthz`` from a stdlib HTTP server while
+the run executes (port ``0`` picks an ephemeral port; ``--live-host``
+rebinds; ``--live-linger`` keeps the server up after the drain for
+late scrapers), then asserts the live registry exactly equals the
+post-hoc ``FleetStats`` rollup — exit code 2 flags a divergence, 1
+stays "requests dropped", 0 is clean.  ``live <url>`` renders a
+one-shot (or ``--watch``) terminal dashboard from a ``/metrics``
+scrape; ``serve --timeline`` / ``trace timeline`` write the Chrome
+trace-event view of a run.
 """
 
 from __future__ import annotations
@@ -212,10 +234,34 @@ def build_serve_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--replicas", type=int, default=2, help="fleet-tier replica count"
     )
+    parser.add_argument(
+        "--live-port",
+        type=int,
+        default=None,
+        help="publish live telemetry on this port (0 = ephemeral) "
+        "while serving: /metrics, /events (SSE), /healthz (DESIGN.md §14)",
+    )
+    parser.add_argument(
+        "--live-host", default="127.0.0.1", help="live-server bind address"
+    )
+    parser.add_argument(
+        "--live-linger",
+        type=float,
+        default=0.0,
+        help="keep the live server up this many seconds after the drain "
+        "(lets external scrapers catch the finished run)",
+    )
+    parser.add_argument(
+        "--timeline",
+        type=Path,
+        default=None,
+        help="write the run's per-request spans as Chrome trace-event "
+        "JSON (Perfetto-loadable) to this path",
+    )
     return parser
 
 
-def _build_server(args: argparse.Namespace, tenancy=None):
+def _build_server(args: argparse.Namespace, tenancy=None, event_log=None):
     """Construct the requested tier's Server adapter."""
     from ..core.api import DeviceServer, EngineServer, FleetServer
     from ..core.config import PrismConfig
@@ -231,6 +277,8 @@ def _build_server(args: argparse.Namespace, tenancy=None):
     if args.tier == "engine":
         engine = create_engine("prism", model, profile.create(), numerics=False)
         engine.prepare()
+        if event_log is not None:
+            engine.device.attach_event_log(event_log)
         return EngineServer(engine), model_config
     if args.tier == "device":
         service = SemanticSelectionService(
@@ -238,6 +286,7 @@ def _build_server(args: argparse.Namespace, tenancy=None):
             profile,
             config=PrismConfig(numerics=False),
             max_concurrency=args.concurrency,
+            event_log=event_log,
         )
         return DeviceServer(service, policy=args.policy, edf=args.edf), model_config
     fleet = FleetService.homogeneous(
@@ -246,6 +295,7 @@ def _build_server(args: argparse.Namespace, tenancy=None):
         args.replicas,
         config=PrismConfig(numerics=False),
         tenancy=tenancy,
+        event_log=event_log,
     )
     return FleetServer(fleet), model_config
 
@@ -262,13 +312,23 @@ def run_serve(argv: list[str]) -> int:
 
     args = build_serve_parser().parse_args(argv)
 
+    # Live telemetry / timeline export both need the event log attached
+    # (DESIGN.md §14); a plain serve keeps the unobserved fast path.
+    event_log = None
+    if args.live_port is not None or args.timeline is not None:
+        from ..core.events import EventLog
+
+        event_log = EventLog()
+
+    tenancy = None
     if is_traffic_file(args.requests):
         # A repro.traffic v1 trace (DESIGN.md §13): replay its arrivals
         # with tenant ids and SLO lanes; the fleet tier additionally
         # attaches the trace's per-tenant admission profiles.
         trace = read_traffic_trace(args.requests)
         tenancy = tenancy_from_trace(trace) if args.tier == "fleet" else None
-        server, model_config = _build_server(args, tenancy=tenancy)
+        server, model_config = _build_server(args, tenancy=tenancy, event_log=event_log)
+        live = _start_live(args, event_log, tenancy)
         tokenizer = shared_tokenizer(model_config)
         for request in selection_requests_from_trace(
             trace, tokenizer, model_config.max_seq_len
@@ -278,7 +338,8 @@ def run_serve(argv: list[str]) -> int:
         entries = json.loads(args.requests.read_text())
         if not isinstance(entries, list) or not entries:
             raise SystemExit("request file must hold a non-empty JSON list")
-        server, model_config = _build_server(args)
+        server, model_config = _build_server(args, event_log=event_log)
+        live = _start_live(args, event_log, None)
         tokenizer = shared_tokenizer(model_config)
         for index, entry in enumerate(entries):
             spec = get_dataset(entry.get("dataset", "wikipedia"))
@@ -353,8 +414,57 @@ def run_serve(argv: list[str]) -> int:
             f"(shed={counts['shed']}, cancelled={counts['cancelled']}, "
             f"failed={counts['failed']})"
         )
-        return 1
-    return 0
+    mismatches: list[str] = []
+    if live is not None:
+        # Fold whatever the run streamed, then hold the §14 contract:
+        # live-derived registry values must equal post-hoc FleetStats.
+        from ..core.telemetry import fleet_equivalence_report
+
+        live.telemetry.drain()
+        if args.tier == "fleet":
+            mismatches = fleet_equivalence_report(
+                live.telemetry.collector,
+                server.fleet.stats(),
+                server.fleet.dropped_requests,
+            )
+            if mismatches:
+                print(f"live telemetry DIVERGED from FleetStats ({len(mismatches)}):")
+                for line in mismatches:
+                    print(f"  {line}")
+            else:
+                print(
+                    f"live telemetry: {live.telemetry.collector.events_seen} events "
+                    "folded, registry == FleetStats"
+                )
+        if args.live_linger > 0:
+            print(f"live server lingering {args.live_linger:.1f}s at {live.url}")
+            time.sleep(args.live_linger)
+        live.close()
+    if args.timeline is not None and event_log is not None:
+        from ..core.trace import write_timeline
+
+        spans = write_timeline(event_log.events, args.timeline)
+        print(f"timeline: {spans} trace events -> {args.timeline}")
+    if mismatches:
+        return 2
+    return 1 if dropped else 0
+
+
+def _start_live(args: argparse.Namespace, event_log, tenancy):
+    """Start the §14 live server when ``serve --live-port`` asked for it."""
+    if args.live_port is None or event_log is None:
+        return None
+    from .live import LiveServer
+
+    live = LiveServer(
+        event_log,
+        tenancy=tenancy,
+        tenant_tier=args.tier,
+        host=args.live_host,
+        port=args.live_port,
+    ).start()
+    print(f"live telemetry at {live.url} (/metrics, /events, /healthz)")
+    return live
 
 
 def build_traffic_parser() -> argparse.ArgumentParser:
@@ -470,9 +580,36 @@ def build_trace_parser() -> argparse.ArgumentParser:
     tail.add_argument("--last", type=int, default=20, help="how many events to show")
     tail.add_argument("--kind", default=None, help="only events of this kind")
     tail.add_argument("--tier", default=None, help="only events of this tier")
+    tail.add_argument(
+        "--follow",
+        action="store_true",
+        help="stream the file incrementally as it grows (poll from the "
+        "last byte offset) instead of reading it once",
+    )
+    tail.add_argument(
+        "--poll", type=float, default=0.2, help="--follow poll interval (seconds)"
+    )
+    tail.add_argument(
+        "--idle-timeout",
+        type=float,
+        default=None,
+        help="--follow exits after this many idle seconds (default: forever)",
+    )
 
     summary = sub.add_parser("summary", help="aggregate a trace into a dashboard")
     summary.add_argument("trace", type=Path, help="trace file to read")
+
+    timeline = sub.add_parser(
+        "timeline",
+        help="export per-request spans as Chrome trace-event JSON (Perfetto)",
+    )
+    timeline.add_argument("trace", type=Path, help="trace file to read")
+    timeline.add_argument(
+        "--out",
+        type=Path,
+        default=None,
+        help="output JSON path (default: trace path with .timeline.json)",
+    )
     return parser
 
 
@@ -483,6 +620,9 @@ def run_trace_cmd(argv: list[str]) -> int:
     from .traces import SCENARIOS, build_scenario
 
     args = build_trace_parser().parse_args(argv)
+
+    if args.command == "tail" and args.follow:
+        return _follow_tail(args)
 
     if args.command == "record":
         if args.scenario not in SCENARIOS:
@@ -511,6 +651,18 @@ def run_trace_cmd(argv: list[str]) -> int:
         print(f"  recorded: {report.recorded_line}")
         print(f"  replayed: {report.replayed_line}")
         return 1
+
+    if args.command == "timeline":
+        from ..core.trace import write_timeline
+
+        _, events, _ = read_trace(args.trace)
+        out = args.out or args.trace.with_suffix(".timeline.json")
+        spans = write_timeline(events, out)
+        print(
+            f"timeline: {spans} trace events ({len(events)} log events) -> {out} "
+            "(load in Perfetto / chrome://tracing)"
+        )
+        return 0
 
     spec, events, _ = read_trace(args.trace)
     if args.command == "tail":
@@ -568,6 +720,119 @@ def run_trace_cmd(argv: list[str]) -> int:
     return 0
 
 
+def _follow_tail(args: argparse.Namespace) -> int:
+    """``trace tail --follow``: stream a growing JSONL trace (§14).
+
+    Shares the subscriber-side rendering (``Event.describe``) with the
+    one-shot tail; the schema header line is recognised and skipped, so
+    following can start before the recorder has written any events.
+    """
+    import json as json_module
+
+    from ..core.events import Event
+    from .live import follow_trace_lines
+
+    shown = 0
+    try:
+        for line in follow_trace_lines(
+            args.trace, poll_s=args.poll, idle_timeout_s=args.idle_timeout
+        ):
+            payload = json_module.loads(line)
+            if "schema" in payload:  # the trace header, not an event
+                continue
+            event = Event.from_payload(payload)
+            if args.kind is not None and event.kind != args.kind:
+                continue
+            if args.tier is not None and event.tier != args.tier:
+                continue
+            print(event.describe(), flush=True)
+            shown += 1
+    except KeyboardInterrupt:
+        pass
+    print(f"({shown} events followed from {args.trace})")
+    return 0
+
+
+def build_live_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.harness.cli live",
+        description="Scrape a running live server's /metrics and render "
+        "the per-tier dashboard (DESIGN.md §14).",
+    )
+    parser.add_argument(
+        "url", help="base URL printed by `serve --live-port` (e.g. http://127.0.0.1:9100)"
+    )
+    parser.add_argument(
+        "--watch", action="store_true", help="re-scrape until interrupted"
+    )
+    parser.add_argument(
+        "--interval", type=float, default=2.0, help="--watch scrape interval (seconds)"
+    )
+    return parser
+
+
+def run_live_cmd(argv: list[str]) -> int:
+    """The ``live`` subcommand: a terminal dashboard over one scrape.
+
+    Works from the exposition alone — quantiles are reconstructed from
+    the histogram buckets, which is all a remote scraper ever sees.
+    """
+    from urllib.request import urlopen
+
+    from ..core.telemetry import dashboard_views, parse_exposition
+    from .reporting import format_table, ms
+
+    args = build_live_parser().parse_args(argv)
+    base = args.url.rstrip("/")
+
+    def scrape_once() -> None:
+        with urlopen(f"{base}/metrics", timeout=10.0) as response:
+            text = response.read().decode()
+        samples = parse_exposition(text)
+        rows = [
+            (
+                view.tier,
+                view.admitted,
+                view.completed,
+                view.shed,
+                view.cancelled,
+                view.failed,
+                ms(view.p50),
+                ms(view.p95),
+                ms(view.p99),
+            )
+            for view in dashboard_views(samples)
+        ]
+        events = sum(value for _, value in samples.get("repro_events_total", []))
+        print(
+            format_table(
+                (
+                    "tier",
+                    "admitted",
+                    "completed",
+                    "shed",
+                    "cancelled",
+                    "failed",
+                    "~p50",
+                    "~p95",
+                    "~p99",
+                ),
+                rows,
+                title=f"live telemetry ({base}, {int(events)} events, "
+                "bucket-estimated quantiles)",
+            )
+        )
+
+    try:
+        scrape_once()
+        while args.watch:
+            time.sleep(args.interval)
+            scrape_once()
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
 def run_one(name: str, quick: bool, out: Path | None) -> str:
     full, small = _EXPERIMENTS[name]
     start = time.perf_counter()
@@ -588,6 +853,8 @@ def main(argv: list[str] | None = None) -> int:
         return run_trace_cmd(argv[1:])
     if argv and argv[0] == "traffic":
         return run_traffic_cmd(argv[1:])
+    if argv and argv[0] == "live":
+        return run_live_cmd(argv[1:])
     args = build_parser().parse_args(argv)
     if args.experiment == "list":
         for name in sorted(_EXPERIMENTS):

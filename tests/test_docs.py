@@ -34,7 +34,7 @@ def source_citations() -> list[tuple[str, int]]:
 
 def test_design_md_exists_with_numbered_sections():
     assert DESIGN_MD.is_file(), "DESIGN.md is missing from the repo root"
-    assert design_sections() >= {1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13}
+    assert design_sections() >= {1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14}
 
 
 def test_scheduler_sources_cite_section_6():
@@ -109,6 +109,17 @@ def test_tenancy_sources_cite_section_13():
         "src/repro/data/traffic.py",
     ):
         assert module in cited_by, f"{module} no longer cites DESIGN.md §13"
+
+
+def test_telemetry_sources_cite_section_14():
+    """The §14 citation net is live: the metrics registry and the live
+    progress server must anchor their design in DESIGN.md §14."""
+    cited_by = {source for source, section in source_citations() if section == 14}
+    for module in (
+        "src/repro/core/telemetry.py",
+        "src/repro/harness/live.py",
+    ):
+        assert module in cited_by, f"{module} no longer cites DESIGN.md §14"
 
 
 def test_sources_cite_design_sections():
@@ -201,6 +212,37 @@ def test_observability_docs_cover_event_plane():
     # The documented fixture-regeneration command must reference the
     # real CLI entry point.
     assert "repro.harness.cli trace record" in doc
+
+
+def test_observability_docs_cover_live_telemetry():
+    """docs/observability.md must document the §14 live telemetry
+    plane: subscriptions, the metrics namespace, the progress server's
+    three endpoints, the equivalence contract, and timeline export."""
+    doc = (REPO_ROOT / "docs" / "observability.md").read_text()
+    assert "Live telemetry" in doc
+    for concept in (
+        "EventLog.subscribe",
+        "TelemetryCollector",
+        "MetricsRegistry",
+        "fleet_equivalence_report",
+        "parse_exposition",
+        "repro_requests_shed_total",
+        "repro_request_latency_seconds",
+        "repro_slo_burn_rate",
+        "--live-port",
+        "/metrics",
+        "/events",
+        "/healthz",
+        "?replay=1",
+        "trace timeline",
+        "--follow",
+        "Perfetto",
+    ):
+        assert concept in doc, f"docs/observability.md live section misses {concept}"
+    # The README points readers at the live surfaces.
+    readme = (REPO_ROOT / "README.md").read_text()
+    assert "--live-port" in readme
+    assert "trace timeline" in readme
 
 
 def test_serving_docs_cover_multitenant_plane():
